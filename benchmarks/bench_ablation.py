@@ -1,0 +1,65 @@
+"""Ablation benches: the design choices DESIGN.md calls out.
+
+- A1: scheduler families (regularised peeling vs naive baselines),
+- A2: β round-up on/off,
+- A3: step-count reduction from the bottleneck matching.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.experiments.ablation import (
+    AblationConfig,
+    run_ablation_matching,
+    run_ablation_rounding,
+    run_ablation_steps,
+)
+from repro.experiments.simulation import SimulationConfig
+
+CONFIG = AblationConfig(
+    sim=SimulationConfig(max_side=10, max_edges=60, draws=80), k=5, beta=1.0
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a1_scheduler_families(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_ablation_matching(CONFIG), rounds=1, iterations=1
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    by_name = {row[0]: row for row in result.rows}
+    # The peeling family carries the proven guarantee.
+    for name in ("ggp_arbitrary", "ggp_hungarian", "oggp"):
+        assert by_name[name][2] <= 2.0 + 1e-9
+    # Quality ordering of the matching strategies.
+    assert by_name["oggp"][1] <= by_name["ggp_hungarian"][1] + 1e-9
+    assert by_name["ggp_hungarian"][1] <= by_name["ggp_arbitrary"][1] + 1e-9
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a2_beta_roundup(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_ablation_rounding(CONFIG), rounds=1, iterations=1
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    # Round-up wins once beta dominates the weights.
+    last = result.rows[-1]
+    assert last[1] <= last[3] + 1e-9
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a3_step_counts(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_ablation_steps(CONFIG), rounds=1, iterations=1
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["oggp"][1] <= by_name["ggp_arbitrary"][1] + 1e-9
+    # Bottleneck matching reduces steps vs arbitrary matching on average.
+    assert by_name["oggp_vs_arbitrary_reduction_pct"][1] > 0

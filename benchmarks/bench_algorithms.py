@@ -1,0 +1,92 @@
+"""Microbenchmarks of the core algorithms at the paper's instance scale.
+
+These time the building blocks — scheduling, matching, regularisation,
+the lower bound — on instances drawn exactly like the paper's
+simulations (up to 40 nodes, up to 400 edges, weights U{1..20}).
+"""
+
+import pytest
+
+from repro.core.baselines import greedy_schedule, list_schedule
+from repro.core.bounds import lower_bound
+from repro.core.ggp import ggp
+from repro.core.normalize import normalize_weights
+from repro.core.oggp import oggp
+from repro.core.regularize import regularize
+from repro.graph.generators import random_bipartite
+from repro.matching.bottleneck import bottleneck_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.hungarian import hungarian_perfect_matching
+
+
+@pytest.fixture(scope="module")
+def paper_instance():
+    """One paper-scale instance, fixed across benchmark runs."""
+    return random_bipartite(12345, max_side=20, max_edges=400)
+
+
+@pytest.fixture(scope="module")
+def regular_instance(paper_instance):
+    return regularize(normalize_weights(paper_instance, 1.0).graph, 10).graph
+
+
+@pytest.mark.benchmark(group="schedulers")
+def test_ggp_paper_scale(benchmark, paper_instance):
+    schedule = benchmark(lambda: ggp(paper_instance, k=10, beta=1.0))
+    schedule.validate(paper_instance)
+
+
+@pytest.mark.benchmark(group="schedulers")
+def test_ggp_arbitrary_matching(benchmark, paper_instance):
+    schedule = benchmark(
+        lambda: ggp(paper_instance, k=10, beta=1.0, matching="arbitrary")
+    )
+    schedule.validate(paper_instance)
+
+
+@pytest.mark.benchmark(group="schedulers")
+def test_oggp_paper_scale(benchmark, paper_instance):
+    schedule = benchmark(lambda: oggp(paper_instance, k=10, beta=1.0))
+    schedule.validate(paper_instance)
+
+
+@pytest.mark.benchmark(group="schedulers")
+def test_greedy_baseline(benchmark, paper_instance):
+    schedule = benchmark(lambda: greedy_schedule(paper_instance, 10, 1.0))
+    schedule.validate(paper_instance)
+
+
+@pytest.mark.benchmark(group="schedulers")
+def test_list_baseline(benchmark, paper_instance):
+    schedule = benchmark(lambda: list_schedule(paper_instance, 10, 1.0))
+    schedule.validate(paper_instance)
+
+
+@pytest.mark.benchmark(group="building-blocks")
+def test_lower_bound_speed(benchmark, paper_instance):
+    benchmark(lambda: lower_bound(paper_instance, 10, 1.0))
+
+
+@pytest.mark.benchmark(group="building-blocks")
+def test_regularize_speed(benchmark, paper_instance):
+    normalized = normalize_weights(paper_instance, 1.0).graph
+    result = benchmark(lambda: regularize(normalized, 10))
+    assert result.graph.is_weight_regular(tol=0)
+
+
+@pytest.mark.benchmark(group="matchings")
+def test_hopcroft_karp_speed(benchmark, regular_instance):
+    m = benchmark(lambda: hopcroft_karp(regular_instance))
+    assert m.is_perfect_in(regular_instance)
+
+
+@pytest.mark.benchmark(group="matchings")
+def test_hungarian_speed(benchmark, regular_instance):
+    m = benchmark(lambda: hungarian_perfect_matching(regular_instance))
+    assert m.is_perfect_in(regular_instance)
+
+
+@pytest.mark.benchmark(group="matchings")
+def test_bottleneck_speed(benchmark, regular_instance):
+    m = benchmark(lambda: bottleneck_matching(regular_instance, require="perfect"))
+    assert m.is_perfect_in(regular_instance)

@@ -1,0 +1,94 @@
+"""Benches for the future-work extensions (paper §6 and §2.1).
+
+These are not paper figures; they quantify the extensions the paper
+proposes: barrier relaxation, adaptive rescheduling under a varying
+backbone, online batch scheduling, and local pre/post-redistribution.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.experiments.extensions import (
+    run_ablation_relax,
+    run_dynamic_backbone,
+    run_online_batching,
+    run_preredistribution,
+)
+from repro.experiments.simulation import SimulationConfig
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_relax_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_ablation_relax(
+            SimulationConfig(max_side=8, max_edges=40, draws=60)
+        ),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    by_beta = {row[0]: row for row in result.rows}
+    assert by_beta[0.0][3] <= 1.0 + 1e-9   # never hurts at beta = 0
+    assert by_beta[16.0][1] < 1.0          # helps on average at large beta
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_dynamic_backbone(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_dynamic_backbone(num_patterns=5), rounds=1, iterations=1
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    by = {row[0]: row for row in result.rows}
+    assert by["ideal-fluid"][4] <= 1.0     # control: no win without cost
+    assert by["mild"][4] > 0.0             # adaptation wins with cost
+    assert by["severe"][4] > 0.0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_online_batching(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_online_batching(num_workloads=6, messages=40),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    for _label, _rate, avg, worst, _rounds in result.rows:
+        assert 1.0 <= avg <= worst < 2.5
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_heterogeneity(benchmark, results_dir):
+    from repro.experiments.heterogeneity import run_heterogeneity
+
+    result = benchmark.pedantic(
+        lambda: run_heterogeneity(num_patterns=5), rounds=1, iterations=1
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    by = {(row[0], row[1]): row for row in result.rows}
+    for workload in ("uniform", "rate-proportional", "fast-heavy"):
+        # The capacity-aware OGGP variant beats the conservative choice...
+        assert by[(workload, "oggp+cap")][2] < by[(workload, "safe")][2]
+        # ...and never loses to plain optimistic under the penalty.
+        assert (
+            by[(workload, "oggp+cap")][2]
+            <= by[(workload, "optimistic")][2] + 1e-9
+        )
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_preredistribution(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_preredistribution(num_patterns=6), rounds=1, iterations=1
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    by = {row[0]: row for row in result.rows}
+    assert by["hotspot"][3] > by["uniform"][3]
+    assert by["zipf"][3] > by["uniform"][3]

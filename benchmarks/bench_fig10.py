@@ -1,0 +1,39 @@
+"""Figure 10 bench: brute-force TCP vs GGP/OGGP at k = 3.
+
+Sizes are scaled down 5x from the paper's (10..n MB) so the fluid TCP
+simulation stays fast; the comparison shape is scale-invariant (both
+engines' times scale linearly with volume, setup delays are scaled
+likewise by the config's step_setup).
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.experiments.fig10_11 import TestbedConfig, run_fig10
+from repro.netsim.tcp import TcpParams
+
+CONFIG = TestbedConfig(
+    k=3,
+    n_values=(20, 60, 100),
+    tcp_repeats=2,
+    size_scale=0.2,
+    tcp_params=TcpParams(dt=0.005),
+)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_k3(benchmark, results_dir):
+    result = benchmark.pedantic(lambda: run_fig10(CONFIG), rounds=1, iterations=1)
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    for row in result.rows:
+        n, brute, _spread, ggp_t, ggp_steps, oggp_t, oggp_steps, g_ggp, g_oggp = row
+        # Paper: scheduled engines beat brute force.
+        assert g_ggp > 0 and g_oggp > 0
+        # Paper: OGGP uses noticeably fewer steps yet similar time.
+        assert oggp_steps <= ggp_steps
+        assert abs(ggp_t - oggp_t) / brute < 0.1
+    # Total time grows with the message-size cap n.
+    times = [row[1] for row in result.rows]
+    assert times == sorted(times)

@@ -1,0 +1,53 @@
+"""Figure 11 bench: brute-force TCP vs GGP/OGGP at k = 7.
+
+Also asserts the paper's cross-figure claim: the benefit of scheduling
+grows as k grows (less bandwidth per NIC, more TCP pathology).
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.experiments.fig10_11 import (
+    TestbedConfig,
+    run_fig11,
+    run_testbed_comparison,
+)
+from repro.netsim.tcp import TcpParams
+
+QUICK = dict(
+    n_values=(20, 60, 100),
+    tcp_repeats=2,
+    size_scale=0.2,
+    tcp_params=TcpParams(dt=0.005),
+)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_k7(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig11(TestbedConfig(k=7, **QUICK)), rounds=1, iterations=1
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row[-2] > 0 and row[-1] > 0  # both engines win
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_gain_grows_with_k(benchmark, results_dir):
+    def compare():
+        gains = {}
+        for k in (3, 7):
+            res = run_testbed_comparison(
+                TestbedConfig(k=k, n_values=(60,), tcp_repeats=2,
+                              size_scale=0.2, tcp_params=TcpParams(dt=0.005))
+            )
+            gains[k] = res.rows[0][-1]  # oggp gain %
+        return gains
+
+    gains = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["gains_pct"] = gains
+    print(f"\nOGGP gain vs brute force: k=3 -> {gains[3]:.1f}%, "
+          f"k=7 -> {gains[7]:.1f}%")
+    assert gains[7] > gains[3]

@@ -1,0 +1,32 @@
+"""Figure 7 bench: evaluation ratios vs k, small weights (U{1..20}, β=1).
+
+Regenerates the paper's four curves at a reduced draw count and asserts
+the paper's qualitative findings before timing anything.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.simulation import SimulationConfig
+
+CONFIG = SimulationConfig(draws=60)
+K_VALUES = (1, 2, 4, 8, 12, 16, 20)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_small_weights(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig7(CONFIG, k_values=K_VALUES), rounds=1, iterations=1
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    for _k, ggp_avg, ggp_max, oggp_avg, oggp_max in result.rows:
+        # Guarantee: everything below 2.
+        assert ggp_max <= 2.0 + 1e-9 and oggp_max <= 2.0 + 1e-9
+        # Paper: OGGP clearly better than GGP on average.
+        assert oggp_avg <= ggp_avg + 1e-9
+    # Paper: OGGP's worst case is below GGP's average case for larger k.
+    big_k_rows = [r for r in result.rows if r[0] >= 8]
+    assert any(r[4] <= r[1] + 0.05 for r in big_k_rows)

@@ -1,0 +1,36 @@
+"""Figure 9 bench: evaluation ratios as β increases (weights U{1..20}).
+
+Paper findings asserted: ratios are largest when β is of the order of
+the weights (GGP peaking above OGGP) and drop toward 1 as β dominates
+the optimal cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.simulation import SimulationConfig
+
+CONFIG = SimulationConfig(draws=60)
+BETAS = (0.25, 1.0, 4.0, 16.0, 64.0, 128.0)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_beta_sweep(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig9(CONFIG, beta_values=BETAS), rounds=1, iterations=1
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    rows = result.rows
+    peak_ggp = max(r[1] for r in rows)
+    tail_ggp = rows[-1][1]
+    # Ratios drop once beta is far above the weights.
+    assert tail_ggp < peak_ggp
+    # OGGP averages below GGP at the peak region (paper: 1.2 vs higher).
+    peak_row = max(rows, key=lambda r: r[1])
+    assert peak_row[3] <= peak_row[1] + 1e-9
+    # Everything within the proven factor 2.
+    for row in rows:
+        assert all(v <= 2.0 + 1e-9 for v in row[1:])

@@ -1,0 +1,67 @@
+"""Microbenchmarks of the network-simulator substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.oggp import oggp
+from repro.graph.generators import from_traffic_matrix
+from repro.netsim.fairshare import FlowDemand, max_min_fair_rates
+from repro.netsim.runner import uniform_traffic
+from repro.netsim.stepwise import simulate_schedule
+from repro.netsim.tcp import TcpParams, simulate_bruteforce
+from repro.netsim.topology import NetworkSpec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return NetworkSpec.paper_testbed(5, step_setup=0.01)
+
+
+@pytest.fixture(scope="module")
+def traffic(spec):
+    return uniform_traffic(7, spec.n1, spec.n2, 0.5, 1.5)
+
+
+@pytest.mark.benchmark(group="netsim")
+def test_tcp_bruteforce_speed(benchmark, spec, traffic):
+    result = benchmark.pedantic(
+        lambda: simulate_bruteforce(spec, traffic, rng=1,
+                                    params=TcpParams(dt=0.005)),
+        rounds=2, iterations=1,
+    )
+    assert result.total_time > 0
+
+
+@pytest.mark.benchmark(group="netsim")
+def test_stepwise_executor_speed(benchmark, spec, traffic):
+    graph = from_traffic_matrix(traffic, speed=spec.flow_rate)
+    sched = oggp(graph, k=spec.k, beta=spec.step_setup)
+    result = benchmark(
+        lambda: simulate_schedule(spec, sched, volume_scale=spec.flow_rate)
+    )
+    assert result.total_time > 0
+
+
+@pytest.mark.benchmark(group="netsim")
+def test_packet_sim_cross_validation(benchmark, spec, traffic):
+    """Packet-level model agrees with the fluid model's directionality."""
+    from repro.netsim.packetsim import simulate_packet_bruteforce
+
+    scaled = traffic * 4.0  # enough segments for steady state
+    result = benchmark.pedantic(
+        lambda: simulate_packet_bruteforce(spec, scaled, rng=1),
+        rounds=2, iterations=1,
+    )
+    assert result.goodput_efficiency < 1.0
+    assert result.dropped_segments > 0
+
+
+@pytest.mark.benchmark(group="netsim")
+def test_fairshare_allocator_speed(benchmark, spec):
+    rng = np.random.default_rng(3)
+    flows = [
+        FlowDemand(int(rng.integers(0, spec.n1)), int(rng.integers(0, spec.n2)))
+        for _ in range(100)
+    ]
+    rates = benchmark(lambda: max_min_fair_rates(spec, flows))
+    assert len(rates) == 100

@@ -1,0 +1,22 @@
+"""Scalability bench: empirical complexity of the schedulers."""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.experiments.scalability import run_scalability
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scheduler_scaling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_scalability(edge_counts=(50, 100, 200, 400), repeats=3),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, result, results_dir)
+    print()
+    print(result.render())
+    slope_row = result.rows[-1]
+    # The paper's pitch: low-complexity schedulers. The fitted exponents
+    # must stay small-polynomial (worst-case bounds allow ~2.25/3.25).
+    assert slope_row[1] < 3.0  # ggp
+    assert slope_row[2] < 3.5  # oggp

@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Each paper figure gets one benchmark that runs its harness at a reduced
+but shape-preserving size (so ``pytest benchmarks/ --benchmark-only``
+finishes in minutes, not hours) and records the regenerated rows in
+``extra_info`` plus a CSV under ``benchmarks/results/``.  Full-fidelity
+runs go through the CLI: ``kpbs run fig7 --draws 100000`` etc.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the regenerated figure tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(benchmark, result, results_dir: Path) -> None:
+    """Attach an ExperimentResult's rows to the benchmark and save CSV."""
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["rows"] = [
+        [float(c) if isinstance(c, (int, float)) else str(c) for c in row]
+        for row in result.rows
+    ]
+    benchmark.extra_info["headers"] = list(result.headers)
+    result.save_csv(results_dir / f"{result.experiment_id}.csv")

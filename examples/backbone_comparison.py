@@ -1,0 +1,27 @@
+"""Reduced-scale rerun of the paper's Figures 10/11 comparison.
+
+Sweeps the maximum message size and compares brute-force TCP against
+GGP/OGGP on the simulated 10+10 testbed for k = 3 and k = 7 (sizes
+scaled down 4x so the whole sweep takes well under a minute).
+
+Run:  python examples/backbone_comparison.py
+"""
+
+from repro.experiments.fig10_11 import TestbedConfig, run_testbed_comparison
+
+
+def main() -> None:
+    for k in (3, 7):
+        config = TestbedConfig(
+            k=k,
+            n_values=(20, 60, 100),
+            tcp_repeats=2,
+            size_scale=0.25,
+        )
+        result = run_testbed_comparison(config)
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

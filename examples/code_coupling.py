@@ -1,0 +1,57 @@
+"""Code coupling: redistribute between an ocean and an atmosphere model.
+
+The paper's motivating scenario (§1): two simulation codes run on two
+clusters joined by a backbone; every coupling interval, boundary data
+must move from one to the other as fast as possible.
+
+This example builds a skewed coupling pattern (coastal nodes exchange
+most of the data), schedules it with GGP and OGGP, and measures both
+against the brute-force TCP baseline on the simulated platform.
+
+Run:  python examples/code_coupling.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.bounds import lower_bound
+from repro.graph.generators import from_traffic_matrix
+from repro.netsim import NetworkSpec, run_redistribution
+from repro.patterns import zipf_matrix
+
+
+def main() -> None:
+    # Ocean model: 12 nodes; atmosphere: 8 nodes.  NICs 100 Mbit shaped
+    # to 25 Mbit/s, backbone 100 Mbit/s -> k = 4 simultaneous flows.
+    spec = NetworkSpec(
+        n1=12, n2=8, nic_rate1=25.0, nic_rate2=25.0,
+        backbone_rate=100.0, step_setup=0.01,
+    )
+    print(f"platform: {spec.n1}+{spec.n2} nodes, k={spec.k}, "
+          f"per-flow rate {spec.flow_rate} Mbit/s")
+
+    # 2 Gbit of coupling data, concentrated on a few boundary nodes.
+    traffic = zipf_matrix(rng=7, n1=spec.n1, n2=spec.n2, total=2000.0)
+    graph = from_traffic_matrix(traffic, speed=spec.flow_rate)
+    bound = lower_bound(graph, spec.k, spec.step_setup)
+    print(f"coupling volume: {traffic.sum():.0f} Mbit over "
+          f"{int((traffic > 0).sum())} node pairs; lower bound {bound:.1f}s")
+
+    rows = []
+    brute = run_redistribution(spec, traffic, "bruteforce", rng=1)
+    rows.append(("brute force (TCP)", brute.total_time, 1, float("nan")))
+    for method in ("ggp", "oggp"):
+        out = run_redistribution(spec, traffic, method)
+        gain = 100.0 * (1.0 - out.total_time / brute.total_time)
+        rows.append((method.upper(), out.total_time, out.num_steps, gain))
+    print()
+    print(format_table(
+        ("engine", "time_s", "steps", "gain_vs_brute_%"), rows, floatfmt=".2f"
+    ))
+    print("\nscheduled engines stay within 2x of the lower bound by "
+          "construction; the gain comes from avoiding TCP congestion "
+          "collapse on the oversubscribed backbone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scheduling MPI-collective redistributions: 2-D FFT transpose & friends.
+
+Coupled solvers exchange data in a handful of collective shapes.  This
+example schedules three of them between two clusters and shows how the
+lower bound explains each one's behaviour:
+
+- **grid transpose** (2-D FFT): a permutation — one step, perfectly
+  parallel;
+- **gather**: everything converges on one root — the receiver's 1-port
+  serialises the world, and no scheduler can help;
+- **all-to-all**: the backbone-bound middle ground where GGP/OGGP's
+  machinery actually earns its keep.
+
+Run:  python examples/fft_transpose.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.bounds import lower_bound_report
+from repro.core.oggp import oggp
+from repro.graph.generators import from_traffic_matrix
+from repro.patterns.collectives import (
+    alltoall_matrix,
+    gather_matrix,
+    transpose_matrix,
+)
+
+
+def main() -> None:
+    k, beta = 4, 0.5
+    cases = [
+        ("2-D FFT transpose (4x2 grid)", transpose_matrix(4, 2, 64.0)),
+        ("gather to rank 0", gather_matrix(8, 8, 0, 64.0)),
+        ("all-to-all", alltoall_matrix(8, 8, 8.0)),
+    ]
+    rows = []
+    for name, matrix in cases:
+        graph = from_traffic_matrix(matrix)
+        report = lower_bound_report(graph, k, beta)
+        schedule = oggp(graph, k=k, beta=beta)
+        schedule.validate(graph)
+        binding = (
+            "node (1-port)" if report.max_node_weight >= report.bandwidth_bound
+            else "backbone"
+        )
+        rows.append(
+            (
+                name,
+                graph.num_edges,
+                schedule.num_steps,
+                schedule.cost,
+                report.value,
+                schedule.cost / report.value,
+                binding,
+            )
+        )
+    print(f"two clusters, k={k} simultaneous transfers, beta={beta}\n")
+    print(
+        format_table(
+            ("pattern", "msgs", "steps", "cost", "bound", "ratio", "binding"),
+            rows,
+            floatfmt=".3f",
+        )
+    )
+    print(
+        "\nthe transpose is a permutation — ceil(msgs/k) fully parallel "
+        "steps; the gather is provably serial at the root regardless of "
+        "scheduling; the all-to-all is where message scheduling buys "
+        "real parallelism.  OGGP hits the lower bound on all three."
+    )
+
+
+if __name__ == "__main__":
+    main()

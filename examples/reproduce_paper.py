@@ -1,0 +1,61 @@
+"""One-shot reproduction driver: every paper figure, one report.
+
+Runs the five evaluation figures at reduced size plus the ablations and
+writes a single Markdown report — the quickest way to see the whole
+reproduction in one place.  For paper-fidelity runs use the CLI flags
+(`kpbs run fig7 --draws 100000`, `kpbs run fig10 --size-scale 1.0`).
+
+Run:  python examples/reproduce_paper.py [output.md]
+"""
+
+import sys
+import time
+
+from repro.experiments.ablation import AblationConfig, run_ablation_steps
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10_11 import TestbedConfig, run_testbed_comparison
+from repro.experiments.simulation import SimulationConfig
+from repro.netsim.tcp import TcpParams
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else None
+    quick_sim = SimulationConfig(draws=80)
+    quick_bed = dict(n_values=(20, 60, 100), tcp_repeats=2, size_scale=0.15,
+                     tcp_params=TcpParams(dt=0.005))
+    jobs = [
+        lambda: run_fig7(quick_sim, k_values=(1, 2, 4, 8, 16)),
+        lambda: run_fig8(quick_sim, k_values=(2, 8, 16)),
+        lambda: run_fig9(quick_sim, beta_values=(0.25, 1.0, 4.0, 16.0, 64.0)),
+        lambda: run_testbed_comparison(TestbedConfig(k=3, **quick_bed)),
+        lambda: run_testbed_comparison(TestbedConfig(k=7, **quick_bed)),
+        lambda: run_ablation_steps(AblationConfig()),
+    ]
+    sections = ["# Paper reproduction report (reduced size)", ""]
+    for job in jobs:
+        start = time.perf_counter()
+        result = job()
+        elapsed = time.perf_counter() - start
+        print(f"[{elapsed:6.1f}s] {result.experiment_id}: {result.title}")
+        sections += [
+            f"## {result.experiment_id} — {result.title}",
+            "",
+            result.markdown(),
+            "",
+            f"*{result.notes}*" if result.notes else "",
+            "",
+        ]
+    report = "\n".join(sections)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(report)
+        print(f"\nwrote {out_path}")
+    else:
+        print()
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

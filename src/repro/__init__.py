@@ -1,0 +1,55 @@
+"""repro — reproduction of Jeannot & Wagner, IPPS 2004.
+
+"Two Fast and Efficient Message Scheduling Algorithms for Data
+Redistribution through a Backbone."
+
+The package implements the K-PBS problem (K-Preemptive Bipartite
+Scheduling) end to end:
+
+- :mod:`repro.graph` — weighted bipartite multigraphs and generators,
+- :mod:`repro.matching` — maximum-cardinality and bottleneck matchings,
+- :mod:`repro.core` — the WRGP / GGP / OGGP schedulers, the
+  Cohen–Jeannot–Padoy lower bound, baselines, and an exact solver,
+- :mod:`repro.des` — a discrete-event simulation kernel,
+- :mod:`repro.netsim` — a flow-level network simulator with a fluid TCP
+  model (substitute for the paper's two physical clusters),
+- :mod:`repro.runtime` — an in-process rank-based message-passing runtime
+  (substitute for the paper's MPICH implementation),
+- :mod:`repro.patterns` — redistribution-pattern generators,
+- :mod:`repro.experiments` — one harness per paper figure (7–11) plus
+  ablations,
+- :mod:`repro.cli` — the ``kpbs`` command line interface.
+
+Quickstart
+----------
+
+>>> from repro import BipartiteGraph, ggp, oggp, lower_bound
+>>> g = BipartiteGraph.from_edges([(0, 0, 4.0), (0, 1, 2.0), (1, 1, 3.0)])
+>>> schedule = oggp(g, k=2, beta=1.0)
+>>> schedule.cost <= 2 * lower_bound(g, k=2, beta=1.0)
+True
+"""
+
+from repro.graph.bipartite import BipartiteGraph, Edge
+from repro.core.schedule import Schedule, Step
+from repro.core.bounds import lower_bound, LowerBoundReport
+from repro.core.wrgp import wrgp
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.core.baselines import sequential_schedule, greedy_schedule
+
+__all__ = [
+    "BipartiteGraph",
+    "Edge",
+    "Schedule",
+    "Step",
+    "lower_bound",
+    "LowerBoundReport",
+    "wrgp",
+    "ggp",
+    "oggp",
+    "sequential_schedule",
+    "greedy_schedule",
+]
+
+__version__ = "1.0.0"

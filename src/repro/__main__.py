@@ -1,0 +1,6 @@
+"""``python -m repro`` — same as the ``kpbs`` console script."""
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

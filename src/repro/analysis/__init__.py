@@ -1,0 +1,17 @@
+"""Result aggregation and reporting: statistics, tables, ASCII plots."""
+
+from repro.analysis.stats import SeriesStats, summarize
+from repro.analysis.tables import format_table, write_csv, format_markdown
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.gantt import gantt_sync, gantt_async
+
+__all__ = [
+    "SeriesStats",
+    "summarize",
+    "format_table",
+    "write_csv",
+    "format_markdown",
+    "ascii_plot",
+    "gantt_sync",
+    "gantt_async",
+]

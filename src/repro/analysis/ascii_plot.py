@@ -1,0 +1,70 @@
+"""Minimal ASCII line plots for terminal-only environments.
+
+Good enough to eyeball the shape of a figure (who is above whom, where
+the crossover sits) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render ``series`` (name -> y values over common ``x``) as text.
+
+    Each series gets a distinct marker character; overlapping points
+    show the later series' marker.  Returns the plot as a string.
+    """
+    if not x or not series:
+        return "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(x)}"
+            )
+    markers = "*+ox#@%&"
+    xs = [float(v) for v in x]
+    all_y = [float(v) for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_lo, x_hi = min(xs), max(xs)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(xv: float, yv: float, ch: str) -> None:
+        col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = ch
+
+    for si, (name, ys) in enumerate(series.items()):
+        ch = markers[si % len(markers)]
+        for xv, yv in zip(xs, ys):
+            put(float(xv), float(yv), ch)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_hi:>10.4g} |"
+        elif r == height - 1:
+            label = f"{y_lo:>10.4g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "-" * width)
+    lines.append(f"{'':>11}{x_lo:<{width//2}.4g}{x_hi:>{width - width//2}.4g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""ASCII Gantt charts for synchronous and asynchronous schedules.
+
+Rows are sender nodes; time flows left to right.  Synchronous schedules
+show their barrier structure (``|`` separators); asynchronous schedules
+show the actual start/finish windows after relaxation.
+"""
+
+from __future__ import annotations
+
+from repro.core.relax import AsyncSchedule
+from repro.core.schedule import Schedule
+
+
+def gantt_sync(schedule: Schedule, width: int = 78) -> str:
+    """Gantt chart of a synchronous schedule.
+
+    Each step occupies a column band proportional to ``β + duration``;
+    a sender's band shows the destination node id (mod 10) while it
+    transmits and ``.`` while it idles inside the step.
+    """
+    if schedule.num_steps == 0:
+        return "(empty schedule)"
+    senders = sorted({t.left for s in schedule.steps for t in s.transfers})
+    total = schedule.cost
+    label_w = max(len(f"s{s}") for s in senders) + 1
+    usable = max(10, width - label_w)
+    bands = [
+        max(1, round((schedule.beta + s.duration) / total * usable))
+        for s in schedule.steps
+    ]
+    lines = []
+    for sender in senders:
+        cells = []
+        for step, band in zip(schedule.steps, bands):
+            target = next(
+                (t.right for t in step.transfers if t.left == sender), None
+            )
+            fill = str(target % 10) if target is not None else "."
+            cells.append(fill * band)
+        lines.append(f"s{sender}".ljust(label_w) + "|" + "|".join(cells) + "|")
+    header = " " * label_w + f"0{' ' * (sum(bands) + len(bands) - 6)}{total:.4g}"
+    return "\n".join([header] + lines)
+
+
+def gantt_async(schedule: AsyncSchedule, width: int = 78) -> str:
+    """Gantt chart of an asynchronous (relaxed) schedule.
+
+    ``#`` marks port-busy time (setup + transfer); gaps are idle.
+    """
+    if not schedule.transfers:
+        return "(empty schedule)"
+    senders = sorted({t.left for t in schedule.transfers})
+    span = schedule.makespan
+    label_w = max(len(f"s{s}") for s in senders) + 1
+    usable = max(10, width - label_w)
+
+    def col(time: float) -> int:
+        return min(usable - 1, int(time / span * usable))
+
+    lines = []
+    for sender in senders:
+        row = [" "] * usable
+        for t in schedule.transfers:
+            if t.left != sender:
+                continue
+            a, b = col(t.start), col(t.finish)
+            for i in range(a, max(a + 1, b)):
+                row[i] = str(t.right % 10)
+        lines.append(f"s{sender}".ljust(label_w) + "".join(row))
+    header = " " * label_w + f"0{' ' * (usable - 6)}{span:.4g}"
+    return "\n".join([header] + lines)

@@ -1,0 +1,72 @@
+"""Summary statistics for experiment series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Five-number summary of a sample.
+
+    The paper's simulation figures plot the *average* and *maximum*
+    evaluation ratio per parameter value; :attr:`mean` and :attr:`max`
+    are those two curves.
+    """
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def merge(self, other: "SeriesStats") -> "SeriesStats":
+        """Combine two summaries as if computed over the pooled sample."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        n = self.count + other.count
+        mean = (self.mean * self.count + other.mean * other.count) / n
+        # Pooled variance via the parallel-axis theorem.
+        var = (
+            self.count * (self.std**2 + (self.mean - mean) ** 2)
+            + other.count * (other.std**2 + (other.mean - mean) ** 2)
+        ) / n
+        return SeriesStats(
+            count=n,
+            mean=mean,
+            std=math.sqrt(max(0.0, var)),
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def summarize(values: Iterable[float]) -> SeriesStats:
+    """Summary of a sample; an empty sample yields NaN aggregates."""
+    data: Sequence[float] = list(values)
+    n = len(data)
+    if n == 0:
+        nan = float("nan")
+        return SeriesStats(0, nan, nan, nan, nan)
+    mean = sum(data) / n
+    var = sum((x - mean) ** 2 for x in data) / n
+    return SeriesStats(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        min=min(data),
+        max=max(data),
+    )

@@ -1,0 +1,5 @@
+"""Command-line interface (installed as ``kpbs``; also ``python -m repro``)."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

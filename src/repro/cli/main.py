@@ -1,0 +1,275 @@
+"""``kpbs`` — command-line front end.
+
+Subcommands::
+
+    kpbs experiments                  list available experiments
+    kpbs run fig7 [--draws N] [--csv out.csv]
+                                      regenerate a paper figure / ablation
+    kpbs schedule --input m.json --k 4 --beta 1 [--algorithm oggp]
+                                      schedule a traffic matrix
+    kpbs simulate --k 3 --max-mb 60 [--seed 7]
+                                      one-shot testbed comparison
+    kpbs demo                         the paper's Figure 2 worked example
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bounds import evaluation_ratio, lower_bound
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10_11 import TestbedConfig, run_testbed_comparison
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.simulation import SimulationConfig
+from repro.graph.generators import from_traffic_matrix, paper_figure2_graph
+from repro.netsim.runner import run_redistribution, uniform_traffic
+from repro.netsim.topology import NetworkSpec
+from repro.util.errors import ReproError
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    name = args.experiment
+    if name in ("fig7", "fig8", "fig9") and (
+        args.draws is not None or args.processes > 1
+    ):
+        config = SimulationConfig(draws=args.draws or 300)
+        runner = {"fig7": run_fig7, "fig8": run_fig8, "fig9": run_fig9}[name]
+        result = runner(config, processes=args.processes)
+    elif name in ("fig10", "fig11") and (
+        args.size_scale != 1.0 or args.repeats is not None
+    ):
+        config = TestbedConfig(
+            k=3 if name == "fig10" else 7,
+            size_scale=args.size_scale,
+            tcp_repeats=args.repeats or 3,
+        )
+        result = run_testbed_comparison(config)
+    else:
+        result = get_experiment(name)()
+    print(result.render())
+    if args.csv:
+        result.save_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _load_matrix(path: Path) -> np.ndarray:
+    """Traffic matrix from .json (list of lists) or .csv."""
+    if path.suffix == ".json":
+        return np.asarray(json.loads(path.read_text()), dtype=float)
+    if path.suffix == ".csv":
+        return np.loadtxt(path, delimiter=",", dtype=float, ndmin=2)
+    raise ReproError(f"unsupported matrix format {path.suffix!r} (want .json/.csv)")
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(Path(args.input))
+    graph = from_traffic_matrix(matrix, speed=args.speed)
+    algorithm = oggp if args.algorithm == "oggp" else ggp
+    schedule = algorithm(graph, k=args.k, beta=args.beta)
+    schedule.validate(graph)
+    bound = lower_bound(graph, args.k, args.beta)
+    print(schedule.describe())
+    print(
+        f"lower bound {bound:.6g}, evaluation ratio "
+        f"{evaluation_ratio(schedule.cost, bound):.4f}"
+    )
+    if args.gantt:
+        from repro.analysis.gantt import gantt_sync
+
+        print()
+        print(gantt_sync(schedule))
+    if args.relax:
+        from repro.analysis.gantt import gantt_async
+        from repro.core.relax import relax_schedule
+
+        relaxed = relax_schedule(schedule)
+        relaxed.validate(graph)
+        print(
+            f"\nrelaxed (barrier-free) makespan: {relaxed.makespan:.6g} "
+            f"({100 * (1 - relaxed.makespan / schedule.cost):+.1f}% vs sync)"
+        )
+        if args.gantt:
+            print(gantt_async(relaxed))
+    if args.output:
+        Path(args.output).write_text(schedule.to_json())
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run a set of experiments and emit one Markdown report."""
+    names = args.experiment or sorted(EXPERIMENTS)
+    sections = ["# K-PBS reproduction report", ""]
+    for name in names:
+        print(f"running {name} ...", flush=True)
+        result = get_experiment(name)()
+        sections.append(f"## {result.experiment_id} — {result.title}")
+        sections.append("")
+        sections.append(result.markdown())
+        if result.notes:
+            sections.append("")
+            sections.append(f"*{result.notes}*")
+        sections.append("")
+    text = "\n".join(sections)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Verify a schedule JSON against a traffic matrix."""
+    import json as _json
+
+    from repro.core.verify import verify_solution_dict
+
+    matrix = _load_matrix(Path(args.matrix))
+    graph = from_traffic_matrix(matrix, speed=args.speed)
+    data = _json.loads(Path(args.schedule).read_text())
+    report = verify_solution_dict(graph, data)
+    print(report.summary())
+    for violation in report.violations:
+        where = f"step {violation.step}" if violation.step >= 0 else "schedule"
+        print(f"  [{violation.kind.value}] {where}: {violation.detail}")
+    return 0 if report.ok else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = NetworkSpec.paper_testbed(args.k, step_setup=args.beta)
+    traffic = uniform_traffic(args.seed, spec.n1, spec.n2, 10.0, args.max_mb)
+    rows = []
+    for method in ("bruteforce", "ggp", "oggp"):
+        out = run_redistribution(spec, traffic, method, rng=args.seed)
+        rows.append((method, out.total_time, out.num_steps))
+        print(
+            f"{method:10s} total={out.total_time:9.2f}s steps={out.num_steps}"
+        )
+    brute = rows[0][1]
+    for method, total, _ in rows[1:]:
+        print(f"{method:10s} gain vs brute force: {100 * (1 - total / brute):.1f}%")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    graph = paper_figure2_graph()
+    print("paper Figure 2 example graph (k=3, beta=1):")
+    for e in graph.edges_sorted():
+        print(f"  {e.left} -> {e.right}: {e.weight}")
+    bound = lower_bound(graph, 3, 1.0)
+    for name, algorithm in (("GGP", ggp), ("OGGP", oggp)):
+        schedule = algorithm(graph, k=3, beta=1.0)
+        schedule.validate(graph)
+        print(f"\n{name}:")
+        print(schedule.describe())
+        print(f"lower bound {bound}, ratio {schedule.cost / bound:.3f}")
+    print(
+        "\n(the paper's illustrated 3-step solution costs 15; both "
+        "algorithms do better here, and the optimum is 10)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``kpbs`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="kpbs",
+        description=(
+            "K-PBS message scheduling for data redistribution through a "
+            "backbone (reproduction of Jeannot & Wagner, IPPS 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiments", help="list available experiments")
+    p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser("run", help="run a paper figure or ablation")
+    p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p.add_argument("--draws", type=int, default=None, help="draws per point (figs 7-9)")
+    p.add_argument(
+        "--processes", type=int, default=1,
+        help="parallel worker processes for figs 7-9 (paper-scale runs)",
+    )
+    p.add_argument(
+        "--size-scale", type=float, default=1.0,
+        help="scale message sizes (figs 10/11; <1 for quick runs)",
+    )
+    p.add_argument("--repeats", type=int, default=None, help="TCP repeats (figs 10/11)")
+    p.add_argument("--csv", type=str, default=None, help="also write rows to CSV")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("schedule", help="schedule a traffic matrix")
+    p.add_argument("--input", required=True, help="matrix file (.json or .csv)")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--beta", type=float, default=0.0)
+    p.add_argument("--speed", type=float, default=1.0, help="per-flow rate")
+    p.add_argument("--algorithm", choices=("ggp", "oggp"), default="oggp")
+    p.add_argument("--output", help="write schedule JSON here")
+    p.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    p.add_argument(
+        "--relax", action="store_true",
+        help="also compute the barrier-free (asynchronous) makespan",
+    )
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser(
+        "report", help="run experiments and emit one Markdown report"
+    )
+    p.add_argument(
+        "experiment", nargs="*", choices=sorted(EXPERIMENTS),
+        help="experiments to include (default: all)",
+    )
+    p.add_argument("--out", help="write the report here (default: stdout)")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("verify", help="verify a schedule JSON against a matrix")
+    p.add_argument("--matrix", required=True, help="traffic matrix (.json/.csv)")
+    p.add_argument("--schedule", required=True, help="schedule JSON file")
+    p.add_argument("--speed", type=float, default=1.0, help="per-flow rate")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("simulate", help="one-shot testbed comparison")
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--max-mb", type=float, default=60.0)
+    p.add_argument("--beta", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("demo", help="the paper's Figure 2 worked example")
+    p.set_defaults(fn=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""K-PBS core: schedule model, lower bound, and the paper's algorithms.
+
+Public surface:
+
+- :class:`~repro.core.schedule.Schedule` / :class:`~repro.core.schedule.Step`
+- :func:`~repro.core.bounds.lower_bound`
+- :func:`~repro.core.wrgp.wrgp` — Weight-Regular Graph Peeling (§4.1)
+- :func:`~repro.core.ggp.ggp` — Generic Graph Peeling (§4.2)
+- :func:`~repro.core.oggp.oggp` — Optimised GGP (§4.3)
+- :mod:`~repro.core.baselines` — sequential / greedy / non-preemptive
+  list schedulers
+- :func:`~repro.core.exact.exact_schedule` — branch-and-bound optimum
+  for tiny instances (used to sandwich the heuristics in tests)
+"""
+
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.core.bounds import lower_bound, LowerBoundReport
+from repro.core.normalize import normalize_weights, NormalizedProblem
+from repro.core.regularize import regularize, RegularizationResult
+from repro.core.wrgp import wrgp
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.core.baselines import (
+    sequential_schedule,
+    greedy_schedule,
+    list_schedule,
+)
+from repro.core.exact import exact_schedule, exact_cost
+from repro.core.relax import relax_schedule, AsyncSchedule, TimedTransfer
+from repro.core.adaptive import (
+    adaptive_schedule_run,
+    static_schedule_run,
+    AdaptiveRunResult,
+)
+from repro.core.online import (
+    Arrival,
+    run_online_batches,
+    offline_oracle_cost,
+    poisson_arrivals,
+)
+from repro.core.preredistribution import (
+    balance_senders,
+    balance_receivers,
+    schedule_with_preredistribution,
+    RebalancePlan,
+    PreredistributionOutcome,
+)
+from repro.core.bvn import birkhoff_von_neumann, reconstruct, is_doubly_stochastic
+from repro.core.hetero import (
+    HeteroPlatform,
+    HeteroSchedule,
+    hetero_lower_bound,
+    hetero_schedule,
+    hetero_schedule_oggp,
+    evaluate_hetero_schedule,
+)
+from repro.core.postopt import merge_steps
+from repro.core.stepmin import step_minimal_schedule, minimum_steps
+from repro.core.verify import (
+    verify_solution,
+    verify_solution_dict,
+    VerificationReport,
+    Violation,
+    ViolationKind,
+)
+
+__all__ = [
+    "Schedule",
+    "Step",
+    "Transfer",
+    "lower_bound",
+    "LowerBoundReport",
+    "normalize_weights",
+    "NormalizedProblem",
+    "regularize",
+    "RegularizationResult",
+    "wrgp",
+    "ggp",
+    "oggp",
+    "sequential_schedule",
+    "greedy_schedule",
+    "list_schedule",
+    "exact_schedule",
+    "exact_cost",
+    "relax_schedule",
+    "AsyncSchedule",
+    "TimedTransfer",
+    "adaptive_schedule_run",
+    "static_schedule_run",
+    "AdaptiveRunResult",
+    "Arrival",
+    "run_online_batches",
+    "offline_oracle_cost",
+    "poisson_arrivals",
+    "balance_senders",
+    "balance_receivers",
+    "schedule_with_preredistribution",
+    "RebalancePlan",
+    "PreredistributionOutcome",
+    "birkhoff_von_neumann",
+    "reconstruct",
+    "is_doubly_stochastic",
+    "HeteroPlatform",
+    "HeteroSchedule",
+    "hetero_lower_bound",
+    "hetero_schedule",
+    "hetero_schedule_oggp",
+    "evaluate_hetero_schedule",
+    "merge_steps",
+    "step_minimal_schedule",
+    "minimum_steps",
+    "verify_solution",
+    "verify_solution_dict",
+    "VerificationReport",
+    "Violation",
+    "ViolationKind",
+]

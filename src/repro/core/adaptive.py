@@ -1,0 +1,144 @@
+"""Adaptive rescheduling under a varying backbone (paper §6, future work).
+
+The paper's conclusion suggests the *"multi-step approach could be
+useful"* when the backbone throughput varies.  This module makes that
+concrete: because a K-PBS schedule is a sequence of short synchronous
+steps, the scheduler can re-derive ``k`` from the currently observed
+backbone capacity *between steps* and reschedule the not-yet-shipped
+remainder of the pattern.
+
+:func:`adaptive_schedule_run` executes exactly that policy against a
+:class:`~repro.netsim.trace.BandwidthTrace`; the static alternative
+(schedule once for the initial ``k``, push through whatever the
+backbone becomes) is what :func:`static_schedule_run` measures.  The
+``dynamic_backbone`` experiment compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.oggp import oggp
+from repro.core.schedule import Step
+from repro.graph.bipartite import BipartiteGraph
+from repro.netsim.topology import NetworkSpec
+from repro.netsim.fairshare import FlowDemand
+from repro.netsim.trace import (
+    BandwidthTrace,
+    advance_transfers,
+    simulate_schedule_trace,
+)
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AdaptiveRunResult:
+    """Outcome of an adaptive (or static) run under a trace.
+
+    ``reschedules`` counts scheduler invocations (1 for static),
+    ``k_used`` the distinct k values the scheduler reacted to.
+    """
+
+    total_time: float
+    num_steps: int
+    reschedules: int
+    k_used: tuple[int, ...]
+
+
+def static_schedule_run(
+    graph: BipartiteGraph,
+    spec: NetworkSpec,
+    trace: BandwidthTrace,
+    congestion_penalty: float = 1.0,
+) -> AdaptiveRunResult:
+    """Schedule once for the initial capacity; execute under the trace.
+
+    ``congestion_penalty`` prices oversubscription (goodput lost to
+    drops and retransmissions when a step sized for the nominal ``k``
+    hits a dipped backbone); 1.0 sits between the fluid ideal (0) and
+    full TCP pathology.
+    """
+    k0 = trace.k_at(spec, 0.0)
+    schedule = oggp(graph, k=k0, beta=spec.step_setup)
+    result = simulate_schedule_trace(
+        spec, schedule, trace, volume_scale=spec.flow_rate,
+        congestion_penalty=congestion_penalty,
+    )
+    return AdaptiveRunResult(
+        total_time=result.total_time,
+        num_steps=schedule.num_steps,
+        reschedules=1,
+        k_used=(k0,),
+    )
+
+
+def adaptive_schedule_run(
+    graph: BipartiteGraph,
+    spec: NetworkSpec,
+    trace: BandwidthTrace,
+    max_rounds: int = 100_000,
+    congestion_penalty: float = 1.0,
+) -> AdaptiveRunResult:
+    """Reschedule the remaining pattern whenever the observed k changes.
+
+    Policy: compute an OGGP schedule for the current ``k``; execute its
+    steps one at a time (honestly, under the trace); before each step,
+    re-read the backbone capacity — if the derived ``k`` changed,
+    reschedule the remaining graph for the new ``k``.  A step that
+    straddles a capacity change is *preempted* at the boundary (the
+    multi-step structure makes this cheap — exactly the paper's §6
+    intuition); its shipped chunks are accounted and the remainder is
+    rescheduled.
+    """
+    remaining = graph.copy()
+    now = 0.0
+    steps_executed = 0
+    reschedules = 0
+    k_used: list[int] = []
+    current_schedule: list[Step] = []
+    current_k: int | None = None
+
+    for _ in range(max_rounds):
+        if remaining.is_empty():
+            return AdaptiveRunResult(
+                total_time=now,
+                num_steps=steps_executed,
+                reschedules=reschedules,
+                k_used=tuple(k_used),
+            )
+        k_now = trace.k_at(spec, now)
+        if current_k != k_now or not current_schedule:
+            current_k = k_now
+            schedule = oggp(remaining, k=k_now, beta=spec.step_setup)
+            current_schedule = list(schedule.steps)
+            reschedules += 1
+            if not k_used or k_used[-1] != k_now:
+                k_used.append(k_now)
+            if not current_schedule:
+                break  # pragma: no cover - non-empty graph always yields steps
+        step = current_schedule.pop(0)
+        now += spec.step_setup
+        flows = [FlowDemand(t.left, t.right) for t in step.transfers]
+        volumes = [t.amount * spec.flow_rate for t in step.transfers]
+        now, shipped, _done = advance_transfers(
+            spec, flows, volumes, trace, now,
+            congestion_penalty=congestion_penalty,
+            stop_at_change=True,
+        )
+        steps_executed += 1
+        for t, moved in zip(step.transfers, shipped):
+            amount = moved / spec.flow_rate
+            # Snap float residue: a completed transfer must clear its
+            # edge exactly, or a 1-ulp remainder spawns a phantom round.
+            if amount >= t.amount * (1.0 - 1e-9):
+                amount = t.amount
+            if amount > 0:
+                remaining.decrease_weight(t.edge_id, amount)
+        if not _done:
+            # Preempted at a trace change: force a reschedule of what is
+            # left (including this step's unfinished tails).
+            current_schedule = []
+            current_k = None
+    raise ConfigError(
+        f"adaptive run did not converge within {max_rounds} rounds"
+    )

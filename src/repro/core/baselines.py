@@ -1,0 +1,106 @@
+"""Baseline schedulers.
+
+None of these carries the 2-approximation guarantee; they exist to
+calibrate how much of GGP/OGGP's quality comes from the regularisation
+machinery versus from simply batching communications.
+
+- :func:`sequential_schedule` — one message per step (the ``k = 1``
+  degenerate case the paper calls "easily solved").
+- :func:`greedy_schedule` — preemptive greedy peeling *without*
+  regularisation: repeatedly take a greedy maximal matching truncated to
+  ``k`` edges and peel its minimum weight.
+- :func:`list_schedule` — non-preemptive list scheduling: every message
+  is placed whole into the first step with a free sender, free receiver
+  and a free slot (heaviest first).  This mirrors the list-scheduling
+  approach studied for the ``k = n2`` WDM regime [5].
+"""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.matching.greedy import greedy_matching
+from repro.util.errors import ConfigError
+
+
+def _check_params(k: int, beta: float) -> None:
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if beta < 0:
+        raise ConfigError(f"beta must be >= 0, got {beta}")
+
+
+def sequential_schedule(graph: BipartiteGraph, beta: float = 0.0) -> Schedule:
+    """One message per step, in edge-id order.
+
+    Cost is exactly ``m·β + P(G)`` — the worst reasonable schedule, and
+    the optimal one when ``k = 1``.
+    """
+    _check_params(1, beta)
+    steps = [
+        Step([Transfer(e.id, e.left, e.right, float(e.weight))])
+        for e in graph.edges_sorted()
+    ]
+    return Schedule(steps, k=1, beta=beta)
+
+
+def greedy_schedule(graph: BipartiteGraph, k: int, beta: float = 0.0) -> Schedule:
+    """Preemptive greedy peeling without regularisation.
+
+    Each iteration takes the greedy maximal matching (heaviest edges
+    first), keeps its ``k`` heaviest edges, and peels the minimum weight
+    among those.  At least one edge dies per step, so the loop
+    terminates in at most ``m`` steps — but nothing equalises node
+    weights, so steps waste bandwidth and there is no approximation
+    guarantee.
+    """
+    _check_params(k, beta)
+    work = graph.copy()
+    steps: list[Step] = []
+    while not work.is_empty():
+        m = greedy_matching(work, order="weight_desc")
+        chosen = sorted(m.edges(), key=lambda e: (-e.weight, e.id))[:k]
+        peel = min(e.weight for e in chosen)
+        steps.append(
+            Step(
+                [Transfer(e.id, e.left, e.right, float(peel)) for e in chosen],
+                duration=float(peel),
+            )
+        )
+        for e in chosen:
+            work.decrease_weight(e.id, peel)
+    return Schedule(steps, k=k, beta=beta)
+
+
+def list_schedule(graph: BipartiteGraph, k: int, beta: float = 0.0) -> Schedule:
+    """Non-preemptive list scheduling, heaviest message first.
+
+    Each message goes entirely into the earliest step that has its
+    sender free, its receiver free, and fewer than ``k`` messages.  A
+    new step is opened when no existing step fits.
+    """
+    _check_params(k, beta)
+    step_lefts: list[set[int]] = []
+    step_rights: list[set[int]] = []
+    step_transfers: list[list[Transfer]] = []
+    for e in graph.edges_sorted(key=lambda e: (-e.weight, e.id)):
+        placed = False
+        for i in range(len(step_transfers)):
+            if (
+                len(step_transfers[i]) < k
+                and e.left not in step_lefts[i]
+                and e.right not in step_rights[i]
+            ):
+                step_transfers[i].append(
+                    Transfer(e.id, e.left, e.right, float(e.weight))
+                )
+                step_lefts[i].add(e.left)
+                step_rights[i].add(e.right)
+                placed = True
+                break
+        if not placed:
+            step_transfers.append([Transfer(e.id, e.left, e.right, float(e.weight))])
+            step_lefts.append({e.left})
+            step_rights.append({e.right})
+    steps = [Step(ts) for ts in step_transfers]
+    return Schedule(steps, k=k, beta=beta)

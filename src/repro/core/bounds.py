@@ -1,0 +1,103 @@
+"""Lower bound on the optimal K-PBS cost (Cohen–Jeannot–Padoy [6, 7]).
+
+The paper's simulations (§5.1) report the ratio between the heuristic
+cost and this lower bound ("evaluation ratio").  The bound combines a
+*transmission* term and a *step-count* term:
+
+- transmission: the total step durations of any valid schedule satisfy
+  :math:`\\sum_i W(M_i) \\ge \\eta_c = \\max(W(G),\\; P(G)/k)` — a node's
+  traffic cannot overlap at that node (1-port), and a step of duration
+  :math:`W(M_i)` moves at most :math:`k \\cdot W(M_i)` data;
+- steps: the number of steps satisfies
+  :math:`s \\ge \\eta_s = \\max(\\Delta(G),\\; \\lceil m/k \\rceil)` — a
+  node of degree :math:`\\Delta` participates in :math:`\\Delta` distinct
+  messages, at most one per step, and each step retires at most ``k``
+  message-chunks while each of the ``m`` messages needs at least one.
+
+Hence ``OPT >= eta_c + beta * eta_s``.  Both arguments hold for *every*
+valid schedule simultaneously, so the sum is a valid bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LowerBoundReport:
+    """Breakdown of the lower bound.
+
+    Attributes mirror the paper's notations: ``max_node_weight`` is
+    :math:`W(G)`, ``bandwidth_bound`` is :math:`P(G)/k`, ``max_degree``
+    is :math:`\\Delta(G)`, ``edge_step_bound`` is
+    :math:`\\lceil m/k \\rceil`.
+    """
+
+    max_node_weight: float
+    bandwidth_bound: float
+    max_degree: int
+    edge_step_bound: int
+    beta: float
+
+    @property
+    def eta_c(self) -> float:
+        """Transmission-time lower bound :math:`\\max(W(G), P(G)/k)`."""
+        return max(self.max_node_weight, self.bandwidth_bound)
+
+    @property
+    def eta_s(self) -> int:
+        """Step-count lower bound :math:`\\max(\\Delta(G), \\lceil m/k \\rceil)`."""
+        return max(self.max_degree, self.edge_step_bound)
+
+    @property
+    def value(self) -> float:
+        """The combined bound :math:`\\eta_c + \\beta\\,\\eta_s`."""
+        return self.eta_c + self.beta * self.eta_s
+
+
+def lower_bound_report(
+    graph: BipartiteGraph,
+    k: int,
+    beta: float,
+) -> LowerBoundReport:
+    """Full breakdown of the K-PBS lower bound for ``graph``."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if beta < 0:
+        raise ConfigError(f"beta must be >= 0, got {beta}")
+    m = graph.num_edges
+    return LowerBoundReport(
+        max_node_weight=float(graph.max_node_weight()),
+        bandwidth_bound=float(graph.total_weight()) / k,
+        max_degree=graph.max_degree(),
+        edge_step_bound=math.ceil(m / k) if m else 0,
+        beta=float(beta),
+    )
+
+
+def lower_bound(graph: BipartiteGraph, k: int, beta: float) -> float:
+    """Scalar lower bound on the optimal K-PBS cost.
+
+    >>> from repro.graph import paper_figure2_graph
+    >>> lower_bound(paper_figure2_graph(), k=3, beta=1.0)
+    10.0
+    """
+    return lower_bound_report(graph, k, beta).value
+
+
+def evaluation_ratio(cost: float, bound: float) -> float:
+    """The paper's "evaluation ratio" ``cost / lower_bound``.
+
+    Defined as 1.0 when both are zero (empty instance); raises
+    :class:`ConfigError` for a zero bound with positive cost, which
+    would indicate a broken bound computation.
+    """
+    if bound == 0:
+        if cost == 0:
+            return 1.0
+        raise ConfigError(f"zero lower bound with positive cost {cost!r}")
+    return cost / bound

@@ -1,0 +1,379 @@
+"""Heterogeneous-platform scheduling (paper §6: "more complex redistributions").
+
+The paper's model gives every node of a cluster the same NIC rate, so
+the backbone constraint reduces to a *count*: at most ``k = ⌊T/t⌋``
+simultaneous flows.  On a heterogeneous platform (mixed 10/100 Mbit
+NICs — common in real clusters), flow ``(i, j)`` runs at
+``r_ij = min(t1_i, t2_j)`` and the backbone constraint becomes a
+*capacity*: the rates of a step's flows must sum to at most ``T``.
+
+This module provides:
+
+- :class:`HeteroPlatform` — the platform description,
+- :func:`hetero_lower_bound` — the natural generalisation of the
+  Cohen–Jeannot–Padoy bound (per-node serialisation time, backbone
+  volume/capacity, degree and packing step counts),
+- :func:`hetero_schedule` — a capacity-aware peeling heuristic
+  (longest-remaining-time-first maximal matchings under the rate
+  budget; no approximation proof — K-PBS's regularisation machinery is
+  count-based and does not transfer),
+- :func:`schedule_homogeneous_equivalent` — the baseline: pretend the
+  platform is homogeneous and run OGGP with either a *safe* k
+  (``⌊T/max rate⌋`` — never oversubscribes, wastes capacity on slow
+  flows) or an *optimistic* k (``⌊T/min rate⌋`` — fills the step count
+  but oversubscribed steps slow down),
+- :func:`evaluate_hetero_schedule` — honest fluid evaluation: within a
+  step, if the selected rates oversubscribe ``T`` every flow is scaled
+  by ``T / Σr``.
+
+The ``heterogeneity`` experiment quantifies the three against the
+lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.oggp import oggp
+from repro.graph.generators import from_traffic_matrix
+from repro.util.errors import ConfigError, ScheduleError
+
+#: Volumes at or below this threshold are treated as "no message" by the
+#: scheduler AND the lower bound (keeping the two consistent for
+#: degenerate inputs like denormal floats).
+VOLUME_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class HeteroPlatform:
+    """Per-node NIC rates plus the shared backbone."""
+
+    send_rates: tuple[float, ...]
+    recv_rates: tuple[float, ...]
+    backbone: float
+    beta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.send_rates or not self.recv_rates:
+            raise ConfigError("both clusters need at least one node")
+        if min(self.send_rates) <= 0 or min(self.recv_rates) <= 0:
+            raise ConfigError("NIC rates must be positive")
+        if self.backbone <= 0:
+            raise ConfigError("backbone rate must be positive")
+        if self.beta < 0:
+            raise ConfigError("beta must be >= 0")
+
+    @property
+    def n1(self) -> int:
+        """Sender count."""
+        return len(self.send_rates)
+
+    @property
+    def n2(self) -> int:
+        """Receiver count."""
+        return len(self.recv_rates)
+
+    def flow_rate(self, i: int, j: int) -> float:
+        """Rate of flow ``i -> j`` (the slower NIC)."""
+        return min(self.send_rates[i], self.recv_rates[j])
+
+    def k_safe(self) -> int:
+        """Count bound that can never oversubscribe the backbone."""
+        fastest = max(
+            min(s, max(self.recv_rates)) for s in self.send_rates
+        )
+        return max(1, min(int(self.backbone / fastest), self.n1, self.n2))
+
+    def k_optimistic(self) -> int:
+        """Count bound sized for the slowest flows (may oversubscribe)."""
+        slowest = min(min(self.send_rates), min(self.recv_rates))
+        return max(1, min(int(self.backbone / slowest), self.n1, self.n2))
+
+
+@dataclass(frozen=True)
+class HeteroTransfer:
+    """One flow of a step: endpoints, shipped volume, nominal rate."""
+
+    src: int
+    dst: int
+    volume: float
+    rate: float
+
+
+@dataclass
+class HeteroSchedule:
+    """Sequence of capacity-constrained steps."""
+
+    steps: list[list[HeteroTransfer]]
+    platform: HeteroPlatform
+
+    @property
+    def num_steps(self) -> int:
+        """Number of steps."""
+        return len(self.steps)
+
+    def validate(self, volumes: np.ndarray, rel_tol: float = 1e-9) -> None:
+        """Matching + capacity + exact coverage of the volume matrix."""
+        shipped = np.zeros_like(np.asarray(volumes, dtype=float))
+        for index, step in enumerate(self.steps):
+            srcs = [t.src for t in step]
+            dsts = [t.dst for t in step]
+            if len(set(srcs)) != len(srcs) or len(set(dsts)) != len(dsts):
+                raise ScheduleError(f"step {index} is not a matching")
+            total_rate = sum(t.rate for t in step)
+            if total_rate > self.platform.backbone * (1 + 1e-9):
+                raise ScheduleError(
+                    f"step {index} oversubscribes the backbone: "
+                    f"{total_rate} > {self.platform.backbone}"
+                )
+            for t in step:
+                if t.volume <= 0:
+                    raise ScheduleError(f"step {index} has empty transfer")
+                shipped[t.src, t.dst] += t.volume
+        want = np.asarray(volumes, dtype=float)
+        if not np.allclose(shipped, want, rtol=rel_tol, atol=1e-9):
+            raise ScheduleError("shipped volumes do not match the matrix")
+
+
+def hetero_lower_bound(platform: HeteroPlatform, volumes: np.ndarray) -> float:
+    """Generalised K-PBS lower bound for a heterogeneous platform.
+
+    Transmission: per-node serialisation time (1-port) and backbone
+    volume over capacity.  Steps: maximum degree, and message count
+    over the best-case per-step flow count.
+    """
+    vol = np.asarray(volumes, dtype=float)
+    if vol.shape != (platform.n1, platform.n2):
+        raise ConfigError(
+            f"volumes shape {vol.shape} != platform "
+            f"({platform.n1}, {platform.n2})"
+        )
+    if not (vol > VOLUME_EPS).any():
+        return 0.0
+    rates = np.minimum.outer(
+        np.array(platform.send_rates), np.array(platform.recv_rates)
+    )
+    times = np.where(vol > VOLUME_EPS, vol / rates, 0.0)
+    node_time = max(times.sum(axis=1).max(), times.sum(axis=0).max())
+    backbone_time = vol.sum() / platform.backbone
+    eta_c = max(node_time, backbone_time)
+
+    mask = vol > VOLUME_EPS
+    degrees = max(int(mask.sum(axis=1).max()), int(mask.sum(axis=0).max()))
+    m = int(mask.sum())
+    min_rate = float(rates[mask].min())
+    per_step_cap = max(
+        1, min(int(platform.backbone / min_rate), platform.n1, platform.n2)
+    )
+    eta_s = max(degrees, -(-m // per_step_cap))
+    return eta_c + platform.beta * eta_s
+
+
+def hetero_schedule(
+    platform: HeteroPlatform,
+    volumes: np.ndarray,
+) -> HeteroSchedule:
+    """Capacity-aware peeling heuristic.
+
+    Each step: sweep the remaining messages by descending remaining
+    *time*; admit a message when its sender and receiver are free and
+    its rate fits the remaining backbone budget.  Peel the admitted
+    matching by its minimum remaining time (preemption), so at least
+    one message dies per step.
+    """
+    vol = np.asarray(volumes, dtype=float).copy()
+    if vol.shape != (platform.n1, platform.n2):
+        raise ConfigError(
+            f"volumes shape {vol.shape} != platform "
+            f"({platform.n1}, {platform.n2})"
+        )
+    if (vol < 0).any():
+        raise ConfigError("volumes must be non-negative")
+    rates = np.minimum.outer(
+        np.array(platform.send_rates), np.array(platform.recv_rates)
+    )
+    steps: list[list[HeteroTransfer]] = []
+    guard = 0
+    max_steps = int((vol > 0).sum()) * 4 + 8
+    while (vol > VOLUME_EPS).any():
+        guard += 1
+        if guard > max_steps:  # pragma: no cover - termination guard
+            raise ScheduleError("hetero peeling failed to terminate")
+        remaining_time = np.where(vol > VOLUME_EPS, vol / rates, 0.0)
+        order = np.argsort(-remaining_time, axis=None)
+        used_src: set[int] = set()
+        used_dst: set[int] = set()
+        budget = platform.backbone
+        chosen: list[tuple[int, int]] = []
+        for flat in order:
+            i, j = divmod(int(flat), platform.n2)
+            if vol[i, j] <= VOLUME_EPS:
+                continue
+            if i in used_src or j in used_dst:
+                continue
+            r = rates[i, j]
+            if r > budget + 1e-12:
+                continue
+            used_src.add(i)
+            used_dst.add(j)
+            budget -= r
+            chosen.append((i, j))
+        if not chosen:  # pragma: no cover - a single flow always fits
+            raise ScheduleError("no admissible flow fits the backbone")
+        peel = min(remaining_time[i, j] for i, j in chosen)
+        step = []
+        for i, j in chosen:
+            moved = min(vol[i, j], peel * rates[i, j])
+            vol[i, j] -= moved
+            if vol[i, j] < VOLUME_EPS:
+                moved += vol[i, j]
+                vol[i, j] = 0.0
+            step.append(HeteroTransfer(i, j, moved, float(rates[i, j])))
+        steps.append(step)
+    return HeteroSchedule(steps=steps, platform=platform)
+
+
+def evaluate_hetero_schedule(
+    schedule: HeteroSchedule,
+    congestion_penalty: float = 0.0,
+) -> float:
+    """Fluid cost of a hetero schedule: Σ (β + step duration).
+
+    Within a step, oversubscription scales every flow by ``T / Σr``
+    (max-min over a single shared link degenerates to proportional).
+    ``congestion_penalty`` additionally charges the goodput lost to
+    drops/retransmissions when a step oversubscribes — the same form as
+    the TCP and trace models: an extra factor
+    ``1 + penalty · (1 − T/Σr)``.  With the default 0 the evaluation is
+    the work-conserving ideal, under which oversubscription is nearly
+    free (see the ``heterogeneity`` experiment's control row).
+    """
+    if congestion_penalty < 0:
+        raise ConfigError("congestion_penalty must be >= 0")
+    platform = schedule.platform
+    total = 0.0
+    for step in schedule.steps:
+        if not step:
+            continue
+        rate_sum = sum(t.rate for t in step)
+        scale = min(1.0, platform.backbone / rate_sum) if rate_sum else 1.0
+        if rate_sum > platform.backbone and congestion_penalty > 0:
+            drop_frac = 1.0 - platform.backbone / rate_sum
+            scale /= 1.0 + congestion_penalty * drop_frac
+        duration = max(t.volume / (t.rate * scale) for t in step)
+        total += platform.beta + duration
+    return total
+
+
+def enforce_capacity(
+    schedule: HeteroSchedule,
+    congestion_penalty: float = 1.0,
+    always: bool = False,
+) -> HeteroSchedule:
+    """Split oversubscribed steps *when splitting is cheaper*.
+
+    An oversubscribed step can either run scaled (duration multiplied
+    by the overload and the congestion penalty) or be split: flows are
+    kept by descending transfer time while they fit the rate budget and
+    the overflow forms follow-up steps.  Splitting costs an extra β per
+    new step, so for mild oversubscription running scaled is cheaper —
+    the pass compares both under ``congestion_penalty`` and keeps the
+    cheaper variant per step (``always=True`` forces feasibility
+    regardless of cost, for callers that must respect the capacity as a
+    hard constraint).
+    """
+    platform = schedule.platform
+    out: list[list[HeteroTransfer]] = []
+    for step in schedule.steps:
+        rate_sum = sum(t.rate for t in step)
+        if rate_sum <= platform.backbone * (1 + 1e-12):
+            out.append(list(step))
+            continue
+        # Candidate A: run scaled (infeasible but work-conserving).
+        overload = rate_sum / platform.backbone
+        drop_frac = 1.0 - 1.0 / overload
+        slow = overload * (1.0 + congestion_penalty * drop_frac)
+        scaled_cost = platform.beta + slow * max(
+            t.volume / t.rate for t in step
+        )
+        # Candidate B: split into capacity-feasible sub-steps.
+        pending = sorted(step, key=lambda t: -(t.volume / t.rate))
+        split: list[list[HeteroTransfer]] = []
+        while pending:
+            budget = platform.backbone
+            kept: list[HeteroTransfer] = []
+            overflow: list[HeteroTransfer] = []
+            for t in pending:
+                if t.rate <= budget + 1e-12 or not kept:
+                    kept.append(t)
+                    budget -= t.rate
+                else:
+                    overflow.append(t)
+            split.append(kept)
+            pending = overflow
+        split_cost = sum(
+            platform.beta + max(t.volume / t.rate for t in sub)
+            for sub in split
+        )
+        if always or split_cost < scaled_cost:
+            out.extend(split)
+        else:
+            out.append(list(step))
+    return HeteroSchedule(steps=out, platform=platform)
+
+
+def hetero_schedule_oggp(
+    platform: HeteroPlatform,
+    volumes: np.ndarray,
+    congestion_penalty: float = 1.0,
+) -> HeteroSchedule:
+    """The strongest heterogeneous scheduler in this module.
+
+    OGGP on time weights with the optimistic count bound (whose
+    time-regularisation already limits concurrent fast flows), followed
+    by the cost-aware :func:`enforce_capacity` pass.
+    """
+    sched = schedule_homogeneous_equivalent(platform, volumes, "optimistic")
+    return enforce_capacity(sched, congestion_penalty=congestion_penalty)
+
+
+def schedule_homogeneous_equivalent(
+    platform: HeteroPlatform,
+    volumes: np.ndarray,
+    mode: str = "safe",
+) -> HeteroSchedule:
+    """Baseline: ignore heterogeneity, run OGGP with a count bound.
+
+    ``mode='safe'`` uses ``k`` sized for the fastest flow (never
+    oversubscribes); ``mode='optimistic'`` sizes for the slowest (its
+    steps may oversubscribe — the evaluator charges the slowdown).
+    OGGP runs on *time* weights at each flow's own rate, so the
+    baseline is not strawmanned: it knows the rates, it only lacks the
+    per-step capacity constraint.
+    """
+    if mode == "safe":
+        k = platform.k_safe()
+    elif mode == "optimistic":
+        k = platform.k_optimistic()
+    else:
+        raise ConfigError(f"unknown mode {mode!r}")
+    vol = np.asarray(volumes, dtype=float)
+    rates = np.minimum.outer(
+        np.array(platform.send_rates), np.array(platform.recv_rates)
+    )
+    times = np.where(vol > 0, vol / rates, 0.0)
+    graph = from_traffic_matrix(times)
+    sched = oggp(graph, k=k, beta=platform.beta)
+    steps: list[list[HeteroTransfer]] = []
+    for step in sched.steps:
+        hstep = [
+            HeteroTransfer(
+                t.left, t.right,
+                t.amount * rates[t.left, t.right],
+                float(rates[t.left, t.right]),
+            )
+            for t in step.transfers
+        ]
+        steps.append(hstep)
+    return HeteroSchedule(steps=steps, platform=platform)

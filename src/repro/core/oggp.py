@@ -1,0 +1,28 @@
+"""OGGP — Optimised Generic Graph Peeling (paper §4.3).
+
+OGGP is GGP with one change: each peeled perfect matching is chosen to
+*maximise its minimum edge weight* (the bottleneck matching of paper
+Figure 6).  The size of a communication step equals the smallest weight
+in its matching, so maximising that minimum makes each step retire as
+much traffic as possible and reduces the number of steps — the paper
+observes about half as many steps as GGP in practice.
+
+OGGP remains a 2-approximation: any OGGP run is a valid GGP run with a
+particular matching choice.
+"""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.core.ggp import ggp
+from repro.core.schedule import Schedule
+
+
+def oggp(graph: BipartiteGraph, k: int, beta: float) -> Schedule:
+    """Schedule ``graph`` with OGGP; see :func:`repro.core.ggp.ggp`.
+
+    >>> from repro.graph import paper_figure2_graph
+    >>> g = paper_figure2_graph()
+    >>> oggp(g, k=3, beta=1.0).validate(g)
+    """
+    return ggp(graph, k=k, beta=beta, matching="bottleneck")

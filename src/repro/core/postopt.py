@@ -1,0 +1,79 @@
+"""Schedule post-optimisation: merging compatible steps.
+
+A peeling schedule can emit steps that are *combinable*: two steps
+whose transfer sets share no sender, no receiver, and fit within ``k``
+together can run as one step of duration ``max`` of the two — saving
+one setup delay β plus the shorter duration outright.  The peeling
+loop cannot see this (each peel is tied to one perfect matching of the
+regularised graph), so it is a natural post-pass.
+
+Merging is a pure improvement: replacing steps of durations ``d1, d2``
+by one of ``max(d1, d2)`` changes the cost by
+``-β - min(d1, d2) < 0``, and validity is preserved (the disjointness
+check is exactly the matching property, and chunk order within an edge
+is immaterial — the same bytes move).  Hence the 2-approximation
+guarantee survives any sequence of merges.
+
+The packing uses first-fit over the existing steps in order — optimal
+merging is bin-packing-hard, and first-fit already captures the common
+case (fragmented tail steps left by padding-heavy peels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import Schedule, Step, Transfer
+
+
+@dataclass
+class _Bin:
+    lefts: set[int] = field(default_factory=set)
+    rights: set[int] = field(default_factory=set)
+    transfers: list[Transfer] = field(default_factory=list)
+    duration: float = 0.0
+
+    def fits(self, step: Step, k: int) -> bool:
+        if len(self.transfers) + len(step) > k:
+            return False
+        for t in step.transfers:
+            if t.left in self.lefts or t.right in self.rights:
+                return False
+        return True
+
+    def absorb(self, step: Step) -> None:
+        for t in step.transfers:
+            self.lefts.add(t.left)
+            self.rights.add(t.right)
+            self.transfers.append(t)
+        self.duration = max(self.duration, step.duration)
+
+
+def merge_steps(schedule: Schedule) -> Schedule:
+    """First-fit merge of compatible steps; never increases the cost.
+
+    >>> from repro.core.schedule import Schedule, Step, Transfer
+    >>> s = Schedule(
+    ...     [Step([Transfer(0, 0, 0, 4.0)]), Step([Transfer(1, 1, 1, 3.0)])],
+    ...     k=2, beta=1.0,
+    ... )
+    >>> merged = merge_steps(s)
+    >>> merged.num_steps, merged.cost
+    (1, 5.0)
+    """
+    bins: list[_Bin] = []
+    for step in schedule.steps:
+        for candidate in bins:
+            if candidate.fits(step, schedule.k):
+                candidate.absorb(step)
+                break
+        else:
+            fresh = _Bin()
+            fresh.absorb(step)
+            bins.append(fresh)
+    steps = [
+        Step(sorted(b.transfers, key=lambda t: (t.left, t.right)),
+             duration=b.duration)
+        for b in bins
+    ]
+    return Schedule(steps, k=schedule.k, beta=schedule.beta)

@@ -1,0 +1,230 @@
+"""Structured verification of K-PBS solutions.
+
+:meth:`Schedule.validate` raises on the first violation — right for
+tests and pipelines.  When *diagnosing* a broken schedule (a custom
+scheduler, a hand-edited JSON, a buggy executor) you want every
+violation at once: :func:`verify_solution` walks the whole schedule and
+returns a report instead of raising.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.schedule import Schedule
+from repro.graph.bipartite import BipartiteGraph
+
+
+class ViolationKind(enum.Enum):
+    """Classification of schedule defects."""
+
+    K_EXCEEDED = "k_exceeded"
+    SENDER_CONFLICT = "sender_conflict"
+    RECEIVER_CONFLICT = "receiver_conflict"
+    UNKNOWN_EDGE = "unknown_edge"
+    WRONG_ENDPOINTS = "wrong_endpoints"
+    NON_POSITIVE_AMOUNT = "non_positive_amount"
+    DURATION_TOO_SHORT = "duration_too_short"
+    UNDER_DELIVERED = "under_delivered"
+    OVER_DELIVERED = "over_delivered"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One defect: which step (or -1 for whole-schedule), what, where."""
+
+    kind: ViolationKind
+    step: int
+    detail: str
+
+
+@dataclass
+class VerificationReport:
+    """All defects found, plus headline stats for quick triage."""
+
+    violations: list[Violation] = field(default_factory=list)
+    steps_checked: int = 0
+    edges_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def by_kind(self) -> dict[ViolationKind, int]:
+        """Histogram of violation kinds."""
+        out: dict[ViolationKind, int] = {}
+        for v in self.violations:
+            out[v.kind] = out.get(v.kind, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        if self.ok:
+            return (
+                f"OK: {self.steps_checked} steps, "
+                f"{self.edges_checked} edges verified"
+            )
+        kinds = ", ".join(
+            f"{kind.value}={count}" for kind, count in sorted(
+                self.by_kind().items(), key=lambda kv: kv[0].value
+            )
+        )
+        return f"{len(self.violations)} violations ({kinds})"
+
+
+def verify_solution_dict(
+    graph: BipartiteGraph,
+    data: dict,
+    rel_tol: float = 1e-9,
+) -> VerificationReport:
+    """Verify a *raw* schedule dict (e.g. parsed JSON) without building
+    :class:`Schedule` first.
+
+    :class:`Step`'s constructor already rejects 1-port conflicts and
+    non-positive amounts, so a constructed ``Schedule`` can never carry
+    them — but a hand-written or machine-generated JSON can.  This
+    entry point reports *all* defects of such a document instead of
+    failing at the first bad step.
+    """
+    from repro.core.schedule import Step, Transfer
+
+    k = int(data.get("k", 1))
+    beta = float(data.get("beta", 0.0))
+    steps: list[Step] = []
+    pre = VerificationReport()
+    for index, raw in enumerate(data.get("steps", [])):
+        transfers = [
+            Transfer(
+                int(t["edge_id"]), int(t["left"]), int(t["right"]),
+                float(t["amount"]),
+            )
+            for t in raw.get("transfers", [])
+        ]
+        lefts = [t.left for t in transfers]
+        rights = [t.right for t in transfers]
+        for port in sorted({x for x in lefts if lefts.count(x) > 1}):
+            pre.violations.append(Violation(
+                ViolationKind.SENDER_CONFLICT, index,
+                f"sender {port} appears twice",
+            ))
+        for port in sorted({x for x in rights if rights.count(x) > 1}):
+            pre.violations.append(Violation(
+                ViolationKind.RECEIVER_CONFLICT, index,
+                f"receiver {port} appears twice",
+            ))
+        bad_amounts = [t for t in transfers if t.amount <= 0]
+        for t in bad_amounts:
+            pre.violations.append(Violation(
+                ViolationKind.NON_POSITIVE_AMOUNT, index,
+                f"edge {t.edge_id} amount {t.amount!r}",
+            ))
+        # Build a sanitised Step so the remaining checks can proceed.
+        clean: list[Transfer] = []
+        seen_l: set[int] = set()
+        seen_r: set[int] = set()
+        for t in transfers:
+            if t.amount <= 0 or t.left in seen_l or t.right in seen_r:
+                continue
+            seen_l.add(t.left)
+            seen_r.add(t.right)
+            clean.append(t)
+        duration = raw.get("duration")
+        max_amount = max((t.amount for t in clean), default=0.0)
+        if duration is not None and duration < max_amount:
+            pre.violations.append(Violation(
+                ViolationKind.DURATION_TOO_SHORT, index,
+                f"duration {duration!r} < longest transfer {max_amount!r}",
+            ))
+            duration = None
+        if clean or duration:
+            steps.append(Step(clean, duration=duration))
+    schedule = Schedule(steps, k=max(1, k), beta=max(0.0, beta))
+    report = verify_solution(graph, schedule, rel_tol=rel_tol)
+    report.violations = pre.violations + report.violations
+    return report
+
+
+def verify_solution(
+    graph: BipartiteGraph,
+    schedule: Schedule,
+    rel_tol: float = 1e-9,
+) -> VerificationReport:
+    """Collect every constraint violation of ``schedule`` against ``graph``.
+
+    Checks (same set as :meth:`Schedule.validate`, exhaustively):
+    per-step 1-port and ``k`` limits, transfer/edge consistency,
+    positive amounts, duration covering the longest transfer, and exact
+    per-edge delivery.
+    """
+    report = VerificationReport()
+    edges = {e.id: e for e in graph.edges()}
+    shipped = {eid: 0.0 for eid in edges}
+
+    for index, step in enumerate(schedule.steps):
+        report.steps_checked += 1
+        if len(step) > schedule.k:
+            report.violations.append(Violation(
+                ViolationKind.K_EXCEEDED, index,
+                f"{len(step)} transfers > k={schedule.k}",
+            ))
+        seen_left: set[int] = set()
+        seen_right: set[int] = set()
+        max_amount = 0.0
+        for t in step.transfers:
+            if t.left in seen_left:
+                report.violations.append(Violation(
+                    ViolationKind.SENDER_CONFLICT, index,
+                    f"sender {t.left} appears twice",
+                ))
+            if t.right in seen_right:
+                report.violations.append(Violation(
+                    ViolationKind.RECEIVER_CONFLICT, index,
+                    f"receiver {t.right} appears twice",
+                ))
+            seen_left.add(t.left)
+            seen_right.add(t.right)
+            if t.amount <= 0:
+                report.violations.append(Violation(
+                    ViolationKind.NON_POSITIVE_AMOUNT, index,
+                    f"edge {t.edge_id} amount {t.amount!r}",
+                ))
+            else:
+                max_amount = max(max_amount, t.amount)
+            edge = edges.get(t.edge_id)
+            if edge is None:
+                report.violations.append(Violation(
+                    ViolationKind.UNKNOWN_EDGE, index,
+                    f"edge {t.edge_id} not in graph",
+                ))
+                continue
+            if (edge.left, edge.right) != (t.left, t.right):
+                report.violations.append(Violation(
+                    ViolationKind.WRONG_ENDPOINTS, index,
+                    f"edge {t.edge_id}: transfer {(t.left, t.right)} vs "
+                    f"graph {(edge.left, edge.right)}",
+                ))
+            shipped[t.edge_id] += t.amount
+        if step.duration < max_amount - 1e-12 * max(1.0, max_amount):
+            report.violations.append(Violation(
+                ViolationKind.DURATION_TOO_SHORT, index,
+                f"duration {step.duration!r} < longest transfer "
+                f"{max_amount!r}",
+            ))
+
+    for eid, edge in edges.items():
+        report.edges_checked += 1
+        want = float(edge.weight)
+        got = shipped[eid]
+        if got < want - rel_tol * max(1.0, want):
+            report.violations.append(Violation(
+                ViolationKind.UNDER_DELIVERED, -1,
+                f"edge {eid}: {got!r} of {want!r}",
+            ))
+        elif got > want + rel_tol * max(1.0, want):
+            report.violations.append(Violation(
+                ViolationKind.OVER_DELIVERED, -1,
+                f"edge {eid}: {got!r} of {want!r}",
+            ))
+    return report

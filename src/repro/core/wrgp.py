@@ -1,0 +1,116 @@
+"""WRGP — Weight-Regular Graph Peeling (paper §4.1, Figures 3 and 4).
+
+Given a weight-regular bipartite graph, repeatedly:
+
+1. find a perfect matching ``M`` (one always exists: the graph stays
+   weight-regular after each peel, and a weight-regular bipartite graph
+   has a perfect matching [8]),
+2. let ``w`` be the smallest edge weight in ``M``,
+3. emit ``M`` with every edge trimmed to weight ``w`` as one
+   communication step (this is the paper's ``M'``),
+4. subtract ``w`` from every edge of ``M``, deleting edges that reach 0.
+
+Each iteration removes at least one edge (the minimum-weight one), so
+there are at most ``m`` iterations.  Every step uses the full bandwidth:
+a perfect matching with equal-size chunks wastes nothing.
+
+Implementation notes
+--------------------
+- The perfect matching is recomputed *incrementally*: the previous
+  matching minus its exhausted edges is a near-perfect matching of the
+  peeled graph, so Hopcroft–Karp only needs a few augmentations per
+  iteration instead of a full run.
+- ``matching='bottleneck'`` swaps in the max-min-weight perfect matching
+  (paper Figure 6) — this is the only difference between GGP and OGGP.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Literal
+
+from repro.graph.bipartite import BipartiteGraph, Number
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.matching.base import Matching
+from repro.matching.bottleneck import bottleneck_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.hungarian import hungarian_perfect_matching
+from repro.util.errors import GraphError, MatchingError
+
+#: 'arbitrary' — any perfect matching (Hopcroft–Karp, warm-started);
+#: 'max_weight' — maximum-weight perfect matching (Hungarian, as the
+#: paper's WRGP text suggests); 'bottleneck' — max-min-weight perfect
+#: matching (Figure 6; this is what makes OGGP).
+MatchingStrategy = Literal["arbitrary", "max_weight", "bottleneck"]
+
+
+def peel_weight_regular(
+    graph: BipartiteGraph,
+    matching: MatchingStrategy = "arbitrary",
+) -> Iterator[tuple[Matching, Number]]:
+    """Destructively peel ``graph``; yields ``(matching, peel_amount)`` pairs.
+
+    ``graph`` must be weight-regular and is consumed in place.  The
+    yielded matchings hold edge snapshots *before* the peel, so their
+    weights are the pre-peel remaining weights.
+    """
+    previous: Matching | None = None
+    size = graph.num_left
+    if size != graph.num_right:
+        raise GraphError(
+            f"weight-regular graph must be square, got {graph.num_left} left "
+            f"vs {graph.num_right} right nodes"
+        )
+    while not graph.is_empty():
+        if matching == "bottleneck":
+            m = bottleneck_matching(graph, require="perfect")
+        elif matching == "max_weight":
+            m = hungarian_perfect_matching(graph)
+        else:
+            m = hopcroft_karp(graph, initial=previous)
+            if len(m) != size:
+                raise MatchingError(
+                    "no perfect matching found — input graph was not "
+                    "weight-regular (peeling would preserve regularity)"
+                )
+        peel = m.min_weight()
+        if peel <= 0:  # pragma: no cover - positive weights guarantee this
+            raise GraphError(f"non-positive peel amount {peel!r}")
+        yield m, peel
+        for edge in m.edges():
+            graph.decrease_weight(edge.id, peel)
+        previous = m
+
+
+def wrgp(
+    graph: BipartiteGraph,
+    beta: float = 0.0,
+    matching: MatchingStrategy = "arbitrary",
+) -> Schedule:
+    """Schedule a *weight-regular* graph with unbounded ``k`` (paper §4.1).
+
+    Every step is a full perfect matching; ``k`` is effectively
+    ``min(n1, n2)``, which is what the schedule records.  For arbitrary
+    graphs and bounded ``k``, use :func:`repro.core.ggp.ggp`.
+
+    Raises :class:`GraphError` when the input is not weight-regular.
+    """
+    if not graph.is_weight_regular():
+        raise GraphError(
+            "wrgp requires a weight-regular graph; use ggp/oggp for the "
+            "general case"
+        )
+    work = graph.copy()
+    work.remove_isolated_nodes()
+    k = max(1, min(work.num_left, work.num_right))
+    steps = []
+    for m, peel in peel_weight_regular(work, matching=matching):
+        steps.append(
+            Step(
+                (
+                    Transfer(e.id, e.left, e.right, float(peel))
+                    for e in m.edges()
+                ),
+                duration=float(peel),
+            )
+        )
+    return Schedule(steps, k=k, beta=beta)

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free process-based DES (in the style of SimPy,
+implemented from scratch): generator *processes* yield *events*; the
+:class:`Environment` advances a virtual clock through a priority queue
+of scheduled events.
+
+Used by :mod:`repro.netsim` to execute redistribution schedules with
+barrier-synchronised communication steps, mirroring the paper's MPI
+implementation structure.
+"""
+
+from repro.des.core import Environment, Event, Timeout, Process, AllOf, AnyOf
+from repro.des.resources import Resource, Store, Barrier
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Store",
+    "Barrier",
+]

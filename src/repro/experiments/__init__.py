@@ -1,0 +1,51 @@
+"""Experiment harnesses — one per figure of the paper's evaluation.
+
+- :mod:`~repro.experiments.fig7` — evaluation ratio vs ``k``, small
+  weights (U{1..20}, β = 1),
+- :mod:`~repro.experiments.fig8` — same with large weights (U{1..10000}),
+- :mod:`~repro.experiments.fig9` — evaluation ratio vs β (random ``k``),
+- :mod:`~repro.experiments.fig10_11` — brute-force TCP vs GGP/OGGP on
+  the simulated testbed, ``k ∈ {3, 7}``,
+- :mod:`~repro.experiments.ablation` — design-choice ablations
+  (bottleneck matching, β round-up, step counts).
+
+Each harness returns an :class:`~repro.experiments.base.ExperimentResult`
+whose rows regenerate the paper's plotted series; the registry maps
+experiment ids to harnesses for the CLI and the benchmark suite.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10_11 import run_fig10, run_fig11
+from repro.experiments.ablation import (
+    run_ablation_matching,
+    run_ablation_rounding,
+    run_ablation_steps,
+)
+from repro.experiments.extensions import (
+    run_ablation_relax,
+    run_dynamic_backbone,
+    run_online_batching,
+    run_preredistribution,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = [
+    "run_ablation_relax",
+    "run_dynamic_backbone",
+    "run_online_batching",
+    "run_preredistribution",
+    "ExperimentResult",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_ablation_matching",
+    "run_ablation_rounding",
+    "run_ablation_steps",
+    "EXPERIMENTS",
+    "get_experiment",
+]

@@ -1,0 +1,180 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+- **A1 (matching / scheduler family):** how much of GGP/OGGP's quality
+  comes from regularised peeling at all?  Compares GGP, OGGP and the
+  non-regularised baselines (greedy peeling, non-preemptive list
+  scheduling) on the same instances.
+- **A2 (β round-up):** GGP normalises weights by β and rounds up before
+  scheduling.  The ablation schedules with β = 0 (exact weights, no
+  minimum chunk) and then charges β per emitted step, quantifying what
+  the round-up buys.
+- **A3 (step counts):** OGGP's bottleneck matching exists to reduce the
+  number of steps; the paper reports ≈ 50 % fewer steps than GGP on the
+  testbed.  Measures the step-count ratio distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import summarize
+from repro.core.baselines import greedy_schedule, list_schedule
+from repro.core.stepmin import step_minimal_schedule
+from repro.core.bounds import evaluation_ratio, lower_bound
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.experiments.base import ExperimentResult
+from repro.experiments.simulation import SimulationConfig
+from repro.graph.generators import random_bipartite
+from repro.util.rng import spawn_streams
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Shared ablation parameters (smaller instances than Figs 7–9 so
+    the slow baselines stay tractable)."""
+
+    sim: SimulationConfig = SimulationConfig(max_side=10, max_edges=60, draws=150)
+    k: int = 5
+    beta: float = 1.0
+
+
+def run_ablation_matching(config: AblationConfig | None = None) -> ExperimentResult:
+    """A1 — scheduler families on identical instances."""
+    config = config or AblationConfig()
+    streams = spawn_streams(config.sim.seed + 9000, config.sim.draws)
+    ratios: dict[str, list[float]] = {
+        "ggp_arbitrary": [],
+        "ggp_hungarian": [],
+        "oggp": [],
+        "greedy": [],
+        "list": [],
+        "stepmin": [],
+    }
+    for rng in streams:
+        graph = random_bipartite(
+            rng,
+            max_side=config.sim.max_side,
+            max_edges=config.sim.max_edges,
+            weight_low=config.sim.weight_low,
+            weight_high=config.sim.weight_high,
+        )
+        bound = lower_bound(graph, config.k, config.beta)
+        ratios["ggp_arbitrary"].append(
+            evaluation_ratio(
+                ggp(graph, config.k, config.beta, matching="arbitrary").cost, bound
+            )
+        )
+        ratios["ggp_hungarian"].append(
+            evaluation_ratio(
+                ggp(graph, config.k, config.beta, matching="max_weight").cost, bound
+            )
+        )
+        ratios["oggp"].append(
+            evaluation_ratio(oggp(graph, config.k, config.beta).cost, bound)
+        )
+        ratios["greedy"].append(
+            evaluation_ratio(
+                greedy_schedule(graph, config.k, config.beta).cost, bound
+            )
+        )
+        ratios["list"].append(
+            evaluation_ratio(list_schedule(graph, config.k, config.beta).cost, bound)
+        )
+        ratios["stepmin"].append(
+            evaluation_ratio(
+                step_minimal_schedule(graph, config.k, config.beta).cost, bound
+            )
+        )
+    rows = []
+    for name, vals in ratios.items():
+        s = summarize(vals)
+        rows.append((name, s.mean, s.max, s.min))
+    return ExperimentResult(
+        experiment_id="ablation_matching",
+        title=f"A1: scheduler families (k={config.k}, beta={config.beta})",
+        headers=("scheduler", "ratio_avg", "ratio_max", "ratio_min"),
+        rows=rows,
+        notes=f"{config.sim.draws} random instances, weights "
+        f"U{{{config.sim.weight_low}..{config.sim.weight_high}}}",
+    )
+
+
+def run_ablation_rounding(config: AblationConfig | None = None) -> ExperimentResult:
+    """A2 — β round-up on vs off, across a β sweep."""
+    config = config or AblationConfig()
+    rows = []
+    x: list[float] = []
+    with_round, without_round = [], []
+    for i, beta in enumerate((0.25, 1.0, 4.0, 16.0, 64.0)):
+        streams = spawn_streams(config.sim.seed + 9100 + i, config.sim.draws)
+        r_on: list[float] = []
+        r_off: list[float] = []
+        for rng in streams:
+            graph = random_bipartite(
+                rng,
+                max_side=config.sim.max_side,
+                max_edges=config.sim.max_edges,
+                weight_low=config.sim.weight_low,
+                weight_high=config.sim.weight_high,
+            )
+            bound = lower_bound(graph, config.k, beta)
+            r_on.append(evaluation_ratio(ggp(graph, config.k, beta).cost, bound))
+            raw = ggp(graph, config.k, beta=0.0)
+            cost_off = raw.transmission_time + beta * raw.num_steps
+            r_off.append(evaluation_ratio(cost_off, bound))
+        on, off = summarize(r_on), summarize(r_off)
+        x.append(beta)
+        with_round.append(on.mean)
+        without_round.append(off.mean)
+        rows.append((beta, on.mean, on.max, off.mean, off.max))
+    return ExperimentResult(
+        experiment_id="ablation_rounding",
+        title="A2: beta round-up on vs off (GGP)",
+        headers=("beta", "roundup_avg", "roundup_max", "raw_avg", "raw_max"),
+        rows=rows,
+        x=x,
+        series={"round-up": with_round, "no round-up": without_round},
+        notes="'raw' schedules with beta=0 then pays beta per emitted step",
+    )
+
+
+def run_ablation_steps(config: AblationConfig | None = None) -> ExperimentResult:
+    """A3 — step-count reduction from the bottleneck matching."""
+    config = config or AblationConfig()
+    streams = spawn_streams(config.sim.seed + 9200, config.sim.draws)
+    steps: dict[str, list[float]] = {
+        "ggp_arbitrary": [],
+        "ggp_hungarian": [],
+        "oggp": [],
+    }
+    reduction: list[float] = []
+    for rng in streams:
+        graph = random_bipartite(
+            rng,
+            max_side=config.sim.max_side,
+            max_edges=config.sim.max_edges,
+            weight_low=config.sim.weight_low,
+            weight_high=config.sim.weight_high,
+        )
+        s_arb = ggp(graph, config.k, config.beta, matching="arbitrary").num_steps
+        s_hun = ggp(graph, config.k, config.beta, matching="max_weight").num_steps
+        s_o = oggp(graph, config.k, config.beta).num_steps
+        steps["ggp_arbitrary"].append(float(s_arb))
+        steps["ggp_hungarian"].append(float(s_hun))
+        steps["oggp"].append(float(s_o))
+        if s_arb > 0:
+            reduction.append(100.0 * (1.0 - s_o / s_arb))
+    r = summarize(reduction)
+    rows = [
+        (name, s.mean, s.max, s.min)
+        for name, s in ((n, summarize(v)) for n, v in steps.items())
+    ]
+    rows.append(("oggp_vs_arbitrary_reduction_pct", r.mean, r.max, r.min))
+    return ExperimentResult(
+        experiment_id="ablation_steps",
+        title=f"A3: step counts, GGP vs OGGP (k={config.k}, beta={config.beta})",
+        headers=("metric", "avg", "max", "min"),
+        rows=rows,
+        notes="paper §5.2 reports OGGP using ~50% fewer steps than GGP",
+    )

@@ -1,0 +1,57 @@
+"""Common result container for experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.tables import format_markdown, format_table, write_csv
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular outcome of one experiment.
+
+    ``rows`` are parallel to ``headers``; ``series`` maps curve names to
+    y-values over ``x`` (for plotting); ``notes`` records any caveats
+    (e.g. reduced draw counts vs the paper).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]]
+    x: list[float] = field(default_factory=list)
+    series: Mapping[str, Sequence[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def table(self, floatfmt: str = ".4f") -> str:
+        """Aligned text table of the rows."""
+        return format_table(self.headers, self.rows, floatfmt=floatfmt)
+
+    def markdown(self, floatfmt: str = ".4f") -> str:
+        """Markdown table of the rows."""
+        return format_markdown(self.headers, self.rows, floatfmt=floatfmt)
+
+    def plot(self, width: int = 72, height: int = 18) -> str:
+        """ASCII plot of the series (empty string when no series)."""
+        if not self.series or not self.x:
+            return ""
+        return ascii_plot(
+            self.x, self.series, width=width, height=height, title=self.title
+        )
+
+    def save_csv(self, path) -> None:
+        """Write rows to a CSV file."""
+        write_csv(path, self.headers, self.rows)
+
+    def render(self) -> str:
+        """Full human-readable report: title, table, plot, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.table()]
+        plot = self.plot()
+        if plot:
+            parts.append(plot)
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n\n".join(parts)

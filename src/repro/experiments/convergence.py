@@ -1,0 +1,61 @@
+"""Estimator-convergence study for the simulation figures.
+
+The paper runs 100 000 draws per point; this repository defaults to a
+few hundred.  This experiment quantifies what that costs: it repeats
+the Figure-7 estimator (average/max evaluation ratio at a fixed ``k``)
+many times at several draw counts and reports the spread of the
+estimates.  The average-ratio curve stabilises quickly (its standard
+error shrinks as ``1/sqrt(draws)``); the max-ratio curve keeps creeping
+upward with draws (it estimates a tail), which is why our reported
+maxima sit slightly below the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import summarize
+from repro.experiments.base import ExperimentResult
+from repro.experiments.simulation import SimulationConfig, measure_ratios
+
+
+def run_convergence(
+    draw_counts: tuple[int, ...] = (25, 50, 100, 200, 400),
+    repetitions: int = 8,
+    k: int = 10,
+    seed: int = 7001,
+) -> ExperimentResult:
+    """Spread of the Fig-7 estimator at several draw counts."""
+    rows = []
+    x: list[float] = []
+    avg_stderr, max_mean = [], []
+    for draws in draw_counts:
+        avg_estimates = []
+        max_estimates = []
+        for rep in range(repetitions):
+            config = SimulationConfig(
+                max_side=10, max_edges=60, draws=draws,
+                seed=seed + rep * 10_000,
+            )
+            point = measure_ratios(config, k=k, beta=1.0, point_index=0)
+            avg_estimates.append(point.oggp.mean)
+            max_estimates.append(point.oggp.max)
+        a, m = summarize(avg_estimates), summarize(max_estimates)
+        x.append(float(draws))
+        avg_stderr.append(a.std)
+        max_mean.append(m.mean)
+        rows.append((draws, a.mean, a.std, m.mean, m.std))
+    return ExperimentResult(
+        experiment_id="convergence",
+        title=f"Estimator convergence vs draw count (OGGP, k={k})",
+        headers=("draws", "avg_ratio_mean", "avg_ratio_spread",
+                 "max_ratio_mean", "max_ratio_spread"),
+        rows=rows,
+        x=x,
+        series={"avg estimator spread": avg_stderr,
+                "max estimator mean": max_mean},
+        notes=(
+            f"{repetitions} independent estimates per draw count; the avg "
+            "curve's spread shrinks ~1/sqrt(draws), the max curve grows "
+            "with draws (tail statistic) — context for comparing our "
+            "reduced-draw figures against the paper's 100k-draw ones"
+        ),
+    )

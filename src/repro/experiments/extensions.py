@@ -1,0 +1,252 @@
+"""Experiments for the paper's future-work extensions (§6).
+
+Not figures of the paper — these quantify the extensions the paper
+proposes and this library implements:
+
+- **dynamic_backbone** — adaptive rescheduling vs a static schedule
+  when the backbone capacity varies (paper: "when the throughput of the
+  backbone varies dynamically"),
+- **online_batching** — batch scheduling of dynamically arriving
+  messages vs a clairvoyant oracle (paper: "when the redistribution
+  pattern is not fully known in advance"),
+- **preredistribution** — local load balancing before/after the
+  backbone phase on skewed patterns (paper: "aggregate small
+  communications together, or on the opposite to dispatch
+  communications to all nodes in the cluster"),
+- **ablation_relax** — barrier removal (paper §2.1's "weakened"
+  barriers): relaxed asynchronous makespan vs synchronous cost across β.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import summarize
+from repro.core.adaptive import adaptive_schedule_run, static_schedule_run
+from repro.core.oggp import oggp
+from repro.core.online import (
+    offline_oracle_cost,
+    poisson_arrivals,
+    run_online_batches,
+)
+from repro.core.preredistribution import schedule_with_preredistribution
+from repro.core.relax import relax_schedule
+from repro.experiments.base import ExperimentResult
+from repro.experiments.simulation import SimulationConfig
+from repro.graph.generators import from_traffic_matrix, random_bipartite
+from repro.netsim.topology import NetworkSpec
+from repro.netsim.trace import BandwidthTrace
+from repro.patterns.matrices import hotspot_matrix, uniform_matrix, zipf_matrix
+from repro.util.rng import spawn_streams
+
+
+def run_dynamic_backbone(
+    num_patterns: int = 8,
+    seed: int = 6001,
+) -> ExperimentResult:
+    """Adaptive rescheduling vs static schedule under capacity dips.
+
+    Platform: the paper's testbed shaped for k = 4 (backbone-bound, so
+    the dip actually binds — with k close to min(n1, n2) the busiest
+    node, not the backbone, limits the schedule and adaptation has
+    nothing to exploit).  Three regimes:
+
+    - *ideal-fluid* — congestion costs nothing (a control: with
+      work-conserving sharing a static schedule degrades gracefully, so
+      adapting ``k`` cannot win; it only pays extra setup),
+    - *mild* / *severe* — oversubscribing a dipped backbone wastes
+      goodput on drops and retransmissions (congestion_penalty = 1),
+      with dips to 50 %/25 % resp. 25 %/12.5 % of nominal capacity.
+
+    The paper's multi-step structure is what makes the adaptation cheap:
+    a running step is preempted at the capacity change and the remainder
+    rescheduled for the new ``k``.
+    """
+    spec = NetworkSpec(
+        n1=10, n2=10, nic_rate1=25.0, nic_rate2=25.0,
+        backbone_rate=100.0, step_setup=0.01,
+    )
+    regimes = (
+        ("ideal-fluid", 0.0, (50.0, 25.0)),
+        ("mild", 1.0, (50.0, 25.0)),
+        ("severe", 1.0, (25.0, 12.5)),
+    )
+    rows = []
+    for label, penalty, (dip1, dip2) in regimes:
+        gains, static_times, adaptive_times, resched = [], [], [], []
+        for rng in spawn_streams(seed, num_patterns):
+            traffic = uniform_matrix(rng, 10, 10, 8.0, 40.0)  # Mbit
+            graph = from_traffic_matrix(traffic, speed=spec.flow_rate)
+            horizon = traffic.sum() / spec.backbone_rate
+            trace = BandwidthTrace.from_pairs(
+                [
+                    (0.0, 100.0),
+                    (0.20 * horizon, dip1),
+                    (0.50 * horizon, dip2),
+                    (0.90 * horizon, 100.0),
+                ]
+            )
+            static = static_schedule_run(
+                graph, spec, trace, congestion_penalty=penalty
+            )
+            adaptive = adaptive_schedule_run(
+                graph, spec, trace, congestion_penalty=penalty
+            )
+            static_times.append(static.total_time)
+            adaptive_times.append(adaptive.total_time)
+            resched.append(adaptive.reschedules)
+            gains.append(
+                100.0 * (1.0 - adaptive.total_time / static.total_time)
+            )
+        g = summarize(gains)
+        rows.append(
+            (
+                label,
+                summarize(static_times).mean,
+                summarize(adaptive_times).mean,
+                summarize(resched).mean,
+                g.mean,
+                g.min,
+                g.max,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="dynamic_backbone",
+        title="Adaptive rescheduling under a varying backbone",
+        headers=("regime", "static_avg_s", "adaptive_avg_s",
+                 "reschedules_avg", "gain_avg_pct", "gain_min_pct",
+                 "gain_max_pct"),
+        rows=rows,
+        notes=(
+            f"{num_patterns} uniform 10x10 patterns; backbone dips between "
+            "20% and 90% of the nominal-horizon; static schedules once for "
+            "the initial k"
+        ),
+    )
+
+
+def run_online_batching(
+    num_workloads: int = 10,
+    messages: int = 60,
+    seed: int = 6002,
+) -> ExperimentResult:
+    """Empirical competitive ratio of batch-mode online scheduling."""
+    k, beta = 5, 0.5
+    rows = []
+    for label, rate in (("bursty", 50.0), ("steady", 2.0), ("sparse", 0.2)):
+        ratios = []
+        round_counts = []
+        for rng in spawn_streams(seed + int(rate * 10), num_workloads):
+            arrivals = poisson_arrivals(
+                rng, n1=8, n2=8, count=messages, rate=rate,
+                size_low=1.0, size_high=20.0,
+            )
+            online = run_online_batches(arrivals, k=k, beta=beta)
+            oracle = offline_oracle_cost(arrivals, k=k, beta=beta)
+            ratios.append(online.completion_time / oracle)
+            round_counts.append(online.rounds)
+        s = summarize(ratios)
+        rc = summarize(round_counts)
+        rows.append((label, rate, s.mean, s.max, rc.mean))
+    return ExperimentResult(
+        experiment_id="online_batching",
+        title="Online batch scheduling vs clairvoyant oracle",
+        headers=("workload", "arrival_rate", "ratio_avg", "ratio_max",
+                 "rounds_avg"),
+        rows=rows,
+        notes=(
+            f"{messages} messages on 8+8 nodes, k={k}, beta={beta}; ratio = "
+            "online completion / max(last arrival, offline OGGP cost)"
+        ),
+    )
+
+
+def run_preredistribution(
+    num_patterns: int = 10,
+    seed: int = 6003,
+) -> ExperimentResult:
+    """Local dispatch balancing on skewed vs uniform patterns.
+
+    Local network 10x faster than the per-flow backbone rate — the
+    'high-speed local network' premise of the paper's proposal.
+    """
+    k, beta = 5, 0.5
+    flow_rate = 10.0
+    local_rate = 100.0
+    rows = []
+    for offset, (label, make) in enumerate(
+        (
+            ("zipf", lambda rng: zipf_matrix(rng, 10, 10, total=2000.0)),
+            ("hotspot", lambda rng: hotspot_matrix(rng, 10, 10, 5.0, 120.0, 2)),
+            ("uniform", lambda rng: uniform_matrix(rng, 10, 10, 15.0, 25.0)),
+        )
+    ):
+        plain_t, balanced_t, gains = [], [], []
+        for rng in spawn_streams(seed + offset, num_patterns):
+            matrix = make(rng)
+            plain = schedule_with_preredistribution(
+                matrix, k, beta, flow_rate, local_rate,
+                balance_send=False, balance_recv=False,
+            )
+            balanced = schedule_with_preredistribution(
+                matrix, k, beta, flow_rate, local_rate,
+                balance_send=True, balance_recv=True,
+            )
+            plain_t.append(plain.total_time)
+            balanced_t.append(balanced.total_time)
+            gains.append(100.0 * (1.0 - balanced.total_time / plain.total_time))
+        g = summarize(gains)
+        rows.append(
+            (label, summarize(plain_t).mean, summarize(balanced_t).mean,
+             g.mean, g.min)
+        )
+    return ExperimentResult(
+        experiment_id="preredistribution",
+        title="Local pre/post-redistribution (dispatch) on skewed patterns",
+        headers=("pattern", "plain_avg", "balanced_avg", "gain_avg_pct",
+                 "gain_min_pct"),
+        rows=rows,
+        notes=(
+            f"local network {local_rate / flow_rate:.0f}x the per-flow "
+            "backbone rate; phases sequential (pre + backbone + post)"
+        ),
+    )
+
+
+def run_ablation_relax(
+    config: SimulationConfig | None = None,
+) -> ExperimentResult:
+    """Barrier removal: async makespan / sync cost across β."""
+    config = config or SimulationConfig(max_side=10, max_edges=60, draws=100)
+    k = 5
+    rows = []
+    x, improvement = [], []
+    for i, beta in enumerate((0.0, 0.25, 1.0, 4.0, 16.0)):
+        ratios = []
+        for rng in spawn_streams(config.seed + 9300 + i, config.draws):
+            graph = random_bipartite(
+                rng,
+                max_side=config.max_side,
+                max_edges=config.max_edges,
+                weight_low=config.weight_low,
+                weight_high=config.weight_high,
+            )
+            sync = oggp(graph, k=k, beta=beta)
+            relaxed = relax_schedule(sync)
+            relaxed.validate(graph)
+            if sync.cost > 0:
+                ratios.append(relaxed.makespan / sync.cost)
+        s = summarize(ratios)
+        x.append(beta)
+        improvement.append(s.mean)
+        rows.append((beta, s.mean, s.min, s.max))
+    return ExperimentResult(
+        experiment_id="ablation_relax",
+        title="Barrier removal: async makespan / sync cost (OGGP, k=5)",
+        headers=("beta", "ratio_avg", "ratio_min", "ratio_max"),
+        rows=rows,
+        x=x,
+        series={"async/sync": improvement},
+        notes=(
+            "< 1 means dropping barriers helps; at beta=0 it never hurts, "
+            "at large beta per-chunk setup can exceed the barrier savings"
+        ),
+    )

@@ -1,0 +1,144 @@
+"""Figures 10 and 11 — brute-force TCP vs GGP/OGGP on the testbed.
+
+The paper's §5.2 protocol: two clusters of 10 nodes, NICs shaped to
+``100/k`` Mbit/s, all-to-all transfers with sizes uniform in
+``[10, n]`` MB, total redistribution time plotted as ``n`` grows.
+Figure 10 is ``k = 3``, Figure 11 is ``k = 7``.
+
+Findings to reproduce: GGP/OGGP beat brute force by 5–20 %, the gain
+grows with ``k``, GGP ≈ OGGP in wall time despite OGGP using far fewer
+steps, brute force is nondeterministic while the scheduled runs are
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stats import summarize
+from repro.experiments.base import ExperimentResult
+from repro.netsim.runner import run_redistribution, uniform_traffic
+from repro.netsim.tcp import TcpParams
+from repro.netsim.topology import NetworkSpec
+from repro.util.errors import ConfigError
+from repro.util.rng import spawn_streams
+
+DEFAULT_N_VALUES: tuple[int, ...] = (20, 40, 60, 80, 100)
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Parameters for the testbed comparison.
+
+    ``n_values`` — the x-axis (max message size in MB; min is 10 MB as
+    in the paper); ``tcp_repeats`` — brute-force repetitions per point
+    (the paper reran to observe the ±10 % spread);
+    ``size_scale`` — scales all volumes down for quick runs (1.0 =
+    paper sizes).
+    """
+
+    __test__ = False  # name starts with "Test" but is not a pytest class
+
+    k: int = 3
+    n_values: Sequence[int] = DEFAULT_N_VALUES
+    tcp_repeats: int = 3
+    size_scale: float = 1.0
+    step_setup: float = 0.01
+    seed: int = 51102
+    tcp_params: TcpParams = TcpParams()
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.tcp_repeats < 1:
+            raise ConfigError(f"tcp_repeats must be >= 1, got {self.tcp_repeats}")
+        if self.size_scale <= 0:
+            raise ConfigError(f"size_scale must be positive, got {self.size_scale}")
+        if any(n < 10 for n in self.n_values):
+            raise ConfigError("n must be >= 10 (sizes are U[10, n] MB)")
+
+
+def run_testbed_comparison(config: TestbedConfig) -> ExperimentResult:
+    """Run the comparison for one ``k``; returns rows per ``n`` value."""
+    spec = NetworkSpec.paper_testbed(config.k, step_setup=config.step_setup)
+    rows = []
+    x: list[float] = []
+    brute_series, ggp_series, oggp_series = [], [], []
+    for i, n in enumerate(config.n_values):
+        streams = spawn_streams(config.seed + i, config.tcp_repeats + 1)
+        traffic = uniform_traffic(
+            streams[0], spec.n1, spec.n2, 10.0 * config.size_scale,
+            float(n) * config.size_scale,
+        )
+        brute_times = [
+            run_redistribution(
+                spec, traffic, "bruteforce", rng=streams[1 + r],
+                tcp_params=config.tcp_params,
+            ).total_time
+            for r in range(config.tcp_repeats)
+        ]
+        brute = summarize(brute_times)
+        ggp_out = run_redistribution(spec, traffic, "ggp")
+        oggp_out = run_redistribution(spec, traffic, "oggp")
+        x.append(float(n))
+        brute_series.append(brute.mean)
+        ggp_series.append(ggp_out.total_time)
+        oggp_series.append(oggp_out.total_time)
+        gain_ggp = 100.0 * (1.0 - ggp_out.total_time / brute.mean)
+        gain_oggp = 100.0 * (1.0 - oggp_out.total_time / brute.mean)
+        rows.append(
+            (
+                n,
+                brute.mean,
+                brute.max - brute.min,
+                ggp_out.total_time,
+                ggp_out.num_steps,
+                oggp_out.total_time,
+                oggp_out.num_steps,
+                gain_ggp,
+                gain_oggp,
+            )
+        )
+    return ExperimentResult(
+        experiment_id=f"fig{10 if config.k == 3 else 11}",
+        title=f"Brute-force vs GGP/OGGP (k = {config.k})",
+        headers=(
+            "n_mb",
+            "brute_s",
+            "brute_spread_s",
+            "ggp_s",
+            "ggp_steps",
+            "oggp_s",
+            "oggp_steps",
+            "gain_ggp_pct",
+            "gain_oggp_pct",
+        ),
+        rows=rows,
+        x=x,
+        series={
+            "brute force": brute_series,
+            "ggp": ggp_series,
+            "oggp": oggp_series,
+        },
+        notes=(
+            f"simulated testbed (see DESIGN.md substitutions); "
+            f"size_scale={config.size_scale}, {config.tcp_repeats} TCP runs/point"
+        ),
+    )
+
+
+def run_fig10(config: TestbedConfig | None = None) -> ExperimentResult:
+    """Figure 10: ``k = 3``."""
+    config = config or TestbedConfig(k=3)
+    if config.k != 3:
+        raise ConfigError("fig10 is defined for k = 3")
+    return run_testbed_comparison(config)
+
+
+def run_fig11(config: TestbedConfig | None = None) -> ExperimentResult:
+    """Figure 11: ``k = 7``."""
+    config = config or TestbedConfig(k=7)
+    if config.k != 7:
+        raise ConfigError("fig11 is defined for k = 7")
+    return run_testbed_comparison(config)

@@ -1,0 +1,56 @@
+"""Registry mapping experiment ids to harnesses (used by the CLI)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.ablation import (
+    run_ablation_matching,
+    run_ablation_rounding,
+    run_ablation_steps,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10_11 import run_fig10, run_fig11
+from repro.experiments.convergence import run_convergence
+from repro.experiments.heterogeneity import run_heterogeneity
+from repro.experiments.scalability import run_scalability
+from repro.experiments.extensions import (
+    run_ablation_relax,
+    run_dynamic_backbone,
+    run_online_batching,
+    run_preredistribution,
+)
+from repro.util.errors import ConfigError
+
+#: Experiment id -> zero-argument harness with paper-default parameters.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "ablation_matching": run_ablation_matching,
+    "ablation_rounding": run_ablation_rounding,
+    "ablation_steps": run_ablation_steps,
+    "ablation_relax": run_ablation_relax,
+    "dynamic_backbone": run_dynamic_backbone,
+    "online_batching": run_online_batching,
+    "preredistribution": run_preredistribution,
+    "convergence": run_convergence,
+    "scalability": run_scalability,
+    "heterogeneity": run_heterogeneity,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """Harness for ``experiment_id``; raises ConfigError when unknown."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None

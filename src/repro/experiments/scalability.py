@@ -1,0 +1,96 @@
+"""Empirical complexity of the schedulers.
+
+The paper's case for GGP/OGGP over the earlier Cohen–Jeannot–Padoy
+2-approximation is *runtime*: O((m+n)²√n) resp. O((m+n)³√n) against
+O(k·n^7.5·m³), "low complexity that makes them useful in practice".
+This experiment measures wall time against instance size and fits the
+log-log slope, verifying that the implementations scale polynomially
+with small exponents (the fitted slope is typically *below* the proven
+worst-case bound — the peeling loop rarely needs the full iteration
+budget).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.analysis.stats import summarize
+from repro.core.baselines import greedy_schedule
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.experiments.base import ExperimentResult
+from repro.graph.generators import random_bipartite
+from repro.util.rng import spawn_streams
+
+
+def _fit_slope(sizes: list[float], times: list[float]) -> float:
+    """Least-squares slope of log(time) vs log(size)."""
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(max(t, 1e-9)) for t in times]
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    den = sum((x - mx) ** 2 for x in xs)
+    return num / den if den else 0.0
+
+
+def run_scalability(
+    edge_counts: tuple[int, ...] = (50, 100, 200, 400, 800),
+    repeats: int = 5,
+    k: int = 10,
+    seed: int = 8001,
+) -> ExperimentResult:
+    """Median scheduler runtime vs edge count, with fitted exponents."""
+    schedulers = (
+        ("ggp", lambda g: ggp(g, k, 1.0)),
+        ("oggp", lambda g: oggp(g, k, 1.0)),
+        ("greedy", lambda g: greedy_schedule(g, k, 1.0)),
+    )
+    medians: dict[str, list[float]] = {name: [] for name, _ in schedulers}
+    rows = []
+    for m in edge_counts:
+        side = max(4, int(round(math.sqrt(m))))
+        streams = spawn_streams(seed + m, repeats)
+        graphs = [
+            random_bipartite(
+                rng, max_side=side, min_side=side, max_edges=m, min_edges=m
+            )
+            for rng in streams
+        ]
+        row: list[object] = [m]
+        for name, fn in schedulers:
+            times = []
+            for g in graphs:
+                start = time.perf_counter()
+                fn(g)
+                times.append(time.perf_counter() - start)
+            stats = summarize(times)
+            # Median-ish: re-sort; summarize has no median, use sorted mid.
+            median = sorted(times)[len(times) // 2]
+            medians[name].append(median)
+            row.append(median * 1000.0)  # ms
+            del stats
+        rows.append(tuple(row))
+    slopes = {
+        name: _fit_slope([float(m) for m in edge_counts], series)
+        for name, series in medians.items()
+    }
+    rows.append(
+        ("log-log slope", slopes["ggp"], slopes["oggp"], slopes["greedy"])
+    )
+    return ExperimentResult(
+        experiment_id="scalability",
+        title=f"Scheduler runtime vs edge count (k={k})",
+        headers=("edges", "ggp_ms", "oggp_ms", "greedy_ms"),
+        rows=rows,
+        x=[float(m) for m in edge_counts],
+        series={name: [t * 1000 for t in series]
+                for name, series in medians.items()},
+        notes=(
+            f"median of {repeats} instances per size; the final row is the "
+            "fitted log-log exponent (proven worst cases: GGP "
+            "O((m+n)^2 sqrt(n)) ~ slope <= 2.25 in m at fixed density, "
+            "OGGP one factor higher)"
+        ),
+    )

@@ -1,0 +1,122 @@
+"""Shared machinery for the simulation experiments (Figures 7–9).
+
+The paper's protocol (§5.1): draw random bipartite graphs (up to 40
+nodes, up to 400 edges), run GGP and OGGP, and record the *evaluation
+ratio* — schedule cost divided by the Cohen–Jeannot–Padoy lower bound —
+averaged (and maximised) over many draws per parameter value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import SeriesStats, summarize
+from repro.core.bounds import evaluation_ratio, lower_bound
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.graph.generators import random_bipartite
+from repro.util.errors import ConfigError
+from repro.util.rng import spawn_streams
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Instance-generation parameters shared by Figures 7–9.
+
+    Paper defaults: ``max_side=20`` (up to 40 nodes total),
+    ``max_edges=400``, ``draws=100_000`` per point.  The default draw
+    count here is far smaller — the estimator is identical and the
+    curves are already stable at a few hundred draws; pass the paper's
+    value for a full-fidelity (hours-long) run.
+    """
+
+    max_side: int = 20
+    max_edges: int = 400
+    weight_low: int = 1
+    weight_high: int = 20
+    draws: int = 300
+    seed: int = 20040426  # IPPS 2004 venue date
+
+    def __post_init__(self) -> None:
+        if self.draws < 1:
+            raise ConfigError(f"draws must be >= 1, got {self.draws}")
+        if self.max_side < 1 or self.max_edges < 1:
+            raise ConfigError("max_side and max_edges must be >= 1")
+        if not (1 <= self.weight_low <= self.weight_high):
+            raise ConfigError(
+                f"need 1 <= weight_low <= weight_high, got "
+                f"{self.weight_low}, {self.weight_high}"
+            )
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    """Aggregated ratios for one parameter value."""
+
+    param: float
+    ggp: SeriesStats
+    oggp: SeriesStats
+
+
+def _measure_chunk(
+    args: tuple[SimulationConfig, int | None, float, int, int, int],
+) -> tuple[list[float], list[float]]:
+    """Worker: ratios for draws [start, stop) of a point (picklable)."""
+    config, k, beta, point_index, start, stop = args
+    streams = spawn_streams(config.seed + point_index, stop)[start:stop]
+    ggp_ratios: list[float] = []
+    oggp_ratios: list[float] = []
+    for rng in streams:
+        graph = random_bipartite(
+            rng,
+            max_side=config.max_side,
+            max_edges=config.max_edges,
+            weight_low=config.weight_low,
+            weight_high=config.weight_high,
+        )
+        k_draw = k if k is not None else int(rng.integers(1, config.max_side + 1))
+        bound = lower_bound(graph, k_draw, beta)
+        ggp_ratios.append(
+            evaluation_ratio(ggp(graph, k_draw, beta).cost, bound)
+        )
+        oggp_ratios.append(
+            evaluation_ratio(oggp(graph, k_draw, beta).cost, bound)
+        )
+    return ggp_ratios, oggp_ratios
+
+
+def measure_ratios(
+    config: SimulationConfig,
+    k: int | None,
+    beta: float,
+    point_index: int,
+    processes: int = 1,
+) -> RatioPoint:
+    """Run ``config.draws`` random instances at one parameter point.
+
+    ``k=None`` draws a random ``k ~ U{1..max_side}`` per instance
+    (Figure 9's protocol); otherwise the fixed ``k`` is used.  Streams
+    are derived per (point, draw), so results don't depend on execution
+    order, on sub-sampling draws, or on ``processes`` — the draws are
+    embarrassingly parallel and ``processes > 1`` fans them out over a
+    multiprocessing pool (useful for paper-fidelity 100k-draw runs).
+    """
+    if processes <= 1 or config.draws < 4:
+        g, o = _measure_chunk((config, k, beta, point_index, 0, config.draws))
+    else:
+        import multiprocessing
+
+        step = -(-config.draws // processes)
+        chunks = [
+            (config, k, beta, point_index, lo, min(lo + step, config.draws))
+            for lo in range(0, config.draws, step)
+        ]
+        with multiprocessing.Pool(processes) as pool:
+            parts = pool.map(_measure_chunk, chunks)
+        g = [r for part in parts for r in part[0]]
+        o = [r for part in parts for r in part[1]]
+    return RatioPoint(
+        param=float(k if k is not None else beta),
+        ggp=summarize(g),
+        oggp=summarize(o),
+    )

@@ -1,0 +1,27 @@
+"""Weighted bipartite multigraphs and generators.
+
+The bipartite graph is the central object of the K-PBS problem: left
+nodes are senders (cluster :math:`C_1`), right nodes are receivers
+(cluster :math:`C_2`), and each weighted edge is a message whose weight is
+its transmission time at the per-communication speed ``t``.
+"""
+
+from repro.graph.bipartite import BipartiteGraph, Edge, EdgeKind
+from repro.graph.generators import (
+    random_bipartite,
+    random_weight_regular,
+    complete_bipartite,
+    from_traffic_matrix,
+    paper_figure2_graph,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "Edge",
+    "EdgeKind",
+    "random_bipartite",
+    "random_weight_regular",
+    "complete_bipartite",
+    "from_traffic_matrix",
+    "paper_figure2_graph",
+]

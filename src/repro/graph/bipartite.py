@@ -1,0 +1,545 @@
+"""Mutable weighted bipartite multigraph.
+
+This module implements the graph representation used by every K-PBS
+algorithm in the library.  Design notes:
+
+- **Multigraph.** Parallel edges between the same (left, right) pair are
+  allowed; each edge carries a unique integer id.  The schedulers peel
+  weight off edges individually, so edge identity matters.
+- **Two node namespaces.** Left nodes (senders) and right nodes
+  (receivers) are integers in independent namespaces; ``(0, left)`` and
+  ``(0, right)`` are different nodes.
+- **Edge kinds.** Regularisation (paper §4.2.2) adds *deficiency* edges
+  (connecting a real node to a padding node) and *filler* edges
+  (connecting a fresh pair of padding nodes).  The kind is recorded on
+  the edge so schedule extraction can drop non-original traffic.
+- **Incremental aggregates.** Node weight sums ``w(s)`` and the total
+  weight ``P(G)`` are maintained incrementally; the peeling loops query
+  them every iteration.
+
+Weights may be ``int`` or ``float``.  The GGP/OGGP pipeline normalises
+weights to integers (multiples of β), so exact arithmetic is the common
+case; float support exists for the β = 0 limit and for direct WRGP use.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.util.errors import GraphError
+
+Number = float  # int | float — documented alias
+
+
+class EdgeKind(enum.Enum):
+    """Provenance of an edge with respect to the original input graph."""
+
+    ORIGINAL = "original"
+    #: Added by regularisation case 1 to top node weights up to the target.
+    DEFICIENCY = "deficiency"
+    #: Added by regularisation case 2 between two fresh padding nodes.
+    FILLER = "filler"
+
+
+class NodeKind(enum.Enum):
+    """Provenance of a node."""
+
+    ORIGINAL = "original"
+    #: Fresh endpoint of a filler edge (case 2).
+    FILLER = "filler"
+    #: Padding node absorbing deficiency (case 1).
+    PADDING = "padding"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single message: ``weight`` units of traffic from ``left`` to ``right``.
+
+    Immutable; weight changes are performed by the owning graph, which
+    replaces the stored instance.
+    """
+
+    id: int
+    left: int
+    right: int
+    weight: Number
+    kind: EdgeKind = EdgeKind.ORIGINAL
+
+    def with_weight(self, weight: Number) -> "Edge":
+        """Copy of this edge with a different weight."""
+        return Edge(self.id, self.left, self.right, weight, self.kind)
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """``(left, right)`` pair."""
+        return (self.left, self.right)
+
+
+class BipartiteGraph:
+    """Weighted bipartite multigraph with incremental weight aggregates.
+
+    Nodes are created implicitly by :meth:`add_edge` or explicitly by
+    :meth:`add_left_node` / :meth:`add_right_node` (isolated nodes are
+    legal and occur transiently during regularisation).
+
+    The class exposes the paper's notations directly:
+
+    - :meth:`total_weight` — :math:`P(G) = \\sum_e f(e)`,
+    - :meth:`node_weight` — :math:`w(s)`,
+    - :meth:`max_node_weight` — :math:`W(G) = \\max_s w(s)`,
+    - :meth:`degree` / :meth:`max_degree` — :math:`\\Delta`.
+    """
+
+    __slots__ = (
+        "_edges",
+        "_left_adj",
+        "_right_adj",
+        "_left_kind",
+        "_right_kind",
+        "_left_weight",
+        "_right_weight",
+        "_total_weight",
+        "_next_edge_id",
+    )
+
+    def __init__(self) -> None:
+        self._edges: dict[int, Edge] = {}
+        self._left_adj: dict[int, set[int]] = {}
+        self._right_adj: dict[int, set[int]] = {}
+        self._left_kind: dict[int, NodeKind] = {}
+        self._right_kind: dict[int, NodeKind] = {}
+        self._left_weight: dict[int, Number] = {}
+        self._right_weight: dict[int, Number] = {}
+        self._total_weight: Number = 0
+        self._next_edge_id: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int, Number]],
+    ) -> "BipartiteGraph":
+        """Build a graph from ``(left, right, weight)`` triples.
+
+        >>> g = BipartiteGraph.from_edges([(0, 0, 4.0), (0, 1, 2.0)])
+        >>> g.num_edges
+        2
+        """
+        g = cls()
+        for left, right, weight in edges:
+            g.add_edge(left, right, weight)
+        return g
+
+    def add_left_node(self, node: int, kind: NodeKind = NodeKind.ORIGINAL) -> None:
+        """Ensure left node ``node`` exists (no-op when present)."""
+        if node not in self._left_adj:
+            self._left_adj[node] = set()
+            self._left_kind[node] = kind
+            self._left_weight[node] = 0
+
+    def add_right_node(self, node: int, kind: NodeKind = NodeKind.ORIGINAL) -> None:
+        """Ensure right node ``node`` exists (no-op when present)."""
+        if node not in self._right_adj:
+            self._right_adj[node] = set()
+            self._right_kind[node] = kind
+            self._right_weight[node] = 0
+
+    def add_edge(
+        self,
+        left: int,
+        right: int,
+        weight: Number,
+        kind: EdgeKind = EdgeKind.ORIGINAL,
+        left_kind: NodeKind = NodeKind.ORIGINAL,
+        right_kind: NodeKind = NodeKind.ORIGINAL,
+    ) -> Edge:
+        """Add an edge; creates endpoints as needed; returns the new Edge.
+
+        Weights must be strictly positive: a zero-weight message is no
+        message at all, and the peeling algorithms rely on positivity.
+        """
+        if weight <= 0:
+            raise GraphError(
+                f"edge weight must be positive, got {weight!r} for ({left},{right})"
+            )
+        self.add_left_node(left, left_kind)
+        self.add_right_node(right, right_kind)
+        edge = Edge(self._next_edge_id, left, right, weight, kind)
+        self._next_edge_id += 1
+        self._edges[edge.id] = edge
+        self._left_adj[left].add(edge.id)
+        self._right_adj[right].add(edge.id)
+        self._left_weight[left] += weight
+        self._right_weight[right] += weight
+        self._total_weight += weight
+        return edge
+
+    def remove_edge(self, edge_id: int) -> Edge:
+        """Remove and return an edge by id."""
+        try:
+            edge = self._edges.pop(edge_id)
+        except KeyError:
+            raise GraphError(f"no edge with id {edge_id}") from None
+        self._left_adj[edge.left].discard(edge_id)
+        self._right_adj[edge.right].discard(edge_id)
+        self._left_weight[edge.left] -= edge.weight
+        self._right_weight[edge.right] -= edge.weight
+        self._total_weight -= edge.weight
+        return edge
+
+    def decrease_weight(self, edge_id: int, amount: Number) -> Edge | None:
+        """Peel ``amount`` off an edge.
+
+        Returns the updated edge, or ``None`` when the edge reached zero
+        weight and was removed.  Peeling more than the remaining weight is
+        an error — the WRGP invariant guarantees it never happens.
+        """
+        edge = self._edges.get(edge_id)
+        if edge is None:
+            raise GraphError(f"no edge with id {edge_id}")
+        if amount <= 0:
+            raise GraphError(f"peel amount must be positive, got {amount!r}")
+        remaining = edge.weight - amount
+        if remaining < 0:
+            raise GraphError(
+                f"cannot peel {amount!r} off edge {edge_id} of weight {edge.weight!r}"
+            )
+        if remaining == 0:
+            self.remove_edge(edge_id)
+            return None
+        updated = edge.with_weight(remaining)
+        self._edges[edge_id] = updated
+        self._left_weight[edge.left] -= amount
+        self._right_weight[edge.right] -= amount
+        self._total_weight -= amount
+        return updated
+
+    def remove_isolated_nodes(self) -> tuple[list[int], list[int]]:
+        """Drop nodes with no adjacent edges.
+
+        Returns the ``(left_ids, right_ids)`` that were removed.  Used by
+        regularisation: isolated nodes carry no traffic, and padding them
+        up to the regular weight would only add useless dummy work.
+        """
+        left_removed = sorted(n for n, s in self._left_adj.items() if not s)
+        right_removed = sorted(n for n, s in self._right_adj.items() if not s)
+        for n in left_removed:
+            del self._left_adj[n]
+            del self._left_kind[n]
+            del self._left_weight[n]
+        for n in right_removed:
+            del self._right_adj[n]
+            del self._right_kind[n]
+            del self._right_weight[n]
+        return left_removed, right_removed
+
+    def copy(self) -> "BipartiteGraph":
+        """Deep copy (edges are immutable, so sharing them is safe)."""
+        g = BipartiteGraph()
+        g._edges = dict(self._edges)
+        g._left_adj = {n: set(s) for n, s in self._left_adj.items()}
+        g._right_adj = {n: set(s) for n, s in self._right_adj.items()}
+        g._left_kind = dict(self._left_kind)
+        g._right_kind = dict(self._right_kind)
+        g._left_weight = dict(self._left_weight)
+        g._right_weight = dict(self._right_weight)
+        g._total_weight = self._total_weight
+        g._next_edge_id = self._next_edge_id
+        return g
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m``."""
+        return len(self._edges)
+
+    @property
+    def num_left(self) -> int:
+        """Number of left (sender) nodes, including isolated ones."""
+        return len(self._left_adj)
+
+    @property
+    def num_right(self) -> int:
+        """Number of right (receiver) nodes, including isolated ones."""
+        return len(self._right_adj)
+
+    @property
+    def num_nodes(self) -> int:
+        """``n = |V1| + |V2|``."""
+        return self.num_left + self.num_right
+
+    def left_nodes(self) -> list[int]:
+        """Sorted left node ids."""
+        return sorted(self._left_adj)
+
+    def right_nodes(self) -> list[int]:
+        """Sorted right node ids."""
+        return sorted(self._right_adj)
+
+    def has_edge_id(self, edge_id: int) -> bool:
+        """True when an edge with this id is present."""
+        return edge_id in self._edges
+
+    def edge(self, edge_id: int) -> Edge:
+        """Edge by id (raises GraphError when absent)."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise GraphError(f"no edge with id {edge_id}") from None
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges (order unspecified)."""
+        return iter(self._edges.values())
+
+    def edge_ids(self) -> list[int]:
+        """Sorted list of edge ids (stable iteration order for algorithms)."""
+        return sorted(self._edges)
+
+    def edges_sorted(self, key: Callable[[Edge], object] | None = None) -> list[Edge]:
+        """Edges sorted by ``key`` (default: by id, i.e. insertion order)."""
+        if key is None:
+            return [self._edges[i] for i in sorted(self._edges)]
+        return sorted(self._edges.values(), key=key)  # type: ignore[arg-type]
+
+    def left_edges(self, node: int) -> list[Edge]:
+        """Edges adjacent to a left node."""
+        return [self._edges[i] for i in self._left_adj[node]]
+
+    def right_edges(self, node: int) -> list[Edge]:
+        """Edges adjacent to a right node."""
+        return [self._edges[i] for i in self._right_adj[node]]
+
+    def left_node_kind(self, node: int) -> NodeKind:
+        """Provenance of a left node."""
+        return self._left_kind[node]
+
+    def right_node_kind(self, node: int) -> NodeKind:
+        """Provenance of a right node."""
+        return self._right_kind[node]
+
+    def degree(self, node: int, side: str) -> int:
+        """Degree of ``node`` on ``side`` ('left' or 'right')."""
+        adj = self._left_adj if side == "left" else self._right_adj
+        return len(adj[node])
+
+    def max_degree(self) -> int:
+        """:math:`\\Delta(G)` — the maximum degree over all nodes."""
+        degrees = [len(s) for s in self._left_adj.values()]
+        degrees += [len(s) for s in self._right_adj.values()]
+        return max(degrees, default=0)
+
+    def node_weight(self, node: int, side: str) -> Number:
+        """:math:`w(s)` — sum of weights of edges adjacent to ``node``."""
+        weights = self._left_weight if side == "left" else self._right_weight
+        return weights[node]
+
+    def max_node_weight(self) -> Number:
+        """:math:`W(G) = \\max_s w(s)` (0 for an empty graph)."""
+        candidates = list(self._left_weight.values()) + list(self._right_weight.values())
+        return max(candidates, default=0)
+
+    def total_weight(self) -> Number:
+        """:math:`P(G) = \\sum_e f(e)`."""
+        return self._total_weight
+
+    def is_empty(self) -> bool:
+        """True when the graph has no edges."""
+        return not self._edges
+
+    def is_weight_regular(self, tol: float = 1e-9) -> bool:
+        """True when every *node* has the same weight sum :math:`w(s)`.
+
+        Isolated nodes (weight 0) break regularity unless every node is
+        isolated.  ``tol`` is an absolute tolerance for float weights.
+        """
+        weights = list(self._left_weight.values()) + list(self._right_weight.values())
+        if not weights:
+            return True
+        lo, hi = min(weights), max(weights)
+        return hi - lo <= tol
+
+    def original_edge_ids(self) -> set[int]:
+        """Ids of edges of kind ORIGINAL."""
+        return {e.id for e in self._edges.values() if e.kind is EdgeKind.ORIGINAL}
+
+    def max_edge_weight(self) -> Number:
+        """Largest edge weight (0 for an empty graph)."""
+        return max((e.weight for e in self._edges.values()), default=0)
+
+    def min_edge_weight(self) -> Number:
+        """Smallest edge weight (0 for an empty graph)."""
+        return min((e.weight for e in self._edges.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def map_weights(self, fn: Callable[[Number], Number]) -> "BipartiteGraph":
+        """New graph with every weight replaced by ``fn(weight)``.
+
+        Node ids, edge ids and kinds are preserved.  Used by the β
+        normalisation step.
+        """
+        g = BipartiteGraph()
+        for node in self._left_adj:
+            g.add_left_node(node, self._left_kind[node])
+        for node in self._right_adj:
+            g.add_right_node(node, self._right_kind[node])
+        for edge in self.edges_sorted():
+            new_weight = fn(edge.weight)
+            if new_weight <= 0:
+                raise GraphError(
+                    f"map_weights produced non-positive weight {new_weight!r}"
+                )
+            new_edge = Edge(edge.id, edge.left, edge.right, new_weight, edge.kind)
+            g._edges[new_edge.id] = new_edge
+            g._left_adj[edge.left].add(edge.id)
+            g._right_adj[edge.right].add(edge.id)
+            g._left_weight[edge.left] += new_weight
+            g._right_weight[edge.right] += new_weight
+            g._total_weight += new_weight
+        g._next_edge_id = self._next_edge_id
+        return g
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "left_nodes": [
+                {"id": n, "kind": self._left_kind[n].value} for n in self.left_nodes()
+            ],
+            "right_nodes": [
+                {"id": n, "kind": self._right_kind[n].value} for n in self.right_nodes()
+            ],
+            "edges": [
+                {
+                    "id": e.id,
+                    "left": e.left,
+                    "right": e.right,
+                    "weight": e.weight,
+                    "kind": e.kind.value,
+                }
+                for e in self.edges_sorted()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BipartiteGraph":
+        """Inverse of :meth:`to_dict`."""
+        g = cls()
+        for node in data.get("left_nodes", []):
+            g.add_left_node(int(node["id"]), NodeKind(node.get("kind", "original")))
+        for node in data.get("right_nodes", []):
+            g.add_right_node(int(node["id"]), NodeKind(node.get("kind", "original")))
+        max_id = -1
+        for item in data["edges"]:
+            edge = Edge(
+                int(item["id"]),
+                int(item["left"]),
+                int(item["right"]),
+                item["weight"],
+                EdgeKind(item.get("kind", "original")),
+            )
+            if edge.weight <= 0:
+                raise GraphError(f"edge {edge.id} has non-positive weight")
+            if edge.id in g._edges:
+                raise GraphError(f"duplicate edge id {edge.id}")
+            g.add_left_node(edge.left)
+            g.add_right_node(edge.right)
+            g._edges[edge.id] = edge
+            g._left_adj[edge.left].add(edge.id)
+            g._right_adj[edge.right].add(edge.id)
+            g._left_weight[edge.left] += edge.weight
+            g._right_weight[edge.right] += edge.weight
+            g._total_weight += edge.weight
+            max_id = max(max_id, edge.id)
+        g._next_edge_id = max_id + 1
+        return g
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "BipartiteGraph":
+        """Deserialise from a JSON string."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Validation / dunder
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check internal invariants; raises GraphError on corruption.
+
+        Intended for tests and debugging — all public operations preserve
+        these invariants.
+        """
+        total: Number = 0
+        left_w: dict[int, Number] = {n: 0 for n in self._left_adj}
+        right_w: dict[int, Number] = {n: 0 for n in self._right_adj}
+        for edge in self._edges.values():
+            if edge.weight <= 0:
+                raise GraphError(f"edge {edge.id} has non-positive weight")
+            if edge.id not in self._left_adj.get(edge.left, ()):  # type: ignore[operator]
+                raise GraphError(f"edge {edge.id} missing from left adjacency")
+            if edge.id not in self._right_adj.get(edge.right, ()):  # type: ignore[operator]
+                raise GraphError(f"edge {edge.id} missing from right adjacency")
+            total += edge.weight
+            left_w[edge.left] += edge.weight
+            right_w[edge.right] += edge.weight
+        for side_adj, side in ((self._left_adj, "left"), (self._right_adj, "right")):
+            for node, ids in side_adj.items():
+                for eid in ids:
+                    if eid not in self._edges:
+                        raise GraphError(f"stale edge id {eid} at {side} node {node}")
+        if abs(total - self._total_weight) > 1e-6 * max(1.0, abs(total)):
+            raise GraphError(
+                f"total weight cache {self._total_weight!r} != recomputed {total!r}"
+            )
+        for node, w in left_w.items():
+            if abs(w - self._left_weight[node]) > 1e-6 * max(1.0, abs(w)):
+                raise GraphError(f"left weight cache wrong at node {node}")
+        for node, w in right_w.items():
+            if abs(w - self._right_weight[node]) > 1e-6 * max(1.0, abs(w)):
+                raise GraphError(f"right weight cache wrong at node {node}")
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(left={self.num_left}, right={self.num_right}, "
+            f"edges={self.num_edges}, P={self._total_weight!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same nodes and same (left,right,weight,kind) multiset."""
+        if not isinstance(other, BipartiteGraph):
+            return NotImplemented
+        if set(self._left_adj) != set(other._left_adj):
+            return False
+        if set(self._right_adj) != set(other._right_adj):
+            return False
+        mine = sorted(
+            (e.left, e.right, e.weight, e.kind.value) for e in self._edges.values()
+        )
+        theirs = sorted(
+            (e.left, e.right, e.weight, e.kind.value) for e in other._edges.values()
+        )
+        return mine == theirs
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, not hashable
+        raise TypeError("BipartiteGraph is mutable and unhashable")

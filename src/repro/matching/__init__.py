@@ -1,0 +1,27 @@
+"""Matching algorithms on bipartite multigraphs.
+
+- :func:`hopcroft_karp` — maximum-cardinality matching, with optional
+  warm start from a partial matching (the peeling loops reuse the
+  previous step's matching after removing peeled edges).
+- :func:`bottleneck_matching` — maximum-cardinality matching whose
+  *minimum edge weight is maximum* (paper Figure 6); the ingredient that
+  turns GGP into OGGP.
+- :func:`greedy_matching` — fast maximal (not maximum) matching used as
+  a baseline and as a warm-start seed.
+"""
+
+from repro.matching.base import Matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.bottleneck import bottleneck_matching
+from repro.matching.greedy import greedy_matching
+from repro.matching.hungarian import hungarian_perfect_matching
+from repro.matching.edge_coloring import koenig_edge_coloring
+
+__all__ = [
+    "Matching",
+    "hopcroft_karp",
+    "bottleneck_matching",
+    "greedy_matching",
+    "hungarian_perfect_matching",
+    "koenig_edge_coloring",
+]

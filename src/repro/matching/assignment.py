@@ -1,0 +1,105 @@
+"""Pure-Python maximum-weight assignment (Kuhn–Munkres / Hungarian).
+
+:mod:`repro.matching.hungarian` prefers SciPy's
+``linear_sum_assignment`` (C speed) but must not *require* SciPy — the
+library's declared dependency is NumPy only.  This module provides the
+fallback: the O(n³) shortest-augmenting-path formulation of the
+Hungarian algorithm with row/column dual potentials (the classical
+Jonker–Volgenant scheme).
+
+The implementation minimises cost; :func:`solve_assignment_max` negates
+for maximisation.  It is exact for any real-valued square cost matrix;
+``inf`` marks forbidden pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import MatchingError
+
+_INF = float("inf")
+
+
+def solve_assignment_min(cost: np.ndarray) -> list[int]:
+    """Minimum-cost perfect assignment of a square matrix.
+
+    Returns ``assign`` with ``assign[row] = column``.  Raises
+    :class:`MatchingError` when no finite-cost perfect assignment
+    exists (e.g. a row whose entries are all ``inf``).
+
+    Rows are inserted one at a time; a Dijkstra-like scan over reduced
+    costs ``a[i][j] - u[i] - v[j]`` finds the cheapest alternating path
+    to a free column, after which the duals are updated so every
+    reduced cost stays non-negative (the invariant that makes the
+    greedy augmentation optimal).
+    """
+    matrix = np.asarray(cost, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise MatchingError(f"cost matrix must be square, got {matrix.shape}")
+    if np.isnan(matrix).any():
+        raise MatchingError("cost matrix contains NaN")
+    n = matrix.shape[0]
+    if n == 0:
+        return []
+
+    # 1-indexed duals and matching, position 0 is the virtual column.
+    u = [0.0] * (n + 1)          # row potentials (by row index + 1)
+    v = [0.0] * (n + 1)          # column potentials (by column index + 1)
+    match_row = [0] * (n + 1)    # match_row[j] = row (1-based) on column j
+
+    for i in range(1, n + 1):
+        match_row[0] = i
+        j0 = 0
+        min_to = [_INF] * (n + 1)
+        prev = [0] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = match_row[j0]
+            delta = _INF
+            j1 = -1
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = matrix[i0 - 1, j - 1] - u[i0] - v[j]
+                if cur < min_to[j]:
+                    min_to[j] = cur
+                    prev[j] = j0
+                if min_to[j] < delta:
+                    delta = min_to[j]
+                    j1 = j
+            if j1 < 0 or delta == _INF:
+                raise MatchingError("no finite-cost perfect assignment exists")
+            for j in range(n + 1):
+                if used[j]:
+                    u[match_row[j]] += delta
+                    v[j] -= delta
+                else:
+                    min_to[j] -= delta
+            j0 = j1
+            if match_row[j0] == 0:
+                break
+        # Unwind the alternating path.
+        while j0 != 0:
+            j_prev = prev[j0]
+            match_row[j0] = match_row[j_prev]
+            j0 = j_prev
+
+    assign = [-1] * n
+    for j in range(1, n + 1):
+        if match_row[j]:
+            assign[match_row[j] - 1] = j - 1
+    if any(c < 0 for c in assign):  # pragma: no cover - algorithm invariant
+        raise MatchingError("assignment incomplete")
+    return assign
+
+
+def solve_assignment_max(score: np.ndarray) -> list[int]:
+    """Maximum-score perfect assignment (negates and minimises).
+
+    ``-inf`` entries are forbidden.
+    """
+    matrix = np.asarray(score, dtype=float)
+    neg = np.where(np.isneginf(matrix), _INF, -matrix)
+    return solve_assignment_min(neg)

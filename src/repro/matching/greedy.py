@@ -1,0 +1,52 @@
+"""Greedy maximal matching.
+
+Linear-time maximal (not maximum) matching.  Used as a baseline
+scheduler ingredient and as a cheap warm-start seed for Hopcroft–Karp: a
+maximal matching has at least half the maximum cardinality, so seeding
+halves the number of augmenting phases in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Literal
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching.base import Matching
+
+Order = Literal["id", "weight_desc", "weight_asc"]
+
+
+def greedy_matching(
+    graph: BipartiteGraph,
+    order: Order = "weight_desc",
+    allowed: Collection[int] | None = None,
+) -> Matching:
+    """Maximal matching built by a single greedy sweep.
+
+    ``order`` controls the sweep order:
+
+    - ``"weight_desc"`` (default) — heaviest edges first, which tends to
+      produce steps with large minimum weight,
+    - ``"weight_asc"`` — lightest first,
+    - ``"id"`` — insertion order.
+
+    ``allowed`` optionally restricts the considered edge ids.
+    """
+    allowed_set = None if allowed is None else set(allowed)
+    if order == "id":
+        edges = graph.edges_sorted()
+    elif order == "weight_desc":
+        edges = graph.edges_sorted(key=lambda e: (-e.weight, e.id))
+    elif order == "weight_asc":
+        edges = graph.edges_sorted(key=lambda e: (e.weight, e.id))
+    else:  # pragma: no cover - Literal guards this
+        raise ValueError(f"unknown order {order!r}")
+
+    matching = Matching()
+    for edge in edges:
+        if allowed_set is not None and edge.id not in allowed_set:
+            continue
+        if matching.covers_left(edge.left) or matching.covers_right(edge.right):
+            continue
+        matching.add(edge)
+    return matching

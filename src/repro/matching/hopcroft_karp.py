@@ -1,0 +1,153 @@
+"""Hopcroft–Karp maximum-cardinality bipartite matching.
+
+Runs in :math:`O(m \\sqrt{n})`.  Two extras beyond the textbook version,
+both needed by the peeling schedulers:
+
+- **edge filtering** — the search can be restricted to a subset of edge
+  ids (the bottleneck matching grows this subset threshold by
+  threshold);
+- **warm start** — an initial (partial) matching can be supplied; only
+  augmenting paths for the remaining exposed nodes are searched.  After
+  a WRGP peel removes a handful of edges, re-matching costs a couple of
+  augmentations instead of a full run.
+
+The augmenting DFS is iterative (explicit stack), so deep alternating
+paths cannot hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Collection
+
+from repro.graph.bipartite import BipartiteGraph, Edge
+from repro.matching.base import Matching
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    graph: BipartiteGraph,
+    allowed: Collection[int] | None = None,
+    initial: Matching | None = None,
+) -> Matching:
+    """Maximum-cardinality matching of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite multigraph to match.
+    allowed:
+        Optional collection of edge ids; when given, only these edges may
+        be used.
+    initial:
+        Optional matching to warm-start from.  Stale entries (edges no
+        longer in the graph, or excluded by ``allowed``) are dropped
+        silently, which is exactly what the peeling loop needs after
+        removing exhausted edges.
+
+    Returns a new :class:`Matching`; inputs are not mutated.
+    """
+    allowed_set = None if allowed is None else set(allowed)
+
+    # Deterministic adjacency: left nodes ascending, edges by id.
+    adj: dict[int, list[Edge]] = {u: [] for u in graph.left_nodes()}
+    for edge in graph.edges_sorted():
+        if allowed_set is not None and edge.id not in allowed_set:
+            continue
+        adj[edge.left].append(edge)
+
+    pair_left: dict[int, Edge] = {}
+    pair_right: dict[int, Edge] = {}
+    if initial is not None:
+        for edge in initial.edges():
+            if allowed_set is not None and edge.id not in allowed_set:
+                continue
+            if not graph.has_edge_id(edge.id):
+                continue
+            current = graph.edge(edge.id)
+            if (current.left, current.right) != (edge.left, edge.right):
+                continue
+            if current.left in pair_left or current.right in pair_right:
+                continue
+            pair_left[current.left] = current
+            pair_right[current.right] = current
+
+    hopcroft_karp_core(adj, pair_left, pair_right)
+    return Matching(pair_left.values())
+
+
+def hopcroft_karp_core(
+    adj: dict[int, list[Edge]],
+    pair_left: dict[int, Edge],
+    pair_right: dict[int, Edge],
+) -> None:
+    """In-place maximum-cardinality augmentation over a prepared adjacency.
+
+    ``adj`` maps every left node (matched or not) to its usable edges;
+    ``pair_left``/``pair_right`` hold a consistent partial matching and
+    are mutated to a maximum one.  Exposed so incremental callers
+    (bottleneck threshold growth, peeling loops) can keep their
+    adjacency and matching across calls instead of rebuilding them.
+    """
+    lefts = list(adj.keys())
+    dist: dict[int, float] = {}
+
+    def bfs() -> bool:
+        """Layered BFS from exposed left nodes; True if an exposed right is reachable."""
+        queue: deque[int] = deque()
+        for u in lefts:
+            if u not in pair_left:
+                dist[u] = 0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        reachable = False
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            for edge in adj[u]:
+                matched = pair_right.get(edge.right)
+                if matched is None:
+                    reachable = True
+                elif dist[matched.left] == _INF:
+                    dist[matched.left] = du + 1
+                    queue.append(matched.left)
+        return reachable
+
+    def try_augment(root: int, ptr: dict[int, int]) -> bool:
+        """Iterative DFS for one augmenting path from ``root``."""
+        stack = [root]
+        chosen: dict[int, Edge] = {}
+        while stack:
+            u = stack[-1]
+            advanced = False
+            edges_u = adj[u]
+            while ptr[u] < len(edges_u):
+                edge = edges_u[ptr[u]]
+                ptr[u] += 1
+                matched = pair_right.get(edge.right)
+                if matched is None:
+                    # Exposed right node: flip the whole alternating path.
+                    chosen[u] = edge
+                    for node in stack:
+                        e = chosen[node]
+                        pair_left[node] = e
+                        pair_right[e.right] = e
+                    return True
+                nxt = matched.left
+                if dist.get(nxt, _INF) == dist[u] + 1:
+                    chosen[u] = edge
+                    stack.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                dist[u] = _INF  # dead end for this phase
+                stack.pop()
+        return False
+
+    while bfs():
+        ptr = {u: 0 for u in lefts}
+        for u in lefts:
+            if u not in pair_left:
+                try_augment(u, ptr)

@@ -1,0 +1,59 @@
+"""Flow-level network simulator.
+
+Substitute for the paper's physical testbed (§5.2: two 10-node clusters,
+100 Mbit NICs shaped to ``100/k`` Mbit/s with the *rshaper* token-bucket
+module, joined by 100 Mbit switches).  Components:
+
+- :mod:`~repro.netsim.topology` — cluster/backbone description and the
+  derivation of ``k`` from the rate ratios (paper §2.1),
+- :mod:`~repro.netsim.fairshare` — progressive-filling max-min fair
+  bandwidth allocation over sender NIC / receiver NIC / backbone
+  constraints,
+- :mod:`~repro.netsim.tcp` — fluid AIMD TCP model used by the
+  *brute-force* baseline (all flows at once, transport layer manages
+  congestion),
+- :mod:`~repro.netsim.stepwise` — barrier-synchronised execution of a
+  K-PBS :class:`~repro.core.schedule.Schedule` on the DES kernel
+  (mirrors the paper's MPI implementation),
+- :mod:`~repro.netsim.runner` — one-call comparison of the two
+  approaches for a traffic matrix (Figures 10 and 11).
+"""
+
+from repro.netsim.topology import NetworkSpec
+from repro.netsim.fairshare import max_min_fair_rates, FlowDemand
+from repro.netsim.tcp import TcpParams, TcpResult, simulate_bruteforce
+from repro.netsim.stepwise import StepwiseResult, simulate_schedule
+from repro.netsim.runner import RedistributionOutcome, run_redistribution
+from repro.netsim.trace import (
+    BandwidthTrace,
+    TraceRunResult,
+    advance_transfers,
+    simulate_schedule_trace,
+)
+from repro.netsim.async_exec import simulate_relaxed
+from repro.netsim.packetsim import (
+    PacketSimParams,
+    PacketSimResult,
+    simulate_packet_bruteforce,
+)
+
+__all__ = [
+    "BandwidthTrace",
+    "TraceRunResult",
+    "advance_transfers",
+    "simulate_schedule_trace",
+    "simulate_relaxed",
+    "PacketSimParams",
+    "PacketSimResult",
+    "simulate_packet_bruteforce",
+    "NetworkSpec",
+    "max_min_fair_rates",
+    "FlowDemand",
+    "TcpParams",
+    "TcpResult",
+    "simulate_bruteforce",
+    "StepwiseResult",
+    "simulate_schedule",
+    "RedistributionOutcome",
+    "run_redistribution",
+]

@@ -1,0 +1,74 @@
+"""DES execution of barrier-free schedules (independent semantics).
+
+:func:`repro.core.relax.relax_schedule` computes an asynchronous
+timeline analytically, assigning backbone slots in global chunk order.
+This executor runs the same chunks as *processes* on the DES kernel
+with the kernel's natural semantics: a chunk becomes ready when its
+per-port predecessors finish, then queues FIFO-by-readiness for one of
+the ``k`` backbone slots.
+
+The two semantics agree exactly when the backbone is not contended
+(``k`` at least the concurrency the ports allow); under slot contention
+they may assign slots in different orders, so the makespans can differ
+slightly in either direction.  Both always produce *valid* timelines —
+the executor returns an :class:`~repro.core.relax.AsyncSchedule`, so
+the same structural validator applies to both.  The agreement and
+validity tests live in ``tests/netsim/test_async_exec.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.relax import AsyncSchedule, TimedTransfer
+from repro.core.schedule import Schedule
+from repro.des import Environment, Event, Resource
+
+
+def simulate_relaxed(schedule: Schedule) -> AsyncSchedule:
+    """Execute ``schedule``'s chunks asynchronously on the DES kernel.
+
+    Each chunk occupies its sender and receiver for ``β + amount`` and
+    holds one of ``k`` backbone slots; chunks of the same port run in
+    the original step order.
+    """
+    env = Environment()
+    slots = Resource(env, capacity=schedule.k)
+
+    # Per-port completion chains: the event a successor must wait for.
+    sender_tail: dict[int, Event] = {}
+    receiver_tail: dict[int, Event] = {}
+    timed: list[TimedTransfer] = []
+
+    def chunk_proc(transfer, wait_events: list[Event], done: Event):
+        for ev in wait_events:
+            yield ev
+        req = slots.request()
+        yield req
+        start = env.now
+        yield env.timeout(schedule.beta + transfer.amount)
+        slots.release()
+        timed.append(
+            TimedTransfer(
+                transfer.edge_id, transfer.left, transfer.right,
+                transfer.amount, start, env.now,
+            )
+        )
+        done.succeed(None)
+
+    procs = []
+    for step in schedule.steps:
+        for t in step.transfers:
+            waits = []
+            prev_s = sender_tail.get(t.left)
+            if prev_s is not None:
+                waits.append(prev_s)
+            prev_r = receiver_tail.get(t.right)
+            if prev_r is not None and prev_r not in waits:
+                waits.append(prev_r)
+            done = env.event()
+            sender_tail[t.left] = done
+            receiver_tail[t.right] = done
+            procs.append(env.process(chunk_proc(t, waits, done)))
+    if procs:
+        env.run(env.all_of(procs))
+    timed.sort(key=lambda t: (t.start, t.edge_id))
+    return AsyncSchedule(timed, k=schedule.k, beta=schedule.beta)

@@ -1,0 +1,93 @@
+"""Max-min fair bandwidth allocation by progressive filling.
+
+Each flow crosses three capacity constraints: its sender's NIC, its
+receiver's NIC, and the shared backbone.  Progressive filling raises all
+unfrozen flows' rates together until some link saturates, freezes the
+flows on that link at their fair share, removes the link's residual
+capacity, and repeats — the classical water-filling algorithm.
+
+This is the steady-state rate allocation an ideal transport (or the
+scheduled executor's disjoint transfers) achieves; the TCP model in
+:mod:`repro.netsim.tcp` deviates from it dynamically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.topology import NetworkSpec
+from repro.util.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FlowDemand:
+    """An active flow: sender index, receiver index (within their clusters)."""
+
+    src: int
+    dst: int
+
+
+def max_min_fair_rates(
+    spec: NetworkSpec,
+    flows: list[FlowDemand],
+) -> list[float]:
+    """Max-min fair rate (Mbit/s) for each flow.
+
+    Flows are identified by position; the returned list is parallel to
+    ``flows``.  Raises for out-of-range node indices.
+    """
+    for f in flows:
+        if not (0 <= f.src < spec.n1):
+            raise SimulationError(f"sender index {f.src} out of range")
+        if not (0 <= f.dst < spec.n2):
+            raise SimulationError(f"receiver index {f.dst} out of range")
+    n = len(flows)
+    if n == 0:
+        return []
+
+    # Links: ('s', i) sender NICs, ('r', j) receiver NICs, ('b',) backbone.
+    members: dict[tuple, list[int]] = {("b",): list(range(n))}
+    capacity: dict[tuple, float] = {("b",): spec.backbone_rate}
+    for idx, f in enumerate(flows):
+        members.setdefault(("s", f.src), []).append(idx)
+        capacity[("s", f.src)] = spec.nic_rate1
+        members.setdefault(("r", f.dst), []).append(idx)
+        capacity[("r", f.dst)] = spec.nic_rate2
+
+    rates = [0.0] * n
+    frozen = [False] * n
+    remaining = dict(capacity)
+    active_count = {
+        link: len(mem) for link, mem in members.items()
+    }
+
+    while True:
+        # Fair share each link could still give to its unfrozen flows.
+        best_link = None
+        best_share = None
+        for link, mem in members.items():
+            cnt = active_count[link]
+            if cnt == 0:
+                continue
+            share = remaining[link] / cnt
+            if best_share is None or share < best_share:
+                best_share = share
+                best_link = link
+        if best_link is None:
+            break
+        assert best_share is not None
+        # Freeze the bottleneck link's unfrozen flows at the share.
+        for idx in members[best_link]:
+            if frozen[idx]:
+                continue
+            frozen[idx] = True
+            rates[idx] = best_share
+            # Charge this flow against its other links.
+            f = flows[idx]
+            for link in (("s", f.src), ("r", f.dst), ("b",)):
+                remaining[link] -= best_share
+                active_count[link] -= 1
+        remaining[best_link] = 0.0
+
+    # Guard against tiny negative residues from float subtraction.
+    return [max(0.0, r) for r in rates]

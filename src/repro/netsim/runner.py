@@ -1,0 +1,116 @@
+"""End-to-end redistribution runs: brute-force TCP vs GGP/OGGP.
+
+This is the simulated counterpart of the paper's §5.2 experiment: given
+a traffic matrix, either dump every flow on the network at once and let
+the TCP model sort it out, or compute a GGP/OGGP schedule and execute it
+step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.core.schedule import Schedule
+from repro.graph.generators import from_traffic_matrix
+from repro.netsim.stepwise import simulate_schedule
+from repro.netsim.tcp import TcpParams, simulate_bruteforce
+from repro.netsim.topology import NetworkSpec
+from repro.util.errors import ConfigError
+from repro.util.rng import RngStream, derive_rng
+
+Method = Literal["bruteforce", "ggp", "oggp"]
+
+
+@dataclass(frozen=True)
+class RedistributionOutcome:
+    """Result of one redistribution run.
+
+    ``total_time`` is the wall-clock seconds the redistribution took on
+    the simulated platform; ``num_steps`` is 1 for brute force.
+    ``schedule`` is the K-PBS schedule used (None for brute force).
+    """
+
+    method: Method
+    total_time: float
+    num_steps: int
+    volume_mbit: float
+    schedule: Schedule | None = None
+
+
+def build_schedule(
+    spec: NetworkSpec,
+    traffic_mbit: np.ndarray,
+    method: Literal["ggp", "oggp"],
+) -> Schedule:
+    """K-PBS schedule for a traffic matrix on a platform.
+
+    Edge weights are transfer *times* in seconds at the per-flow rate
+    ``t = min(t1, t2)`` (paper §2.2: ``c_ij = m_ij / t``); β is the
+    platform's per-step setup delay, and ``k`` is derived from the rate
+    ratios.
+    """
+    graph = from_traffic_matrix(traffic_mbit, speed=spec.flow_rate)
+    algorithm = ggp if method == "ggp" else oggp
+    return algorithm(graph, k=spec.k, beta=spec.step_setup)
+
+
+def run_redistribution(
+    spec: NetworkSpec,
+    traffic_mbit: np.ndarray,
+    method: Method,
+    rng: RngStream | int | None = None,
+    tcp_params: TcpParams = TcpParams(),
+    rate_jitter: float = 0.0,
+) -> RedistributionOutcome:
+    """Run one redistribution with the chosen method and measure time."""
+    traffic = np.asarray(traffic_mbit, dtype=float)
+    volume = float(traffic.sum())
+    if method == "bruteforce":
+        result = simulate_bruteforce(spec, traffic, rng=rng, params=tcp_params)
+        return RedistributionOutcome(
+            method=method,
+            total_time=result.total_time,
+            num_steps=1,
+            volume_mbit=volume,
+        )
+    if method not in ("ggp", "oggp"):
+        raise ConfigError(f"unknown method {method!r}")
+    schedule = build_schedule(spec, traffic, method)
+    # Schedule amounts are seconds at flow_rate; convert back to Mbit.
+    result = simulate_schedule(
+        spec,
+        schedule,
+        volume_scale=spec.flow_rate,
+        rng=derive_rng(rng),
+        rate_jitter=rate_jitter,
+    )
+    return RedistributionOutcome(
+        method=method,
+        total_time=result.total_time,
+        num_steps=result.num_steps,
+        volume_mbit=volume,
+        schedule=schedule,
+    )
+
+
+def uniform_traffic(
+    rng: RngStream | int | None,
+    n1: int,
+    n2: int,
+    low_mb: float,
+    high_mb: float,
+) -> np.ndarray:
+    """The paper's §5.2 workload: all-to-all, sizes U[low, high] MB.
+
+    Returns the matrix in **Mbit** (1 MB = 8 Mbit).
+    """
+    if low_mb < 0 or high_mb < low_mb:
+        raise ConfigError(f"need 0 <= low <= high, got {low_mb}, {high_mb}")
+    rng = derive_rng(rng)
+    mb = rng.uniform(low_mb, high_mb, size=(n1, n2))
+    return mb * 8.0

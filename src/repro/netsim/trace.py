@@ -1,0 +1,187 @@
+"""Time-varying backbone capacity (paper §6, future work).
+
+The paper's model assumes a constant backbone throughput ``T``.  Its
+conclusion asks what happens *"when the throughput of the backbone
+varies dynamically"*.  :class:`BandwidthTrace` describes a
+piecewise-constant ``T(t)``; :func:`simulate_schedule_trace` executes a
+synchronous schedule honestly under it (steps sized for the original
+``k`` may get squeezed when the backbone dips), and
+:mod:`repro.core.adaptive` reschedules between steps instead.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.netsim.fairshare import FlowDemand, max_min_fair_rates
+from repro.netsim.topology import NetworkSpec
+from repro.util.errors import ConfigError, SimulationError
+
+
+@dataclass(frozen=True)
+class BandwidthTrace:
+    """Piecewise-constant backbone capacity.
+
+    ``times[i]`` is when ``rates[i]`` takes effect; ``times[0]`` must be
+    0.  The last rate holds forever.
+    """
+
+    times: tuple[float, ...]
+    rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.rates) or not self.times:
+            raise ConfigError("trace needs parallel, non-empty times/rates")
+        if self.times[0] != 0.0:
+            raise ConfigError("trace must start at t=0")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ConfigError("trace times must be strictly increasing")
+        if any(r <= 0 for r in self.rates):
+            raise ConfigError("trace rates must be positive")
+
+    @classmethod
+    def constant(cls, rate: float) -> "BandwidthTrace":
+        """A flat trace (degenerate case: the paper's static model)."""
+        return cls((0.0,), (float(rate),))
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "BandwidthTrace":
+        """Build from ``[(time, rate), ...]``."""
+        times, rates = zip(*((float(t), float(r)) for t, r in pairs))
+        return cls(times, rates)
+
+    def rate_at(self, t: float) -> float:
+        """Backbone capacity at time ``t``."""
+        if t < 0:
+            raise ConfigError(f"time must be >= 0, got {t}")
+        idx = bisect.bisect_right(self.times, t) - 1
+        return self.rates[idx]
+
+    def next_change(self, t: float) -> float | None:
+        """First change strictly after ``t`` (None when rate is final)."""
+        idx = bisect.bisect_right(self.times, t)
+        return self.times[idx] if idx < len(self.times) else None
+
+    def k_at(self, spec: NetworkSpec, t: float) -> int:
+        """Effective ``k`` at time ``t`` for a platform's NIC rates."""
+        tol = 1e-9
+        return max(
+            1,
+            min(
+                int(self.rate_at(t) / spec.flow_rate * (1 + tol)),
+                spec.n1,
+                spec.n2,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TraceRunResult:
+    """Outcome of executing a schedule under a varying backbone."""
+
+    total_time: float
+    step_end_times: tuple[float, ...]
+
+
+def simulate_schedule_trace(
+    spec: NetworkSpec,
+    schedule: Schedule,
+    trace: BandwidthTrace,
+    volume_scale: float = 1.0,
+    start_time: float = 0.0,
+    congestion_penalty: float = 0.0,
+) -> TraceRunResult:
+    """Execute ``schedule`` step by step under the capacity trace.
+
+    Within a step, the remaining chunk volumes drain at the max-min fair
+    rates recomputed at every trace change; the step (synchronous
+    barrier) ends when its last transfer completes.  β is charged at the
+    start of each step, as in the static executor.
+
+    ``congestion_penalty`` models what oversubscription physically costs
+    (the same duplicate-retransmission mechanism as the TCP model): when
+    the step's NIC-limited demand exceeds the current capacity by an
+    overload factor ``o``, every rate is scaled by
+    ``1 / (1 + penalty * (1 - 1/o))``.  0 (default) is the pure fluid
+    work-conserving idealisation.
+    """
+    if volume_scale <= 0:
+        raise SimulationError(f"volume_scale must be positive, got {volume_scale}")
+    if congestion_penalty < 0:
+        raise SimulationError(
+            f"congestion_penalty must be >= 0, got {congestion_penalty}"
+        )
+    now = float(start_time)
+    ends = []
+    for step in schedule.steps:
+        now += schedule.beta
+        volumes = [t.amount * volume_scale for t in step.transfers]
+        flows = [FlowDemand(t.left, t.right) for t in step.transfers]
+        now, _shipped, done = advance_transfers(
+            spec, flows, volumes, trace, now,
+            congestion_penalty=congestion_penalty,
+            stop_at_change=False,
+        )
+        assert done  # stop_at_change=False runs to completion
+        ends.append(now)
+    return TraceRunResult(total_time=now - start_time, step_end_times=tuple(ends))
+
+
+def advance_transfers(
+    spec: NetworkSpec,
+    flows: list[FlowDemand],
+    volumes: list[float],
+    trace: BandwidthTrace,
+    now: float,
+    congestion_penalty: float = 0.0,
+    stop_at_change: bool = False,
+) -> tuple[float, list[float], bool]:
+    """Drain ``volumes`` over ``flows`` under the trace from ``now``.
+
+    Returns ``(new_now, shipped_per_flow, completed)``.  With
+    ``stop_at_change`` the integration pauses at the first trace change
+    (``completed`` False when volume remains) — the preemption hook the
+    adaptive rescheduler uses.
+    """
+    remaining = {i: v for i, v in enumerate(volumes) if v > 0}
+    shipped = [0.0] * len(volumes)
+    while remaining:
+        capacity = trace.rate_at(now)
+        local = NetworkSpec(
+            n1=spec.n1,
+            n2=spec.n2,
+            nic_rate1=spec.nic_rate1,
+            nic_rate2=spec.nic_rate2,
+            backbone_rate=capacity,
+            step_setup=spec.step_setup,
+        )
+        ids = sorted(remaining)
+        rates = max_min_fair_rates(local, [flows[i] for i in ids])
+        if congestion_penalty > 0:
+            demand = len(ids) * spec.flow_rate
+            overload = max(1.0, demand / capacity)
+            drop_frac = 1.0 - 1.0 / overload
+            goodput = 1.0 / (1.0 + congestion_penalty * drop_frac)
+            rates = [r * goodput for r in rates]
+        # Earliest of: a transfer finishing, the trace changing.
+        horizon = trace.next_change(now)
+        dt = min(remaining[i] / r for i, r in zip(ids, rates))
+        paused = False
+        if horizon is not None and horizon - now < dt:
+            dt = horizon - now
+            paused = True
+        if dt <= 0:  # pragma: no cover - guarded by trace validation
+            raise SimulationError("simulation failed to advance")
+        for i, r in zip(ids, rates):
+            moved = min(r * dt, remaining[i])
+            shipped[i] += moved
+            remaining[i] -= moved
+            if remaining[i] <= 1e-9:
+                shipped[i] += remaining[i]
+                del remaining[i]
+        now += dt
+        if paused and stop_at_change and remaining:
+            return now, shipped, False
+    return now, shipped, True

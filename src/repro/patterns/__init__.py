@@ -1,0 +1,38 @@
+"""Redistribution-pattern generators.
+
+Traffic matrices for realistic code-coupling scenarios: the paper's
+uniform all-to-all workload, skewed (Zipf) patterns, sparse patterns and
+block-cyclic array redistributions (the classical HPC use case the paper
+cites as the ``k = min(n1, n2)`` special case).
+"""
+
+from repro.patterns.matrices import (
+    uniform_matrix,
+    zipf_matrix,
+    sparse_matrix,
+    permutation_matrix,
+    hotspot_matrix,
+)
+from repro.patterns.block_cyclic import block_cyclic_matrix, block_cyclic_graph
+from repro.patterns.collectives import (
+    alltoall_matrix,
+    alltoallv_matrix,
+    gather_matrix,
+    scatter_matrix,
+    transpose_matrix,
+)
+
+__all__ = [
+    "uniform_matrix",
+    "zipf_matrix",
+    "sparse_matrix",
+    "permutation_matrix",
+    "hotspot_matrix",
+    "block_cyclic_matrix",
+    "block_cyclic_graph",
+    "alltoall_matrix",
+    "alltoallv_matrix",
+    "gather_matrix",
+    "scatter_matrix",
+    "transpose_matrix",
+]

@@ -1,0 +1,93 @@
+"""Redistribution patterns of MPI-style collective operations.
+
+Code-coupling applications rarely emit arbitrary random matrices; their
+redistributions come from a handful of collective shapes.  Each
+generator returns an ``(n1, n2)`` volume matrix:
+
+- :func:`alltoall_matrix` — uniform personalised all-to-all (the
+  paper's §5.2 workload is its randomised variant),
+- :func:`alltoallv_matrix` — personalised all-to-all with given
+  per-pair counts (MPI_Alltoallv),
+- :func:`gather_matrix` — everything converges on one root
+  (stresses the receiver-side 1-port term ``W(G)``: scheduling
+  degenerates to a serial drain of the root, and the lower bound says
+  so),
+- :func:`scatter_matrix` — one root fans out (sender-side mirror),
+- :func:`transpose_matrix` — the 2-D FFT / matrix-transpose
+  relayout between a ``p × q`` and a ``q × p`` process grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+def alltoall_matrix(n1: int, n2: int, volume_per_pair: float) -> np.ndarray:
+    """Uniform personalised all-to-all: every pair exchanges the same."""
+    if n1 < 1 or n2 < 1:
+        raise ConfigError(f"sides must be >= 1, got {n1}, {n2}")
+    if volume_per_pair <= 0:
+        raise ConfigError(f"volume must be positive, got {volume_per_pair}")
+    return np.full((n1, n2), float(volume_per_pair))
+
+
+def alltoallv_matrix(counts) -> np.ndarray:
+    """Personalised all-to-all with explicit per-pair volumes.
+
+    ``counts`` is any 2-D array-like of non-negative volumes — this is
+    the identity wrapper that validates MPI_Alltoallv-style inputs.
+    """
+    arr = np.asarray(counts, dtype=float)
+    if arr.ndim != 2:
+        raise ConfigError(f"counts must be 2-D, got shape {arr.shape}")
+    if (arr < 0).any():
+        raise ConfigError("counts must be non-negative")
+    return arr
+
+
+def gather_matrix(n1: int, n2: int, root: int, volume: float) -> np.ndarray:
+    """Every sender ships ``volume`` to receiver ``root``."""
+    if not (0 <= root < n2):
+        raise ConfigError(f"root {root} outside receiver cluster of {n2}")
+    if volume <= 0:
+        raise ConfigError(f"volume must be positive, got {volume}")
+    out = np.zeros((n1, n2))
+    out[:, root] = float(volume)
+    return out
+
+
+def scatter_matrix(n1: int, n2: int, root: int, volume: float) -> np.ndarray:
+    """Sender ``root`` ships ``volume`` to every receiver."""
+    if not (0 <= root < n1):
+        raise ConfigError(f"root {root} outside sender cluster of {n1}")
+    if volume <= 0:
+        raise ConfigError(f"volume must be positive, got {volume}")
+    out = np.zeros((n1, n2))
+    out[root, :] = float(volume)
+    return out
+
+
+def transpose_matrix(p: int, q: int, tile_volume: float) -> np.ndarray:
+    """2-D grid transpose: ``p×q`` grid to ``q×p`` grid.
+
+    Process ``(r, c)`` of the source grid (rank ``r·q + c``) owns tile
+    ``(r, c)`` of a matrix; after the transpose, tile ``(r, c)`` lives
+    on process ``(c, r)`` of the target grid (rank ``c·p + r``).  Each
+    process therefore sends its whole tile to exactly one (usually
+    different) target rank — a permutation pattern, the best case for
+    K-PBS scheduling.
+    """
+    if p < 1 or q < 1:
+        raise ConfigError(f"grid dims must be >= 1, got {p}, {q}")
+    if tile_volume <= 0:
+        raise ConfigError(f"tile volume must be positive, got {tile_volume}")
+    n = p * q
+    out = np.zeros((n, n))
+    for r in range(p):
+        for c in range(q):
+            src = r * q + c
+            dst = c * p + r
+            out[src, dst] = float(tile_volume)
+    return out

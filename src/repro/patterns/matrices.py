@@ -1,0 +1,141 @@
+"""Traffic-matrix generators.
+
+All functions return an ``(n1, n2)`` float array of volumes; units are
+the caller's choice (the netsim harness uses Mbit).  Every generator is
+deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+from repro.util.rng import RngStream, derive_rng
+
+
+def _check_sizes(n1: int, n2: int) -> None:
+    if n1 < 1 or n2 < 1:
+        raise ConfigError(f"matrix sides must be >= 1, got {n1}, {n2}")
+
+
+def uniform_matrix(
+    rng: RngStream | int | None,
+    n1: int,
+    n2: int,
+    low: float,
+    high: float,
+) -> np.ndarray:
+    """Dense all-to-all pattern with volumes ``U[low, high]``.
+
+    The paper's §5.2 workload (sizes uniform between 10 and n MB).
+    """
+    _check_sizes(n1, n2)
+    if not (0 <= low <= high):
+        raise ConfigError(f"need 0 <= low <= high, got {low}, {high}")
+    rng = derive_rng(rng)
+    return rng.uniform(low, high, size=(n1, n2))
+
+
+def zipf_matrix(
+    rng: RngStream | int | None,
+    n1: int,
+    n2: int,
+    total: float,
+    exponent: float = 1.2,
+) -> np.ndarray:
+    """Skewed pattern: volume of ``(i, j)`` follows a Zipf product law.
+
+    Row and column popularity both decay as ``rank^-exponent``; the
+    matrix is scaled so its entries sum to ``total``.  Models a coupled
+    application where a few boundary nodes exchange most of the data.
+    """
+    _check_sizes(n1, n2)
+    if total < 0:
+        raise ConfigError(f"total must be >= 0, got {total}")
+    if exponent <= 0:
+        raise ConfigError(f"exponent must be positive, got {exponent}")
+    rng = derive_rng(rng)
+    row = (np.arange(1, n1 + 1, dtype=float)) ** -exponent
+    col = (np.arange(1, n2 + 1, dtype=float)) ** -exponent
+    rng.shuffle(row)
+    rng.shuffle(col)
+    base = np.outer(row, col)
+    noise = rng.uniform(0.5, 1.5, size=base.shape)
+    out = base * noise
+    s = out.sum()
+    return out * (total / s) if s > 0 else out
+
+
+def sparse_matrix(
+    rng: RngStream | int | None,
+    n1: int,
+    n2: int,
+    density: float,
+    low: float,
+    high: float,
+) -> np.ndarray:
+    """Sparse pattern: each pair communicates with probability ``density``.
+
+    Guarantees at least one non-zero entry (re-draws the emptiest case),
+    so downstream scheduling always has work.
+    """
+    _check_sizes(n1, n2)
+    if not (0 < density <= 1):
+        raise ConfigError(f"density must be in (0, 1], got {density}")
+    if not (0 <= low <= high) or high <= 0:
+        raise ConfigError(f"need 0 <= low <= high and high > 0, got {low}, {high}")
+    rng = derive_rng(rng)
+    while True:
+        mask = rng.random((n1, n2)) < density
+        if mask.any():
+            break
+    volumes = rng.uniform(low, high, size=(n1, n2))
+    volumes = np.where(volumes <= 0, high, volumes)
+    return np.where(mask, volumes, 0.0)
+
+
+def permutation_matrix(
+    rng: RngStream | int | None,
+    n: int,
+    volume: float,
+) -> np.ndarray:
+    """One-to-one pattern: node ``i`` sends only to ``perm(i)``.
+
+    The easiest possible redistribution — a single perfect matching.
+    Useful as a sanity-check workload (one step suffices when k >= n).
+    """
+    _check_sizes(n, n)
+    if volume <= 0:
+        raise ConfigError(f"volume must be positive, got {volume}")
+    rng = derive_rng(rng)
+    perm = rng.permutation(n)
+    out = np.zeros((n, n))
+    out[np.arange(n), perm] = volume
+    return out
+
+
+def hotspot_matrix(
+    rng: RngStream | int | None,
+    n1: int,
+    n2: int,
+    background: float,
+    hotspot: float,
+    num_hot: int = 1,
+) -> np.ndarray:
+    """All-to-all background plus ``num_hot`` overloaded receivers.
+
+    Stresses the 1-port constraint: the hot columns dominate ``W(G)``,
+    so the hot receivers' NICs — not the backbone — bound the schedule.
+    """
+    _check_sizes(n1, n2)
+    if background < 0 or hotspot < background:
+        raise ConfigError(
+            f"need 0 <= background <= hotspot, got {background}, {hotspot}"
+        )
+    if not (0 <= num_hot <= n2):
+        raise ConfigError(f"num_hot must be in [0, {n2}], got {num_hot}")
+    rng = derive_rng(rng)
+    out = np.full((n1, n2), background, dtype=float)
+    hot_cols = rng.choice(n2, size=num_hot, replace=False)
+    out[:, hot_cols] = hotspot
+    return out

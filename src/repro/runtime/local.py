@@ -1,0 +1,133 @@
+"""Thread-backed cluster of ranks with shaped NICs.
+
+A :class:`LocalCluster` materialises the paper's platform in one
+process: ``n1`` sender ranks and ``n2`` receiver ranks, each with a
+token-bucket-shaped NIC, plus a shared backbone bucket.  Messages are
+real ``bytes`` moving through bounded channels in chunks, each chunk
+paying sender-NIC, backbone and receiver-NIC tokens — so concurrent
+flows genuinely contend for bandwidth the way they do on the wire.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.runtime.tokenbucket import TokenBucket
+from repro.util.errors import ConfigError, SimulationError
+
+#: Chunk size for paced transfers.  Large enough that time.sleep()
+#: granularity (~1 ms) stays small relative to a chunk's pacing delay.
+CHUNK_BYTES = 256 * 1024
+
+
+@dataclass
+class Endpoint:
+    """One rank's view of the cluster: identity plus its NIC bucket."""
+
+    cluster: "LocalCluster"
+    side: str  # 'send' or 'recv'
+    index: int
+    nic: TokenBucket
+
+    def send(self, dst: int, data: bytes) -> None:
+        """Synchronous chunked send to receiver ``dst``.
+
+        Each chunk pays the sender NIC and the backbone before entering
+        the (bounded) channel; the receiver pays its NIC on the way out.
+        Blocks until the receiver has accepted every chunk.
+        """
+        if self.side != "send":
+            raise SimulationError("only sender ranks can send")
+        channel = self.cluster._channel(self.index, dst)
+        view = memoryview(data)
+        for off in range(0, max(1, len(view)), CHUNK_BYTES):
+            chunk = bytes(view[off : off + CHUNK_BYTES])
+            self.nic.acquire(len(chunk))
+            self.cluster.backbone.acquire(len(chunk))
+            channel.put(chunk)
+        channel.put(None)  # end-of-message marker
+        # Rendezvous: wait until the receiver drained the message.
+        self.cluster._ack(self.index, dst).get()
+
+    def recv(self, src: int) -> bytes:
+        """Synchronous receive of one message from sender ``src``."""
+        if self.side != "recv":
+            raise SimulationError("only receiver ranks can recv")
+        channel = self.cluster._channel(src, self.index)
+        parts: list[bytes] = []
+        while True:
+            chunk = channel.get()
+            if chunk is None:
+                break
+            self.nic.acquire(len(chunk))
+            parts.append(chunk)
+        self.cluster._ack(src, self.index).put(True)
+        return b"".join(parts)
+
+    def barrier(self) -> None:
+        """Cluster-wide barrier over all sender and receiver ranks."""
+        self.cluster.barrier_all.wait()
+
+
+@dataclass
+class LocalCluster:
+    """The two clusters plus backbone, as shaped in-process channels.
+
+    ``nic_rate*`` and ``backbone_rate`` are bytes/second.  ``burst`` is
+    the shaper bucket depth in bytes (rshaper-style).
+    """
+
+    n1: int
+    n2: int
+    nic_rate1: float
+    nic_rate2: float
+    backbone_rate: float
+    burst: float = float(CHUNK_BYTES)
+    backbone: TokenBucket = field(init=False)
+    barrier_all: threading.Barrier = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n1 < 1 or self.n2 < 1:
+            raise ConfigError("cluster sizes must be >= 1")
+        self.backbone = TokenBucket(self.backbone_rate, self.burst * 2)
+        self.barrier_all = threading.Barrier(self.n1 + self.n2)
+        self._senders = [
+            Endpoint(self, "send", i, TokenBucket(self.nic_rate1, self.burst))
+            for i in range(self.n1)
+        ]
+        self._receivers = [
+            Endpoint(self, "recv", j, TokenBucket(self.nic_rate2, self.burst))
+            for j in range(self.n2)
+        ]
+        self._channels: dict[tuple[int, int], queue.Queue] = {}
+        self._acks: dict[tuple[int, int], queue.Queue] = {}
+        lock = threading.Lock()
+        self._maps_lock = lock
+
+    def sender(self, index: int) -> Endpoint:
+        """Sender rank ``index`` (cluster 1)."""
+        return self._senders[index]
+
+    def receiver(self, index: int) -> Endpoint:
+        """Receiver rank ``index`` (cluster 2)."""
+        return self._receivers[index]
+
+    def _channel(self, src: int, dst: int) -> queue.Queue:
+        with self._maps_lock:
+            ch = self._channels.get((src, dst))
+            if ch is None:
+                # Bounded: at most 2 in-flight chunks, so the sender's
+                # pacing is coupled to the receiver's.
+                ch = queue.Queue(maxsize=2)
+                self._channels[(src, dst)] = ch
+            return ch
+
+    def _ack(self, src: int, dst: int) -> queue.Queue:
+        with self._maps_lock:
+            q = self._acks.get((src, dst))
+            if q is None:
+                q = queue.Queue(maxsize=1)
+                self._acks[(src, dst)] = q
+            return q

@@ -1,0 +1,77 @@
+"""Token-bucket rate limiter (the paper's *rshaper* equivalent).
+
+A bucket of ``burst`` tokens refills at ``rate`` tokens per second;
+consuming ``n`` tokens blocks until they are available.  Thread-safe —
+several flows of one NIC share the same bucket, which is exactly how a
+per-interface shaper creates contention between concurrent transfers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.util.errors import ConfigError
+
+
+class TokenBucket:
+    """Blocking token bucket.
+
+    ``rate`` is tokens/second (a token per byte in the runtime);
+    ``burst`` caps accumulated idle credit.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ConfigError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ConfigError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._stamp = now
+
+    def try_acquire(self, amount: float) -> bool:
+        """Non-blocking acquire; True when the tokens were taken."""
+        if amount < 0:
+            raise ConfigError(f"amount must be >= 0, got {amount}")
+        with self._lock:
+            self._refill_locked(time.monotonic())
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    def acquire(self, amount: float) -> float:
+        """Blocking acquire; returns the seconds spent waiting.
+
+        ``amount`` may exceed ``burst`` — the debt is paid by sleeping
+        (the bucket goes negative internally), which models a shaper
+        smoothly pacing a large write.
+        """
+        if amount < 0:
+            raise ConfigError(f"amount must be >= 0, got {amount}")
+        with self._lock:
+            now = time.monotonic()
+            self._refill_locked(now)
+            self._tokens -= amount
+            deficit = -self._tokens
+        if deficit <= 0:
+            return 0.0
+        wait = deficit / self.rate
+        time.sleep(wait)
+        return wait
+
+    @property
+    def available(self) -> float:
+        """Tokens currently available (may be negative under debt)."""
+        with self._lock:
+            self._refill_locked(time.monotonic())
+            return self._tokens

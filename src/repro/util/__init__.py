@@ -1,0 +1,25 @@
+"""Shared utilities: seeded RNG streams, validation helpers, timing."""
+
+from repro.util.rng import RngStream, derive_rng, spawn_streams
+from repro.util.errors import (
+    ReproError,
+    GraphError,
+    MatchingError,
+    ScheduleError,
+    SimulationError,
+    ConfigError,
+)
+from repro.util.timing import Timer
+
+__all__ = [
+    "RngStream",
+    "derive_rng",
+    "spawn_streams",
+    "ReproError",
+    "GraphError",
+    "MatchingError",
+    "ScheduleError",
+    "SimulationError",
+    "ConfigError",
+    "Timer",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine bugs (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid bipartite-graph constructions or operations."""
+
+
+class MatchingError(ReproError):
+    """Raised when a matching algorithm cannot satisfy its contract.
+
+    Example: asking for a perfect matching of a graph that has none.
+    """
+
+
+class ScheduleError(ReproError):
+    """Raised when a schedule violates the K-PBS constraints.
+
+    The constraints are: every step is a matching, no step has more than
+    ``k`` edges, and the union of the steps covers the input graph.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised by the DES kernel and the network simulator."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid experiment or topology configuration."""

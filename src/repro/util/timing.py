@@ -1,0 +1,48 @@
+"""Lightweight wall-clock timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    Usage::
+
+        t = Timer()
+        with t:
+            do_work()
+        print(t.elapsed)
+
+    Repeated ``with`` blocks accumulate into :attr:`elapsed`; the number of
+    measured intervals is tracked in :attr:`laps`.
+    """
+
+    elapsed: float = 0.0
+    laps: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        self.elapsed += time.perf_counter() - self._start
+        self.laps += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean interval duration (0.0 when nothing was measured)."""
+        return self.elapsed / self.laps if self.laps else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulated state."""
+        self.elapsed = 0.0
+        self.laps = 0
+        self._start = None

@@ -1,0 +1,37 @@
+"""Tests for the ASCII plotter."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot([1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "*" in text and "+" in text
+        assert "* up" in text and "+ down" in text
+
+    def test_axis_labels(self):
+        text = ascii_plot([0, 10], {"s": [5.0, 7.5]}, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "7.5" in text and "5" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([1, 2], {"flat": [4.0, 4.0]})
+        assert "flat" in text
+
+    def test_single_point(self):
+        text = ascii_plot([1], {"p": [2.0]})
+        assert "p" in text
+
+    def test_empty_returns_placeholder(self):
+        assert ascii_plot([], {}) == "(no data)"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"bad": [1.0]})
+
+    def test_dimensions(self):
+        text = ascii_plot([1, 2], {"s": [1.0, 2.0]}, width=40, height=8)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert len(rows) == 8

@@ -1,0 +1,68 @@
+"""Tests for the ASCII Gantt charts."""
+
+from repro.analysis.gantt import gantt_async, gantt_sync
+from repro.core.oggp import oggp
+from repro.core.relax import relax_schedule
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.graph.bipartite import BipartiteGraph
+
+
+def sample_schedule() -> Schedule:
+    return Schedule(
+        [
+            Step([Transfer(0, 0, 0, 4.0), Transfer(1, 1, 1, 4.0)]),
+            Step([Transfer(2, 0, 1, 2.0)]),
+        ],
+        k=2,
+        beta=1.0,
+    )
+
+
+class TestGanttSync:
+    def test_rows_per_sender(self):
+        text = gantt_sync(sample_schedule())
+        lines = text.splitlines()
+        assert any(l.startswith("s0") for l in lines)
+        assert any(l.startswith("s1") for l in lines)
+
+    def test_idle_shown_as_dots(self):
+        text = gantt_sync(sample_schedule())
+        s1_row = next(l for l in text.splitlines() if l.startswith("s1"))
+        assert "." in s1_row  # s1 idles in step 2
+
+    def test_destination_digits(self):
+        text = gantt_sync(sample_schedule())
+        s0_row = next(l for l in text.splitlines() if l.startswith("s0"))
+        assert "0" in s0_row and "1" in s0_row
+
+    def test_empty(self):
+        assert gantt_sync(Schedule([], k=1, beta=0.0)) == "(empty schedule)"
+
+    def test_real_schedule(self):
+        g = BipartiteGraph.from_edges(
+            [(0, 0, 5), (0, 1, 3), (1, 0, 2), (2, 2, 4)]
+        )
+        sched = oggp(g, k=2, beta=1.0)
+        text = gantt_sync(sched)
+        assert text.count("\n") == len({0, 1, 2})  # header + 3 senders
+
+
+class TestGanttAsync:
+    def test_contains_time_axis_and_rows(self):
+        relaxed = relax_schedule(sample_schedule())
+        text = gantt_async(relaxed)
+        assert text.splitlines()[0].strip().startswith("0")
+        assert any(l.startswith("s0") for l in text.splitlines())
+
+    def test_empty(self):
+        from repro.core.relax import AsyncSchedule
+
+        assert gantt_async(AsyncSchedule([], k=1, beta=0.0)) == "(empty schedule)"
+
+    def test_real_relaxation(self):
+        g = BipartiteGraph.from_edges(
+            [(0, 0, 5), (0, 1, 3), (1, 0, 2), (2, 2, 4)]
+        )
+        relaxed = relax_schedule(oggp(g, k=3, beta=0.5))
+        text = gantt_async(relaxed)
+        assert len(text.splitlines()) == 4  # header + 3 senders

@@ -1,0 +1,65 @@
+"""Tests for SeriesStats, including the pooled-merge property."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import SeriesStats, summarize
+
+floats = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.min == 1.0
+        assert s.max == 3.0
+        assert s.std == pytest.approx(math.sqrt(2 / 3))
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.mean == s.min == s.max == 5.0
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_to_dict(self):
+        d = summarize([1.0, 1.0]).to_dict()
+        assert d["count"] == 2 and d["mean"] == 1.0
+
+
+class TestMerge:
+    @given(
+        st.lists(floats, min_size=1, max_size=20),
+        st.lists(floats, min_size=1, max_size=20),
+    )
+    @settings(max_examples=80)
+    def test_merge_equals_pooled(self, a, b):
+        merged = summarize(a).merge(summarize(b))
+        pooled = summarize(a + b)
+        assert merged.count == pooled.count
+        assert merged.mean == pytest.approx(pooled.mean, abs=1e-9)
+        assert merged.std == pytest.approx(pooled.std, abs=1e-7)
+        assert merged.min == pooled.min
+        assert merged.max == pooled.max
+
+    def test_merge_with_empty(self):
+        s = summarize([1.0, 2.0])
+        empty = summarize([])
+        assert s.merge(empty) == s
+        assert empty.merge(s) == s
+
+    @given(st.lists(floats, min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_merge_identity(self, values):
+        s = summarize(values)
+        doubled = s.merge(s)
+        assert doubled.count == 2 * s.count
+        assert doubled.mean == pytest.approx(s.mean, abs=1e-9)

@@ -1,0 +1,139 @@
+"""Tests for the kpbs CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.core.schedule import Schedule
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+
+class TestExperimentsCommand:
+    def test_lists_figures(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig7", "fig8", "fig9", "fig10", "fig11"):
+            assert name in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "GGP" in out and "OGGP" in out
+        assert "lower bound 10" in out
+
+
+class TestSchedule:
+    def test_json_matrix(self, tmp_path, capsys):
+        matrix = [[10.0, 0.0], [5.0, 20.0]]
+        src = tmp_path / "m.json"
+        src.write_text(json.dumps(matrix))
+        out_path = tmp_path / "schedule.json"
+        code = main([
+            "schedule", "--input", str(src), "--k", "2", "--beta", "1",
+            "--algorithm", "oggp", "--output", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evaluation ratio" in out
+        restored = Schedule.from_json(out_path.read_text())
+        assert restored.k == 2
+
+    def test_csv_matrix(self, tmp_path, capsys):
+        src = tmp_path / "m.csv"
+        np.savetxt(src, np.array([[4.0, 2.0], [0.0, 3.0]]), delimiter=",")
+        assert main(["schedule", "--input", str(src), "--k", "1"]) == 0
+        assert "Schedule" in capsys.readouterr().out
+
+    def test_unknown_format_fails_cleanly(self, tmp_path, capsys):
+        src = tmp_path / "m.txt"
+        src.write_text("1 2")
+        assert main(["schedule", "--input", str(src), "--k", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_fig7_quick_with_csv(self, tmp_path, capsys):
+        out_csv = tmp_path / "fig7.csv"
+        code = main(["run", "fig7", "--draws", "5", "--csv", str(out_csv)])
+        assert code == 0
+        assert out_csv.exists()
+        out = capsys.readouterr().out
+        assert "fig7" in out
+
+    def test_ablation_steps(self, capsys):
+        assert main(["run", "ablation_steps"]) == 0
+        assert "oggp" in capsys.readouterr().out
+
+
+class TestRunExtensions:
+    def test_heterogeneity(self, capsys):
+        assert main(["run", "heterogeneity"]) == 0
+        out = capsys.readouterr().out
+        assert "oggp+cap" in out
+
+    def test_scalability(self, capsys):
+        assert main(["run", "scalability"]) == 0
+        assert "log-log slope" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_single_experiment_to_file(self, tmp_path, capsys):
+        out_md = tmp_path / "report.md"
+        assert main(["report", "ablation_steps", "--out", str(out_md)]) == 0
+        text = out_md.read_text()
+        assert text.startswith("# K-PBS reproduction report")
+        assert "ablation_steps" in text
+        assert "| metric |" in text
+
+    def test_stdout_when_no_out(self, capsys):
+        assert main(["report", "ablation_steps"]) == 0
+        assert "ablation_steps" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_valid_schedule_passes(self, tmp_path, capsys):
+        matrix = [[10.0, 0.0], [5.0, 20.0]]
+        m = tmp_path / "m.json"
+        m.write_text(json.dumps(matrix))
+        s = tmp_path / "s.json"
+        main(["schedule", "--input", str(m), "--k", "2", "--beta", "1",
+              "--output", str(s)])
+        capsys.readouterr()
+        assert main(["verify", "--matrix", str(m), "--schedule", str(s)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_broken_schedule_fails_with_details(self, tmp_path, capsys):
+        matrix = [[10.0, 0.0], [5.0, 20.0]]
+        m = tmp_path / "m.json"
+        m.write_text(json.dumps(matrix))
+        s = tmp_path / "s.json"
+        main(["schedule", "--input", str(m), "--k", "2", "--beta", "1",
+              "--output", str(s)])
+        capsys.readouterr()
+        data = json.loads(s.read_text())
+        del data["steps"][0]  # drop a step -> under-delivery
+        s.write_text(json.dumps(data))
+        assert main(["verify", "--matrix", str(m), "--schedule", str(s)]) == 1
+        out = capsys.readouterr().out
+        assert "under_delivered" in out
+
+
+class TestSimulate:
+    def test_small_simulation(self, capsys):
+        code = main(["simulate", "--k", "3", "--max-mb", "11", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bruteforce" in out and "oggp" in out and "gain" in out

@@ -1,0 +1,107 @@
+"""Tests for adaptive rescheduling under a varying backbone."""
+
+import pytest
+
+from repro.core.adaptive import adaptive_schedule_run, static_schedule_run
+from repro.graph.generators import from_traffic_matrix, random_bipartite
+from repro.netsim.topology import NetworkSpec
+from repro.netsim.trace import BandwidthTrace
+from repro.patterns.matrices import uniform_matrix
+
+
+def spec() -> NetworkSpec:
+    return NetworkSpec(n1=6, n2=6, nic_rate1=10.0, nic_rate2=10.0,
+                       backbone_rate=40.0, step_setup=0.01)
+
+
+def sample_graph(seed: int = 0, scale: float = 1.0):
+    traffic = uniform_matrix(seed, 6, 6, 4.0 * scale, 10.0 * scale)
+    return from_traffic_matrix(traffic, speed=10.0), traffic
+
+
+class TestStaticRun:
+    def test_constant_trace_is_plain_schedule(self):
+        graph, traffic = sample_graph()
+        platform = spec()
+        trace = BandwidthTrace.constant(40.0)
+        result = static_schedule_run(graph, platform, trace)
+        # With capacity == nominal there is no congestion; the time is
+        # the schedule's own cost.
+        from repro.core.oggp import oggp
+
+        sched = oggp(graph, k=4, beta=platform.step_setup)
+        assert result.total_time == pytest.approx(sched.cost, rel=1e-9)
+        assert result.reschedules == 1
+        assert result.k_used == (4,)
+
+    def test_dip_with_penalty_slows(self):
+        graph, _ = sample_graph()
+        platform = spec()
+        flat = static_schedule_run(
+            graph, platform, BandwidthTrace.constant(40.0)
+        )
+        dipped = static_schedule_run(
+            graph, platform,
+            BandwidthTrace.from_pairs([(0, 40.0), (1.0, 10.0)]),
+            congestion_penalty=1.0,
+        )
+        assert dipped.total_time > flat.total_time
+
+
+class TestAdaptiveRun:
+    def test_everything_delivered(self):
+        graph, _ = sample_graph(3)
+        platform = spec()
+        trace = BandwidthTrace.from_pairs([(0, 40.0), (2.0, 10.0), (5.0, 40.0)])
+        result = adaptive_schedule_run(graph, platform, trace)
+        assert result.total_time > 0
+        assert result.num_steps >= 1
+        # k follows the trace: 4, then 1, then 4 again (if still running).
+        assert result.k_used[0] == 4
+        assert 1 in result.k_used
+
+    def test_constant_trace_matches_static(self):
+        graph, _ = sample_graph(5)
+        platform = spec()
+        trace = BandwidthTrace.constant(40.0)
+        static = static_schedule_run(graph, platform, trace)
+        adaptive = adaptive_schedule_run(graph, platform, trace)
+        assert adaptive.total_time == pytest.approx(static.total_time, rel=1e-9)
+        assert adaptive.reschedules == 1
+
+    def test_beats_static_under_costly_congestion(self):
+        platform = spec()
+        wins = 0
+        for seed in range(4):
+            graph, traffic = sample_graph(seed, scale=3.0)
+            horizon = traffic.sum() / platform.backbone_rate
+            trace = BandwidthTrace.from_pairs(
+                [(0, 40.0), (0.2 * horizon, 10.0), (0.9 * horizon, 40.0)]
+            )
+            static = static_schedule_run(
+                graph, platform, trace, congestion_penalty=1.0
+            )
+            adaptive = adaptive_schedule_run(
+                graph, platform, trace, congestion_penalty=1.0
+            )
+            if adaptive.total_time < static.total_time:
+                wins += 1
+        assert wins >= 3
+
+    def test_empty_graph(self):
+        from repro.graph.bipartite import BipartiteGraph
+
+        result = adaptive_schedule_run(
+            BipartiteGraph(), spec(), BandwidthTrace.constant(40.0)
+        )
+        assert result.total_time == 0.0
+        assert result.num_steps == 0
+
+    def test_deterministic(self):
+        graph, _ = sample_graph(9)
+        platform = spec()
+        trace = BandwidthTrace.from_pairs([(0, 40.0), (1.5, 20.0)])
+        a = adaptive_schedule_run(graph, platform, trace)
+        b = adaptive_schedule_run(graph, platform, trace)
+        assert a.total_time == b.total_time
+        assert a.num_steps == b.num_steps

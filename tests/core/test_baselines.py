@@ -1,0 +1,97 @@
+"""Tests for the baseline schedulers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.baselines import greedy_schedule, list_schedule, sequential_schedule
+from repro.core.bounds import lower_bound
+from repro.core.ggp import ggp
+from repro.graph.bipartite import BipartiteGraph
+from repro.util.errors import ConfigError
+from tests.conftest import bipartite_graphs, betas, ks
+
+
+class TestSequential:
+    def test_cost_formula(self, small_graph):
+        s = sequential_schedule(small_graph, beta=2.0)
+        s.validate(small_graph)
+        assert s.cost == pytest.approx(
+            small_graph.total_weight() + 2.0 * small_graph.num_edges
+        )
+        assert s.num_steps == small_graph.num_edges
+        assert s.max_step_size == 1
+
+    def test_empty(self):
+        s = sequential_schedule(BipartiteGraph())
+        assert s.num_steps == 0
+
+    @given(bipartite_graphs(), betas)
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid(self, g, beta):
+        sequential_schedule(g, beta).validate(g)
+
+
+class TestGreedy:
+    @given(bipartite_graphs(), ks, betas)
+    @settings(max_examples=80, deadline=None)
+    def test_valid_and_respects_k(self, g, k, beta):
+        s = greedy_schedule(g, k, beta)
+        s.validate(g)
+        assert s.max_step_size <= k
+
+    def test_terminates_on_hard_case(self):
+        # Long chain: greedy must peel through without stalling.
+        g = BipartiteGraph.from_edges(
+            [(i, i, 10) for i in range(6)] + [(i, i + 1, 5) for i in range(5)]
+        )
+        s = greedy_schedule(g, 3, 1.0)
+        s.validate(g)
+
+    def test_invalid_params(self, small_graph):
+        with pytest.raises(ConfigError):
+            greedy_schedule(small_graph, 0, 1.0)
+
+    @given(bipartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_never_better_than_bound(self, g):
+        s = greedy_schedule(g, 3, 1.0)
+        assert s.cost >= lower_bound(g, 3, 1.0) - 1e-9
+
+
+class TestListSchedule:
+    @given(bipartite_graphs(), ks, betas)
+    @settings(max_examples=80, deadline=None)
+    def test_valid_and_respects_k(self, g, k, beta):
+        s = list_schedule(g, k, beta)
+        s.validate(g)
+        assert s.max_step_size <= k
+
+    def test_non_preemptive(self, small_graph):
+        s = list_schedule(small_graph, 2, 1.0)
+        seen = set()
+        for step in s.steps:
+            for t in step.transfers:
+                assert t.edge_id not in seen, "message split across steps"
+                seen.add(t.edge_id)
+
+    def test_packs_compatible_messages(self):
+        g = BipartiteGraph.from_edges([(0, 0, 5), (1, 1, 5), (2, 2, 5)])
+        s = list_schedule(g, 3, 1.0)
+        assert s.num_steps == 1
+
+    def test_heaviest_first_ordering(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (0, 1, 9)])
+        s = list_schedule(g, 2, 0.0)
+        assert s.steps[0].transfers[0].amount == 9.0
+
+
+class TestRelativeQuality:
+    @given(bipartite_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_ggp_no_worse_than_twice_any_baseline_bound(self, g, k):
+        # GGP carries the guarantee; baselines need not. But GGP must
+        # never exceed the sequential cost by more than the guarantee gap.
+        beta = 1.0
+        bound = lower_bound(g, k, beta)
+        assert ggp(g, k, beta).cost <= 2.0 * bound + 1e-6
+        assert sequential_schedule(g, beta).cost >= bound - 1e-9

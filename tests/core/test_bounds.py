@@ -1,0 +1,78 @@
+"""Tests for the Cohen–Jeannot–Padoy lower bound."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.baselines import sequential_schedule
+from repro.core.bounds import (
+    evaluation_ratio,
+    lower_bound,
+    lower_bound_report,
+)
+from repro.graph.bipartite import BipartiteGraph
+from repro.util.errors import ConfigError
+from tests.conftest import bipartite_graphs, betas, ks
+
+
+class TestReport:
+    def test_fig2_breakdown(self, fig2_graph):
+        report = lower_bound_report(fig2_graph, k=3, beta=1.0)
+        assert report.max_node_weight == 8  # W(G)
+        assert report.bandwidth_bound == pytest.approx(23 / 3)  # P/k
+        assert report.max_degree == 2
+        assert report.edge_step_bound == math.ceil(5 / 3)
+        assert report.eta_c == 8
+        assert report.eta_s == 2
+        assert report.value == 10.0
+
+    def test_k_one_equals_serial_cost_floor(self, small_graph):
+        # With k=1 the bound is P + beta*m, which sequential achieves.
+        beta = 2.0
+        bound = lower_bound(small_graph, 1, beta)
+        seq = sequential_schedule(small_graph, beta)
+        assert seq.cost == pytest.approx(bound)
+
+    def test_empty_graph(self):
+        assert lower_bound(BipartiteGraph(), k=3, beta=1.0) == 0.0
+
+    def test_monotone_in_beta(self, small_graph):
+        assert lower_bound(small_graph, 2, 2.0) > lower_bound(small_graph, 2, 1.0)
+
+    def test_nonincreasing_in_k(self, small_graph):
+        values = [lower_bound(small_graph, k, 1.0) for k in range(1, 6)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_params(self, small_graph):
+        with pytest.raises(ConfigError):
+            lower_bound(small_graph, 0, 1.0)
+        with pytest.raises(ConfigError):
+            lower_bound(small_graph, 1, -0.5)
+
+
+class TestEvaluationRatio:
+    def test_normal(self):
+        assert evaluation_ratio(15.0, 10.0) == 1.5
+
+    def test_empty_instance(self):
+        assert evaluation_ratio(0.0, 0.0) == 1.0
+
+    def test_zero_bound_with_cost_raises(self):
+        with pytest.raises(ConfigError):
+            evaluation_ratio(1.0, 0.0)
+
+
+class TestSoundness:
+    @given(bipartite_graphs(), ks, betas)
+    @settings(max_examples=60, deadline=None)
+    def test_bound_never_exceeds_a_feasible_cost(self, g, k, beta):
+        # The sequential schedule is feasible for every k >= 1, so the
+        # bound must be below its cost.
+        seq = sequential_schedule(g, beta)
+        assert lower_bound(g, k, beta) <= seq.cost + 1e-9
+
+    @given(bipartite_graphs())
+    @settings(max_examples=40)
+    def test_bound_positive_for_nonempty(self, g):
+        assert lower_bound(g, 3, 0.0) > 0

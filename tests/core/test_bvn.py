@@ -1,0 +1,99 @@
+"""Tests for the Birkhoff–von Neumann decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bvn import birkhoff_von_neumann, is_doubly_stochastic, reconstruct
+from repro.util.errors import GraphError
+
+
+def random_regular_matrix(rng: np.random.Generator, n: int, layers: int) -> np.ndarray:
+    """Convex-ish combination of permutation matrices (integer weights)."""
+    out = np.zeros((n, n))
+    for _ in range(layers):
+        perm = rng.permutation(n)
+        out[np.arange(n), perm] += float(rng.integers(1, 9))
+    return out
+
+
+class TestDecomposition:
+    def test_identity(self):
+        parts = birkhoff_von_neumann(np.eye(3) * 5)
+        assert parts == [(5.0, (0, 1, 2))]
+
+    def test_docstring_example(self):
+        parts = birkhoff_von_neumann(np.array([[2.0, 1.0], [1.0, 2.0]]))
+        assert sorted(parts) == [(1.0, (1, 0)), (2.0, (0, 1))]
+
+    def test_zero_matrix(self):
+        assert birkhoff_von_neumann(np.zeros((3, 3))) == []
+
+    def test_reconstruction_exact(self):
+        rng = np.random.default_rng(0)
+        for n, layers in ((2, 2), (4, 3), (6, 5)):
+            m = random_regular_matrix(rng, n, layers)
+            parts = birkhoff_von_neumann(m)
+            assert np.allclose(reconstruct(parts, n), m)
+
+    def test_count_bound(self):
+        # Birkhoff: at most (n-1)^2 + 1 permutations are needed; WRGP
+        # peels at most one per edge, i.e. <= n^2, and usually far fewer.
+        rng = np.random.default_rng(1)
+        n = 5
+        m = random_regular_matrix(rng, n, 6)
+        parts = birkhoff_von_neumann(m)
+        assert len(parts) <= int(np.count_nonzero(m))
+
+    def test_permutations_are_permutations(self):
+        rng = np.random.default_rng(2)
+        m = random_regular_matrix(rng, 5, 4)
+        for coefficient, perm in birkhoff_von_neumann(m):
+            assert coefficient > 0
+            assert sorted(perm) == list(range(5))
+
+    def test_doubly_stochastic_input(self):
+        # Average of 3 permutation matrices, scaled to row sums 1.
+        rng = np.random.default_rng(3)
+        m = random_regular_matrix(rng, 4, 3)
+        m = m / m.sum(axis=1)[0]
+        assert is_doubly_stochastic(m)
+        parts = birkhoff_von_neumann(m)
+        assert sum(c for c, _ in parts) == pytest.approx(1.0)
+        assert np.allclose(reconstruct(parts, 4), m)
+
+    @given(st.integers(0, 500), st.integers(1, 5), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_reconstruction(self, seed, n, layers):
+        m = random_regular_matrix(np.random.default_rng(seed), n, layers)
+        parts = birkhoff_von_neumann(m)
+        assert np.allclose(reconstruct(parts, n), m)
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError):
+            birkhoff_von_neumann(np.ones((2, 3)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            birkhoff_von_neumann(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+
+    def test_irregular_rejected(self):
+        with pytest.raises(GraphError, match="not weight-regular"):
+            birkhoff_von_neumann(np.array([[1.0, 0.0], [0.0, 2.0]]))
+
+    def test_reconstruct_length_mismatch(self):
+        with pytest.raises(GraphError):
+            reconstruct([(1.0, (0, 1))], n=3)
+
+
+class TestIsDoublyStochastic:
+    def test_positive_case(self):
+        assert is_doubly_stochastic(np.full((3, 3), 1 / 3))
+
+    def test_negative_cases(self):
+        assert not is_doubly_stochastic(np.ones((2, 3)))
+        assert not is_doubly_stochastic(np.array([[0.5, 0.5], [0.6, 0.4]]))
+        assert not is_doubly_stochastic(np.array([[1.5, -0.5], [-0.5, 1.5]]))

@@ -1,0 +1,79 @@
+"""Tests for the exact solver, and the LB <= OPT <= heuristic sandwich."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import lower_bound
+from repro.core.exact import exact_cost, exact_schedule
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.graph.bipartite import BipartiteGraph
+from repro.util.errors import ConfigError
+from tests.conftest import bipartite_graphs
+
+
+class TestExactBasics:
+    def test_single_edge(self):
+        g = BipartiteGraph.from_edges([(0, 0, 5)])
+        assert exact_cost(g, k=1, beta=1.0) == 6.0
+
+    def test_two_disjoint_edges_one_step(self):
+        g = BipartiteGraph.from_edges([(0, 0, 5), (1, 1, 5)])
+        assert exact_cost(g, k=2, beta=1.0) == 6.0
+
+    def test_two_disjoint_edges_k1(self):
+        g = BipartiteGraph.from_edges([(0, 0, 5), (1, 1, 5)])
+        assert exact_cost(g, k=1, beta=1.0) == 12.0
+
+    def test_conflicting_edges_need_two_steps(self):
+        g = BipartiteGraph.from_edges([(0, 0, 3), (0, 1, 4)])
+        assert exact_cost(g, k=2, beta=1.0) == 9.0
+
+    def test_preemption_helps(self):
+        # Star + heavy opposite edge: splitting beats any non-preemptive
+        # placement when beta is small.
+        g = BipartiteGraph.from_edges([(0, 0, 4), (0, 1, 4), (1, 0, 8)])
+        cost = exact_cost(g, k=2, beta=0.0)
+        assert cost == pytest.approx(12.0)  # = W(G) at node 0/left1
+
+    def test_fig2_optimum(self, fig2_graph):
+        assert exact_cost(fig2_graph, k=3, beta=1.0) == 10.0
+
+    def test_schedule_matches_cost_and_is_valid(self, fig2_graph):
+        s = exact_schedule(fig2_graph, k=3, beta=1.0)
+        s.validate(fig2_graph)
+        assert s.cost == exact_cost(fig2_graph, k=3, beta=1.0)
+
+    def test_empty(self):
+        assert exact_cost(BipartiteGraph(), k=1, beta=1.0) == 0.0
+        assert exact_schedule(BipartiteGraph(), k=1, beta=1.0).num_steps == 0
+
+    def test_rejects_float_weights(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1.5)])
+        with pytest.raises(ConfigError):
+            exact_cost(g, k=1, beta=1.0)
+
+    def test_rejects_large_instances(self):
+        g = BipartiteGraph.from_edges([(i, j, 1) for i in range(3) for j in range(3)])
+        with pytest.raises(ConfigError):
+            exact_cost(g, k=2, beta=1.0, max_edges=8)
+
+
+class TestSandwich:
+    @given(bipartite_graphs(max_side=3, max_edges=4, max_weight=4))
+    @settings(max_examples=60, deadline=None)
+    def test_lb_le_opt_le_heuristics(self, g):
+        for k in (1, 2, 3):
+            beta = 1.0
+            opt = exact_cost(g, k=k, beta=beta)
+            bound = lower_bound(g, k, beta)
+            assert bound <= opt + 1e-9
+            assert opt <= ggp(g, k, beta).cost + 1e-9
+            assert opt <= oggp(g, k, beta).cost + 1e-9
+
+    @given(bipartite_graphs(max_side=3, max_edges=4, max_weight=4))
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_cost_equals_reported_cost(self, g):
+        s = exact_schedule(g, k=2, beta=1.0)
+        s.validate(g)
+        assert s.cost == pytest.approx(exact_cost(g, k=2, beta=1.0))

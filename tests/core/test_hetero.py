@@ -1,0 +1,172 @@
+"""Tests for heterogeneous-platform scheduling (extension E4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hetero import (
+    HeteroPlatform,
+    enforce_capacity,
+    evaluate_hetero_schedule,
+    hetero_lower_bound,
+    hetero_schedule,
+    hetero_schedule_oggp,
+    schedule_homogeneous_equivalent,
+)
+from repro.util.errors import ConfigError, ScheduleError
+
+
+def mixed_platform(beta: float = 0.1) -> HeteroPlatform:
+    return HeteroPlatform(
+        send_rates=(10.0, 10.0, 100.0, 100.0),
+        recv_rates=(10.0, 10.0, 100.0, 100.0),
+        backbone=200.0,
+        beta=beta,
+    )
+
+
+@st.composite
+def volume_matrices(draw):
+    n1 = 4
+    n2 = 4
+    values = draw(
+        st.lists(st.floats(0.0, 500.0, allow_nan=False),
+                 min_size=n1 * n2, max_size=n1 * n2)
+    )
+    return np.array(values).reshape(n1, n2)
+
+
+class TestPlatform:
+    def test_derived_counts(self):
+        p = mixed_platform()
+        assert p.flow_rate(0, 0) == 10.0
+        assert p.flow_rate(0, 2) == 10.0
+        assert p.flow_rate(2, 3) == 100.0
+        assert p.k_safe() == 2     # 200 / 100
+        assert p.k_optimistic() == 4  # 200 / 10 capped by node count
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HeteroPlatform((), (1.0,), 10.0)
+        with pytest.raises(ConfigError):
+            HeteroPlatform((0.0,), (1.0,), 10.0)
+        with pytest.raises(ConfigError):
+            HeteroPlatform((1.0,), (1.0,), 0.0)
+        with pytest.raises(ConfigError):
+            HeteroPlatform((1.0,), (1.0,), 10.0, beta=-1)
+
+
+class TestLowerBound:
+    def test_single_flow(self):
+        p = mixed_platform(beta=0.5)
+        vol = np.zeros((4, 4))
+        vol[0, 0] = 100.0  # rate 10 -> 10 s transmission, 1 step
+        assert hetero_lower_bound(p, vol) == pytest.approx(10.5)
+
+    def test_backbone_bound_dominates(self):
+        p = mixed_platform(beta=0.0)
+        vol = np.zeros((4, 4))
+        # Two fast disjoint flows: node time 4 each, backbone 800/200 = 4.
+        vol[2, 2] = 400.0
+        vol[3, 3] = 400.0
+        assert hetero_lower_bound(p, vol) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert hetero_lower_bound(mixed_platform(), np.zeros((4, 4))) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            hetero_lower_bound(mixed_platform(), np.zeros((2, 2)))
+
+
+class TestSchedulers:
+    @given(volume_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_valid_and_bounded(self, vol):
+        p = mixed_platform()
+        sched = hetero_schedule(p, vol)
+        sched.validate(vol)
+        bound = hetero_lower_bound(p, vol)
+        cost = evaluate_hetero_schedule(sched)
+        if bound > 0:
+            assert cost >= bound - 1e-6
+            # No guarantee proven; empirical sanity ceiling.
+            assert cost <= 4.0 * bound + 1e-6
+
+    @given(volume_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_safe_mode_is_capacity_feasible(self, vol):
+        p = mixed_platform()
+        if not (vol > 0).any():
+            return
+        sched = schedule_homogeneous_equivalent(p, vol, "safe")
+        sched.validate(vol)  # validate() enforces the capacity
+
+    @given(volume_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_forced_capacity_pass_is_feasible(self, vol):
+        p = mixed_platform()
+        if not (vol > 0).any():
+            return
+        sched = schedule_homogeneous_equivalent(p, vol, "optimistic")
+        feasible = enforce_capacity(sched, always=True)
+        feasible.validate(vol)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            schedule_homogeneous_equivalent(
+                mixed_platform(), np.ones((4, 4)), "bogus"
+            )
+
+    def test_oversubscribed_validate_raises(self):
+        p = mixed_platform()
+        vol = np.zeros((4, 4))
+        vol[2, 2] = 100.0
+        vol[3, 3] = 100.0
+        vol[2, 3] = 0.0
+        sched = schedule_homogeneous_equivalent(p, vol, "optimistic")
+        # Force an infeasible hand-made step to check the validator.
+        from repro.core.hetero import HeteroSchedule, HeteroTransfer
+
+        bad = HeteroSchedule(
+            steps=[[
+                HeteroTransfer(2, 2, 100.0, 100.0),
+                HeteroTransfer(3, 3, 100.0, 100.0),
+                HeteroTransfer(2, 3, 1.0, 100.0),  # not even a matching
+            ]],
+            platform=p,
+        )
+        with pytest.raises(ScheduleError):
+            bad.validate(vol)
+        del sched
+
+
+class TestEvaluation:
+    def test_penalty_only_hits_oversubscription(self):
+        p = mixed_platform()
+        vol = np.zeros((4, 4))
+        vol[0, 0] = 50.0
+        sched = hetero_schedule(p, vol)
+        assert evaluate_hetero_schedule(sched, 0.0) == pytest.approx(
+            evaluate_hetero_schedule(sched, 5.0)
+        )
+
+    def test_negative_penalty_rejected(self):
+        p = mixed_platform()
+        sched = hetero_schedule(p, np.zeros((4, 4)))
+        with pytest.raises(ConfigError):
+            evaluate_hetero_schedule(sched, -1.0)
+
+    @given(volume_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_oggp_cap_no_worse_than_optimistic_under_penalty(self, vol):
+        p = mixed_platform()
+        if not (vol > 0).any():
+            return
+        penalty = 2.0
+        optimistic = schedule_homogeneous_equivalent(p, vol, "optimistic")
+        capped = hetero_schedule_oggp(p, vol, congestion_penalty=penalty)
+        assert evaluate_hetero_schedule(capped, penalty) <= (
+            evaluate_hetero_schedule(optimistic, penalty) + 1e-6
+        )

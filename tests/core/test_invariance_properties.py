@@ -1,0 +1,80 @@
+"""Cross-cutting invariance properties of the schedulers and the bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import lower_bound
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.graph.bipartite import BipartiteGraph
+from tests.conftest import bipartite_graphs, ks
+
+
+def transpose(g: BipartiteGraph) -> BipartiteGraph:
+    return BipartiteGraph.from_edges(
+        [(e.right, e.left, e.weight) for e in g.edges_sorted()]
+    )
+
+
+def scale(g: BipartiteGraph, c: int) -> BipartiteGraph:
+    return g.map_weights(lambda w: w * c)
+
+
+class TestScaling:
+    @given(bipartite_graphs(), ks, st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bound_scales_linearly_at_beta0(self, g, k, c):
+        assert lower_bound(scale(g, c), k, 0.0) == pytest.approx(
+            c * lower_bound(g, k, 0.0)
+        )
+
+    @given(bipartite_graphs(), ks, st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_beta0_cost_scales_linearly(self, g, k, c):
+        # At beta = 0 the peeling decisions are scale-invariant (every
+        # comparison scales), so the cost is exactly linear in the
+        # weights.
+        for algorithm in (ggp, oggp):
+            base = algorithm(g, k, 0.0).cost
+            scaled = algorithm(scale(g, c), k, 0.0).cost
+            assert scaled == pytest.approx(c * base)
+
+    @given(bipartite_graphs(), ks, st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_joint_beta_weight_scaling(self, g, k, c):
+        # Scaling weights AND beta together scales the whole problem.
+        base = oggp(g, k, 1.0).cost
+        scaled = oggp(scale(g, c), k, float(c)).cost
+        assert scaled == pytest.approx(c * base)
+
+
+class TestTransposition:
+    @given(bipartite_graphs(), ks, st.sampled_from([0.0, 1.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bound_is_transpose_invariant(self, g, k, beta):
+        assert lower_bound(transpose(g), k, beta) == pytest.approx(
+            lower_bound(g, k, beta)
+        )
+
+    @given(bipartite_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_transposed_schedules_stay_within_guarantee(self, g, k):
+        gt = transpose(g)
+        bound = lower_bound(g, k, 1.0)
+        assert oggp(gt, k, 1.0).cost <= 2 * bound + 1e-6
+        s = oggp(gt, k, 1.0)
+        s.validate(gt)
+
+
+class TestRelabelling:
+    @given(bipartite_graphs(max_side=5, max_edges=10), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_node_id_shift_does_not_change_cost(self, g, k):
+        shifted = BipartiteGraph.from_edges(
+            [(e.left + 100, e.right + 200, e.weight)
+             for e in g.edges_sorted()]
+        )
+        assert oggp(shifted, k, 1.0).cost == pytest.approx(
+            oggp(g, k, 1.0).cost
+        )

@@ -1,0 +1,52 @@
+"""Tests for OGGP and its relationship to GGP."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import lower_bound
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.graph.bipartite import BipartiteGraph
+from tests.conftest import bipartite_graphs, betas, ks
+
+
+class TestOggp:
+    @given(bipartite_graphs(), ks, betas)
+    @settings(max_examples=100, deadline=None)
+    def test_validity_and_guarantee(self, g, k, beta):
+        s = oggp(g, k=k, beta=beta)
+        s.validate(g)
+        assert s.cost <= 2.0 * lower_bound(g, k, beta) + 1e-6
+        assert s.max_step_size <= k
+
+    @given(bipartite_graphs(max_side=5, max_edges=10), ks)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_ggp_with_bottleneck_strategy(self, g, k):
+        assert (
+            oggp(g, k=k, beta=1.0).to_json()
+            == ggp(g, k=k, beta=1.0, matching="bottleneck").to_json()
+        )
+
+    def test_fewer_or_equal_steps_than_arbitrary_ggp_on_average(self):
+        # Not a per-instance theorem, so assert on an ensemble.
+        from repro.graph.generators import random_bipartite
+
+        total_ggp = 0
+        total_oggp = 0
+        for seed in range(25):
+            g = random_bipartite(seed, max_side=8, max_edges=30)
+            total_ggp += ggp(g, 4, 1.0, matching="arbitrary").num_steps
+            total_oggp += oggp(g, 4, 1.0).num_steps
+        assert total_oggp <= total_ggp
+
+    def test_first_step_peel_is_maximal(self):
+        # OGGP's first step must be at least as long as GGP-arbitrary's.
+        g = BipartiteGraph.from_edges(
+            [(0, 0, 1), (1, 1, 10), (0, 1, 5), (1, 0, 6)]
+        )
+        s = oggp(g, k=2, beta=1.0)
+        assert s.steps[0].duration >= 5.0
+
+    def test_empty_graph(self):
+        s = oggp(BipartiteGraph(), k=2, beta=1.0)
+        assert s.num_steps == 0

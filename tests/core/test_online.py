@@ -1,0 +1,121 @@
+"""Tests for the online (dynamic-pattern) scheduler."""
+
+import pytest
+
+from repro.core.online import (
+    Arrival,
+    offline_oracle_cost,
+    poisson_arrivals,
+    run_online_batches,
+)
+from repro.util.errors import ConfigError
+
+
+class TestArrival:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Arrival(time=-1.0, src=0, dst=0, size=1.0)
+        with pytest.raises(ConfigError):
+            Arrival(time=0.0, src=0, dst=0, size=0.0)
+
+
+class TestRunOnlineBatches:
+    def test_empty(self):
+        result = run_online_batches([], k=2, beta=1.0)
+        assert result.completion_time == 0.0
+        assert result.rounds == 0
+
+    def test_single_burst_is_one_round(self):
+        arrivals = [Arrival(0.0, i, i, 5.0) for i in range(3)]
+        result = run_online_batches(arrivals, k=3, beta=1.0)
+        assert result.rounds == 1
+        # One step of three disjoint messages: cost = beta + 5.
+        assert result.completion_time == pytest.approx(6.0)
+
+    def test_late_arrival_waits_for_batch(self):
+        arrivals = [
+            Arrival(0.0, 0, 0, 10.0),
+            Arrival(1.0, 1, 1, 10.0),  # arrives while round 1 runs
+        ]
+        result = run_online_batches(arrivals, k=2, beta=1.0)
+        assert result.rounds == 2
+        # Round 1: 0..11; round 2 starts at 11 and costs 11 more.
+        assert result.completion_time == pytest.approx(22.0)
+
+    def test_gap_jumps_to_next_arrival(self):
+        arrivals = [
+            Arrival(0.0, 0, 0, 2.0),
+            Arrival(100.0, 1, 1, 2.0),
+        ]
+        result = run_online_batches(arrivals, k=2, beta=1.0)
+        assert result.rounds == 2
+        assert result.completion_time == pytest.approx(103.0)
+
+    def test_same_pair_twice(self):
+        arrivals = [
+            Arrival(0.0, 0, 0, 3.0),
+            Arrival(0.0, 0, 0, 4.0),  # parallel message, same pair
+        ]
+        result = run_online_batches(arrivals, k=2, beta=0.0)
+        assert result.completion_time == pytest.approx(7.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            run_online_batches([], k=0, beta=1.0)
+        with pytest.raises(ConfigError):
+            run_online_batches([], k=1, beta=-1.0)
+
+    def test_round_schedules_exposed(self):
+        arrivals = [Arrival(0.0, 0, 0, 5.0)]
+        result = run_online_batches(arrivals, k=1, beta=1.0)
+        assert len(result.round_schedules) == 1
+        assert result.round_schedules[0].cost == pytest.approx(6.0)
+
+
+class TestOracle:
+    def test_empty(self):
+        assert offline_oracle_cost([], k=2, beta=1.0) == 0.0
+
+    def test_at_least_last_arrival(self):
+        arrivals = [Arrival(50.0, 0, 0, 1.0)]
+        assert offline_oracle_cost(arrivals, k=1, beta=0.0) >= 50.0
+
+    def test_online_never_beats_oracle(self):
+        for seed in range(6):
+            arrivals = poisson_arrivals(
+                seed, n1=5, n2=5, count=20, rate=1.0,
+                size_low=1.0, size_high=10.0,
+            )
+            online = run_online_batches(arrivals, k=3, beta=0.5)
+            oracle = offline_oracle_cost(arrivals, k=3, beta=0.5)
+            assert online.completion_time >= oracle - 1e-9
+
+    def test_competitive_ratio_is_bounded_in_practice(self):
+        # Batching doubles at worst in these regimes; sanity ceiling 3.
+        for seed in range(4):
+            arrivals = poisson_arrivals(
+                seed, n1=6, n2=6, count=30, rate=5.0,
+                size_low=1.0, size_high=10.0,
+            )
+            online = run_online_batches(arrivals, k=4, beta=0.5)
+            oracle = offline_oracle_cost(arrivals, k=4, beta=0.5)
+            assert online.completion_time / oracle < 3.0
+
+
+class TestPoissonArrivals:
+    def test_shape_and_determinism(self):
+        a = poisson_arrivals(1, 4, 4, 10, 2.0, 1.0, 5.0)
+        b = poisson_arrivals(1, 4, 4, 10, 2.0, 1.0, 5.0)
+        assert a == b
+        assert len(a) == 10
+        assert all(x.time <= y.time for x, y in zip(a, a[1:]))
+        assert all(0 <= x.src < 4 and 0 <= x.dst < 4 for x in a)
+        assert all(1.0 <= x.size <= 5.0 for x in a)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            poisson_arrivals(0, 2, 2, 0, 1.0, 1.0, 2.0)
+        with pytest.raises(ConfigError):
+            poisson_arrivals(0, 2, 2, 1, 0.0, 1.0, 2.0)
+        with pytest.raises(ConfigError):
+            poisson_arrivals(0, 2, 2, 1, 1.0, 0.0, 2.0)

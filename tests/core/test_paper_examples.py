@@ -1,0 +1,92 @@
+"""Checks against numbers stated in the paper itself."""
+
+import pytest
+
+from repro.core.bounds import lower_bound
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.graph.generators import paper_figure2_graph
+from repro.netsim.topology import NetworkSpec
+
+
+class TestFigure2:
+    """Figure 2: example solution with k=3, beta=1, total cost 15."""
+
+    def test_papers_illustrated_schedule_is_feasible(self):
+        g = paper_figure2_graph()
+        ids = {(e.left, e.right): e.id for e in g.edges()}
+        # Steps (1+5) + (1+3) + (1+4) = 15, with the weight-8 edge
+        # preempted into two chunks of 4.
+        schedule = Schedule(
+            [
+                Step(
+                    [
+                        Transfer(ids[(0, 0)], 0, 0, 4),
+                        Transfer(ids[(1, 1)], 1, 1, 5),
+                        Transfer(ids[(2, 2)], 2, 2, 3),
+                    ]
+                ),
+                Step(
+                    [
+                        Transfer(ids[(1, 2)], 1, 2, 3),
+                        Transfer(ids[(2, 1)], 2, 1, 3),
+                    ]
+                ),
+                Step(
+                    [
+                        Transfer(ids[(0, 0)], 0, 0, 4),
+                        Transfer(ids[(2, 2)], 2, 2, 1),
+                    ]
+                ),
+            ],
+            k=3,
+            beta=1.0,
+        )
+        schedule.validate(g)
+        assert schedule.cost == 15.0
+
+    def test_our_algorithms_do_at_least_as_well(self):
+        g = paper_figure2_graph()
+        for algorithm in (ggp, oggp):
+            s = algorithm(g, k=3, beta=1.0)
+            s.validate(g)
+            assert s.cost <= 15.0
+
+    def test_lower_bound_value(self):
+        assert lower_bound(paper_figure2_graph(), 3, 1.0) == 10.0
+
+
+class TestSection21Example:
+    """§2.1: n1=200, n2=100, t1=10, t2=100, T=1000 gives k=100, t=10."""
+
+    def test_platform_derivation(self):
+        spec = NetworkSpec(
+            n1=200, n2=100, nic_rate1=10.0, nic_rate2=100.0,
+            backbone_rate=1000.0,
+        )
+        assert spec.k == 100
+        assert spec.flow_rate == 10.0
+
+    def test_constraint_equations(self):
+        spec = NetworkSpec(
+            n1=200, n2=100, nic_rate1=10.0, nic_rate2=100.0,
+            backbone_rate=1000.0,
+        )
+        k = spec.k
+        # No congestion: k flows at the per-flow rate fit the backbone
+        # (the form the paper's example actually uses), and k is capped
+        # by the node counts.
+        assert k * spec.flow_rate <= spec.backbone_rate
+        assert k <= spec.n1 and k <= spec.n2  # (c), (d)
+
+
+class TestSection52Testbed:
+    """§5.2: 10+10 nodes, 100 Mbit NICs shaped to 100/k."""
+
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_paper_testbed_derives_k(self, k):
+        spec = NetworkSpec.paper_testbed(k)
+        assert spec.k == k
+        assert spec.n1 == spec.n2 == 10
+        assert spec.nic_rate1 == pytest.approx(100.0 / k)

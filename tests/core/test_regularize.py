@@ -1,0 +1,168 @@
+"""Tests for the §4.2.2 regularisation — including Proposition 1."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.normalize import normalize_weights
+from repro.core.regularize import regularize
+from repro.graph.bipartite import BipartiteGraph, EdgeKind
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.util.errors import GraphError
+from tests.conftest import bipartite_graphs, ks
+
+
+class TestConstruction:
+    def test_already_regular_square_graph_needs_no_padding(self):
+        g = BipartiteGraph.from_edges(
+            [(0, 0, 2), (0, 1, 1), (1, 1, 2), (1, 0, 1)]
+        )
+        result = regularize(g, k=2)
+        # P=6, W=3, k=2 -> target 3, no filler, no deficiency.
+        assert result.target == 3
+        assert result.num_filler_edges == 0
+        assert result.num_deficiency_edges == 0
+        assert result.graph == g
+
+    def test_single_edge(self):
+        g = BipartiteGraph.from_edges([(0, 0, 5)])
+        result = regularize(g, k=1)
+        assert result.target == 5
+        assert result.graph.is_weight_regular()
+        assert result.graph.num_left == result.graph.num_right == 1
+
+    def test_target_value_int_case(self, small_graph):
+        # small_graph: P=15, W=6; k=4 -> target max(6, ceil(15/4)=4) = 6.
+        result = regularize(small_graph, k=4)
+        assert result.target == 6
+
+    def test_bandwidth_dominates(self):
+        g = BipartiteGraph.from_edges([(i, i, 10) for i in range(4)])
+        result = regularize(g, k=2)  # P=40, W=10, ceil(40/2)=20
+        assert result.target == 20
+
+    def test_k_clamped_to_sides(self):
+        g = BipartiteGraph.from_edges([(0, 0, 3), (1, 1, 3)])
+        result = regularize(g, k=100)
+        assert result.k_eff == 2
+
+    def test_isolated_nodes_dropped(self):
+        g = BipartiteGraph.from_edges([(0, 0, 3)])
+        g.add_left_node(5)
+        result = regularize(g, k=1)
+        assert result.dropped_left == [5]
+        assert 5 not in result.graph.left_nodes()
+
+    def test_empty_graph(self):
+        result = regularize(BipartiteGraph(), k=3)
+        assert result.graph.is_empty()
+
+    def test_invalid_k(self, small_graph):
+        with pytest.raises(GraphError):
+            regularize(small_graph, k=0)
+
+    def test_fraction_weights(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1)]).map_weights(
+            lambda w: Fraction(5, 2)
+        )
+        g.add_edge(1, 1, Fraction(3, 2))
+        result = regularize(g, k=2)
+        result.graph.validate()
+        assert result.graph.is_weight_regular(tol=0)
+
+    def test_filler_edges_connect_fresh_pairs(self):
+        # W > P/k forces fillers: one heavy edge, k=2.
+        g = BipartiteGraph.from_edges([(0, 0, 10), (1, 1, 2)])
+        result = regularize(g, k=2)
+        assert result.num_filler_edges >= 1
+        originals = set(g.left_nodes()) | set(g.right_nodes())
+        for e in result.graph.edges():
+            if e.kind is EdgeKind.FILLER:
+                assert e.left not in g.left_nodes()
+                assert e.right not in g.right_nodes()
+        del originals
+
+    def test_deficiency_edges_never_join_two_padding_nodes(self, small_graph):
+        result = regularize(small_graph, k=2)
+        j = result.graph
+        from repro.graph.bipartite import NodeKind
+
+        for e in j.edges():
+            if e.kind is EdgeKind.DEFICIENCY:
+                assert not (
+                    j.left_node_kind(e.left) is NodeKind.PADDING
+                    and j.right_node_kind(e.right) is NodeKind.PADDING
+                )
+
+
+class TestInvariants:
+    @given(bipartite_graphs(max_side=5, max_edges=10), ks)
+    @settings(max_examples=100, deadline=None)
+    def test_result_is_weight_regular_and_square(self, g, k):
+        result = regularize(g, k)
+        j = result.graph
+        j.validate()
+        assert j.is_weight_regular(tol=0)
+        assert j.num_left == j.num_right
+        # Node-count identity from the paper: each side ends with
+        # n1' + n2' - k nodes, where n1'/n2' count stage-A (original +
+        # filler) nodes.
+        from repro.graph.bipartite import NodeKind
+
+        n1p = sum(
+            1 for n in j.left_nodes()
+            if j.left_node_kind(n) is not NodeKind.PADDING
+        )
+        n2p = sum(
+            1 for n in j.right_nodes()
+            if j.right_node_kind(n) is not NodeKind.PADDING
+        )
+        if not j.is_empty():
+            assert j.num_left == n1p + n2p - result.k_eff
+
+    @given(bipartite_graphs(max_side=5, max_edges=10), ks)
+    @settings(max_examples=100, deadline=None)
+    def test_original_edges_preserved_exactly(self, g, k):
+        result = regularize(g, k)
+        j = result.graph
+        for e in g.edges():
+            assert j.has_edge_id(e.id)
+            kept = j.edge(e.id)
+            assert kept.weight == e.weight
+            assert kept.kind is EdgeKind.ORIGINAL
+        originals_in_j = [
+            e for e in j.edges() if e.kind is EdgeKind.ORIGINAL
+        ]
+        assert len(originals_in_j) == g.num_edges
+
+    @given(bipartite_graphs(max_side=5, max_edges=10), ks)
+    @settings(max_examples=100, deadline=None)
+    def test_proposition_1(self, g, k):
+        """Any perfect matching of J has at most k original edges."""
+        result = regularize(g, k)
+        j = result.graph
+        if j.is_empty():
+            return
+        m = hopcroft_karp(j)
+        assert m.is_perfect_in(j), "weight-regular graph must have a PM"
+        original = [e for e in m if e.kind is EdgeKind.ORIGINAL]
+        assert len(original) <= result.k_eff <= k
+
+    @given(bipartite_graphs(max_side=5, max_edges=10), ks)
+    @settings(max_examples=60, deadline=None)
+    def test_padding_volume_accounting(self, g, k):
+        """Total weight of J is target * (nodes per side)."""
+        result = regularize(g, k)
+        j = result.graph
+        if j.is_empty():
+            return
+        assert j.total_weight() == result.target * j.num_left
+
+    @given(bipartite_graphs(max_side=5, max_edges=10), ks)
+    @settings(max_examples=60, deadline=None)
+    def test_input_not_mutated(self, g, k):
+        snapshot = g.to_json()
+        regularize(g, k)
+        assert g.to_json() == snapshot

@@ -1,0 +1,173 @@
+"""Tests for the asynchronous schedule relaxation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.core.relax import AsyncSchedule, TimedTransfer, relax_schedule
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.graph.bipartite import BipartiteGraph
+from repro.util.errors import ScheduleError
+from tests.conftest import bipartite_graphs, ks
+
+
+class TestRelaxBasics:
+    def test_empty_schedule(self):
+        relaxed = relax_schedule(Schedule([], k=2, beta=1.0))
+        assert relaxed.makespan == 0.0
+        assert len(relaxed) == 0
+
+    def test_single_transfer(self):
+        sched = Schedule([Step([Transfer(0, 0, 0, 5.0)])], k=1, beta=2.0)
+        relaxed = relax_schedule(sched)
+        (t,) = relaxed.transfers
+        assert t.start == 0.0
+        assert t.finish == 7.0  # beta + amount
+        assert relaxed.makespan == 7.0
+
+    def test_independent_steps_overlap(self):
+        # Two steps whose transfers share no ports: async runs them
+        # in parallel, halving the makespan (k=2 slots available).
+        sched = Schedule(
+            [
+                Step([Transfer(0, 0, 0, 10.0)]),
+                Step([Transfer(1, 1, 1, 10.0)]),
+            ],
+            k=2,
+            beta=0.0,
+        )
+        relaxed = relax_schedule(sched)
+        assert relaxed.makespan == 10.0
+        assert sched.cost == 20.0
+
+    def test_port_conflict_serialises(self):
+        sched = Schedule(
+            [
+                Step([Transfer(0, 0, 0, 10.0)]),
+                Step([Transfer(1, 0, 1, 10.0)]),  # same sender
+            ],
+            k=2,
+            beta=0.0,
+        )
+        relaxed = relax_schedule(sched)
+        assert relaxed.makespan == 20.0
+
+    def test_k_limits_concurrency(self):
+        sched = Schedule(
+            [
+                Step([Transfer(0, 0, 0, 10.0)]),
+                Step([Transfer(1, 1, 1, 10.0)]),
+                Step([Transfer(2, 2, 2, 10.0)]),
+            ],
+            k=2,
+            beta=0.0,
+        )
+        relaxed = relax_schedule(sched)
+        # Only 2 slots: third transfer waits for a slot.
+        assert relaxed.makespan == 20.0
+
+
+class TestGuarantees:
+    @given(bipartite_graphs(), ks)
+    @settings(max_examples=60, deadline=None)
+    def test_beta0_never_worse_than_sync(self, g, k):
+        sync = oggp(g, k=k, beta=0.0)
+        relaxed = relax_schedule(sync)
+        relaxed.validate(g)
+        assert relaxed.makespan <= sync.cost + 1e-9
+
+    @given(bipartite_graphs(), ks)
+    @settings(max_examples=60, deadline=None)
+    def test_validity_for_positive_beta(self, g, k):
+        sync = ggp(g, k=k, beta=1.0)
+        relaxed = relax_schedule(sync)
+        relaxed.validate(g)
+        # Makespan is at least the longest single chunk + beta.
+        longest = max(
+            (t.amount for s in sync.steps for t in s.transfers), default=0.0
+        )
+        assert relaxed.makespan >= longest
+
+    @given(bipartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_per_edge_chunks_stay_ordered(self, g):
+        sync = oggp(g, k=3, beta=1.0)
+        relaxed = relax_schedule(sync)
+        by_edge: dict[int, list[TimedTransfer]] = {}
+        for t in relaxed.transfers:
+            by_edge.setdefault(t.edge_id, []).append(t)
+        for chunks in by_edge.values():
+            for a, b in zip(chunks, chunks[1:]):
+                assert b.start >= a.finish - 1e-9
+
+
+class TestValidation:
+    def graph(self):
+        return BipartiteGraph.from_edges([(0, 0, 5.0)])
+
+    def test_detects_port_overlap(self):
+        g = BipartiteGraph.from_edges([(0, 0, 5.0), (0, 1, 5.0)])
+        e0, e1 = g.edges_sorted()
+        bad = AsyncSchedule(
+            [
+                TimedTransfer(e0.id, 0, 0, 5.0, 0.0, 5.0),
+                TimedTransfer(e1.id, 0, 1, 5.0, 2.0, 7.0),  # sender busy
+            ],
+            k=2,
+            beta=0.0,
+        )
+        with pytest.raises(ScheduleError, match="overlap"):
+            bad.validate(g)
+
+    def test_detects_k_violation(self):
+        g = BipartiteGraph.from_edges([(0, 0, 5.0), (1, 1, 5.0)])
+        e0, e1 = g.edges_sorted()
+        bad = AsyncSchedule(
+            [
+                TimedTransfer(e0.id, 0, 0, 5.0, 0.0, 5.0),
+                TimedTransfer(e1.id, 1, 1, 5.0, 0.0, 5.0),
+            ],
+            k=1,
+            beta=0.0,
+        )
+        with pytest.raises(ScheduleError, match="concurrent"):
+            bad.validate(g)
+
+    def test_detects_wrong_duration(self):
+        g = self.graph()
+        eid = g.edge_ids()[0]
+        bad = AsyncSchedule(
+            [TimedTransfer(eid, 0, 0, 5.0, 0.0, 4.0)], k=1, beta=0.0
+        )
+        with pytest.raises(ScheduleError, match="lasts"):
+            bad.validate(g)
+
+    def test_detects_missing_volume(self):
+        g = self.graph()
+        eid = g.edge_ids()[0]
+        bad = AsyncSchedule(
+            [TimedTransfer(eid, 0, 0, 2.0, 0.0, 2.0)], k=1, beta=0.0
+        )
+        with pytest.raises(ScheduleError, match="shipped"):
+            bad.validate(g)
+
+    def test_back_to_back_chunks_allowed(self):
+        g = BipartiteGraph.from_edges([(0, 0, 4.0)])
+        eid = g.edge_ids()[0]
+        ok = AsyncSchedule(
+            [
+                TimedTransfer(eid, 0, 0, 2.0, 0.0, 2.0),
+                TimedTransfer(eid, 0, 0, 2.0, 2.0, 4.0),
+            ],
+            k=1,
+            beta=0.0,
+        )
+        ok.validate(g)
+
+    def test_serialization(self):
+        sched = Schedule([Step([Transfer(0, 0, 0, 5.0)])], k=1, beta=1.0)
+        relaxed = relax_schedule(sched)
+        data = relaxed.to_dict()
+        assert data["k"] == 1
+        assert len(data["transfers"]) == 1

@@ -1,0 +1,79 @@
+"""Tests for the step-minimal scheduler."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import lower_bound
+from repro.core.oggp import oggp
+from repro.core.stepmin import minimum_steps, step_minimal_schedule
+from repro.graph.bipartite import BipartiteGraph
+from repro.util.errors import ConfigError
+from tests.conftest import bipartite_graphs, ks
+
+
+class TestMinimumSteps:
+    def test_degree_bound(self):
+        g = BipartiteGraph.from_edges([(0, j, 1) for j in range(5)])
+        assert minimum_steps(g, k=5) == 5  # star of degree 5
+
+    def test_count_bound(self):
+        g = BipartiteGraph.from_edges([(i, i, 1) for i in range(6)])
+        assert minimum_steps(g, k=2) == 3  # 6 edges / 2 per step
+
+    def test_empty(self):
+        assert minimum_steps(BipartiteGraph(), k=3) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigError):
+            minimum_steps(BipartiteGraph(), k=0)
+
+
+class TestStepMinimalSchedule:
+    def test_diagonal_one_step(self):
+        g = BipartiteGraph.from_edges([(i, i, 5) for i in range(4)])
+        s = step_minimal_schedule(g, k=4, beta=1.0)
+        s.validate(g)
+        assert s.num_steps == 1
+
+    def test_non_preemptive(self, small_graph):
+        s = step_minimal_schedule(small_graph, k=2, beta=1.0)
+        s.validate(small_graph)
+        seen = set()
+        for step in s.steps:
+            for t in step.transfers:
+                assert t.edge_id not in seen
+                seen.add(t.edge_id)
+
+    @given(bipartite_graphs(), ks)
+    @settings(max_examples=80, deadline=None)
+    def test_valid_and_respects_k(self, g, k):
+        s = step_minimal_schedule(g, k, beta=1.0)
+        s.validate(g)
+        assert s.max_step_size <= k
+        assert s.num_steps >= minimum_steps(g, k)
+
+    @given(bipartite_graphs(max_side=8, max_edges=24), ks)
+    @settings(max_examples=60, deadline=None)
+    def test_step_count_near_optimum(self, g, k):
+        s = step_minimal_schedule(g, k, beta=1.0)
+        eta = minimum_steps(g, k)
+        # König + chunking + merging stays within a small additive band
+        # of the provable minimum.
+        assert s.num_steps <= eta + max(2, eta)
+
+    def test_large_beta_competitive_with_oggp_on_star(self):
+        # A star forces Delta steps for everyone; stepmin avoids the
+        # preemption chunking entirely.
+        g = BipartiteGraph.from_edges([(0, j, 3 + j) for j in range(5)])
+        beta = 40.0
+        sm = step_minimal_schedule(g, k=3, beta=beta)
+        og = oggp(g, k=3, beta=beta)
+        sm.validate(g)
+        assert sm.num_steps == 5
+        assert sm.cost <= og.cost + 1e-9
+
+    @given(bipartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_cost_at_least_lower_bound(self, g):
+        s = step_minimal_schedule(g, k=4, beta=2.0)
+        assert s.cost >= lower_bound(g, 4, 2.0) - 1e-9

@@ -1,0 +1,145 @@
+"""Tests for the structured solution verifier."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.oggp import oggp
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.core.verify import (
+    ViolationKind,
+    verify_solution,
+    verify_solution_dict,
+)
+from repro.graph.bipartite import BipartiteGraph
+from tests.conftest import bipartite_graphs
+
+
+def graph2() -> BipartiteGraph:
+    return BipartiteGraph.from_edges([(0, 0, 4.0), (1, 1, 3.0)])
+
+
+class TestVerifySolution:
+    def test_clean_schedule(self):
+        g = graph2()
+        report = verify_solution(g, oggp(g, k=2, beta=1.0))
+        assert report.ok
+        assert report.edges_checked == 2
+        assert "OK" in report.summary()
+
+    def test_under_delivery(self):
+        g = graph2()
+        e0, _ = g.edges_sorted()
+        sched = Schedule([Step([Transfer(e0.id, 0, 0, 4.0)])], k=2, beta=0.0)
+        report = verify_solution(g, sched)
+        assert not report.ok
+        assert report.by_kind() == {ViolationKind.UNDER_DELIVERED: 1}
+
+    def test_over_delivery(self):
+        g = graph2()
+        e0, e1 = g.edges_sorted()
+        sched = Schedule(
+            [
+                Step([Transfer(e0.id, 0, 0, 4.0), Transfer(e1.id, 1, 1, 3.0)]),
+                Step([Transfer(e0.id, 0, 0, 1.0)]),
+            ],
+            k=2, beta=0.0,
+        )
+        report = verify_solution(g, sched)
+        assert ViolationKind.OVER_DELIVERED in report.by_kind()
+
+    def test_multiple_violations_all_reported(self):
+        g = graph2()
+        sched = Schedule(
+            [Step([Transfer(999, 0, 0, 4.0), Transfer(998, 1, 1, 3.0)])],
+            k=1, beta=0.0,
+        )
+        report = verify_solution(g, sched)
+        kinds = report.by_kind()
+        assert kinds[ViolationKind.K_EXCEEDED] == 1
+        assert kinds[ViolationKind.UNKNOWN_EDGE] == 2
+        assert kinds[ViolationKind.UNDER_DELIVERED] == 2
+        assert "violations" in report.summary()
+
+    def test_wrong_endpoints(self):
+        g = graph2()
+        e0, e1 = g.edges_sorted()
+        sched = Schedule(
+            [
+                Step([Transfer(e0.id, 0, 1, 4.0)]),
+                Step([Transfer(e1.id, 1, 1, 3.0)]),
+            ],
+            k=2, beta=0.0,
+        )
+        report = verify_solution(g, sched)
+        assert ViolationKind.WRONG_ENDPOINTS in report.by_kind()
+
+    @given(bipartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_validate(self, g):
+        sched = oggp(g, k=3, beta=1.0)
+        report = verify_solution(g, sched)
+        assert report.ok  # validate() would not raise either
+        sched.validate(g)
+
+
+class TestVerifyDict:
+    def test_clean_roundtrip(self):
+        g = graph2()
+        sched = oggp(g, k=2, beta=1.0)
+        report = verify_solution_dict(g, sched.to_dict())
+        assert report.ok
+
+    def test_sender_conflict_in_raw_json(self):
+        g = graph2()
+        e0, e1 = g.edges_sorted()
+        data = {
+            "k": 2,
+            "beta": 0.0,
+            "steps": [
+                {
+                    "duration": 4.0,
+                    "transfers": [
+                        {"edge_id": e0.id, "left": 0, "right": 0, "amount": 4.0},
+                        {"edge_id": e1.id, "left": 0, "right": 1, "amount": 3.0},
+                    ],
+                }
+            ],
+        }
+        report = verify_solution_dict(g, data)
+        assert ViolationKind.SENDER_CONFLICT in report.by_kind()
+
+    def test_negative_amount_in_raw_json(self):
+        g = graph2()
+        e0, e1 = g.edges_sorted()
+        data = {
+            "k": 2,
+            "beta": 0.0,
+            "steps": [
+                {"transfers": [
+                    {"edge_id": e0.id, "left": 0, "right": 0, "amount": -1.0},
+                    {"edge_id": e1.id, "left": 1, "right": 1, "amount": 3.0},
+                ]}
+            ],
+        }
+        report = verify_solution_dict(g, data)
+        kinds = report.by_kind()
+        assert ViolationKind.NON_POSITIVE_AMOUNT in kinds
+        assert ViolationKind.UNDER_DELIVERED in kinds  # e0 never ships
+
+    def test_short_duration_in_raw_json(self):
+        g = graph2()
+        e0, e1 = g.edges_sorted()
+        data = {
+            "k": 2,
+            "beta": 0.0,
+            "steps": [
+                {"duration": 1.0, "transfers": [
+                    {"edge_id": e0.id, "left": 0, "right": 0, "amount": 4.0},
+                ]},
+                {"transfers": [
+                    {"edge_id": e1.id, "left": 1, "right": 1, "amount": 3.0},
+                ]},
+            ],
+        }
+        report = verify_solution_dict(g, data)
+        assert ViolationKind.DURATION_TOO_SHORT in report.by_kind()

@@ -1,0 +1,231 @@
+"""Tests for the DES kernel: events, processes, conditions, run loop."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Environment
+from repro.util.errors import SimulationError
+
+
+class TestEvents:
+    def test_succeed_and_value(self):
+        env = Environment()
+        ev = env.event()
+        assert not ev.triggered
+        ev.succeed(42)
+        assert ev.triggered
+        env.run()
+        assert ev.processed
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_unwaited_failure_surfaces(self):
+        env = Environment()
+        env.event().fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_callback_after_processing_runs_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("x")
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_ordering(self):
+        env = Environment()
+        order = []
+        env.timeout(3.0).add_callback(lambda e: order.append("b"))
+        env.timeout(1.0).add_callback(lambda e: order.append("a"))
+        env.run()
+        assert order == ["a", "b"]
+
+    def test_fifo_for_simultaneous_events(self):
+        env = Environment()
+        order = []
+        env.timeout(1.0).add_callback(lambda e: order.append(1))
+        env.timeout(1.0).add_callback(lambda e: order.append(2))
+        env.run()
+        assert order == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().timeout(-1.0)
+
+
+class TestProcesses:
+    def test_sequential_timeouts(self):
+        env = Environment()
+        trace = []
+
+        def proc():
+            yield env.timeout(2.0)
+            trace.append(env.now)
+            yield env.timeout(3.0)
+            trace.append(env.now)
+            return "done"
+
+        p = env.process(proc())
+        result = env.run(p)
+        assert trace == [2.0, 5.0]
+        assert result == "done"
+
+    def test_process_waits_on_event(self):
+        env = Environment()
+        gate = env.event()
+        arrived = []
+
+        def waiter():
+            value = yield gate
+            arrived.append((env.now, value))
+
+        def opener():
+            yield env.timeout(4.0)
+            gate.succeed("open")
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert arrived == [(4.0, "open")]
+
+    def test_exception_propagates_into_process(self):
+        env = Environment()
+        gate = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield gate
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter())
+        gate.fail(RuntimeError("bad"))
+        env.run()
+        assert caught == ["bad"]
+
+    def test_uncaught_process_exception_fails_its_event(self):
+        env = Environment()
+
+        def boom():
+            yield env.timeout(1.0)
+            raise ValueError("explode")
+
+        p = env.process(boom())
+        with pytest.raises(ValueError, match="explode"):
+            env.run(p)
+
+    def test_yielding_non_event_is_an_error(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        p = env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run(p)
+
+    def test_yielding_already_processed_event_continues_immediately(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("v")
+        env.run()
+        got = []
+
+        def proc():
+            value = yield done
+            got.append((env.now, value))
+
+        env.process(proc())
+        env.run()
+        assert got == [(0.0, "v")]
+
+    def test_non_generator_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().process(lambda: None)  # type: ignore[arg-type]
+
+
+class TestConditions:
+    def test_all_of_values_in_order(self):
+        env = Environment()
+        t1 = env.timeout(1.0, "a")
+        t2 = env.timeout(2.0, "b")
+        cond = AllOf(env, [t1, t2])
+        assert env.run(cond) == ["a", "b"]
+        assert env.now == 2.0
+
+    def test_all_of_empty(self):
+        env = Environment()
+        assert env.run(env.all_of([])) == []
+
+    def test_any_of_returns_winner(self):
+        env = Environment()
+        slow = env.timeout(5.0, "slow")
+        fast = env.timeout(1.0, "fast")
+        index, value = env.run(AnyOf(env, [slow, fast]))
+        assert (index, value) == (1, "fast")
+        assert env.now == 1.0
+
+    def test_all_of_fails_fast(self):
+        env = Environment()
+        bad = env.event()
+        cond = env.all_of([env.timeout(10.0), bad])
+        bad.fail(RuntimeError("nope"))
+        with pytest.raises(RuntimeError):
+            env.run(cond)
+
+
+class TestRunLoop:
+    def test_run_until_time_lands_exactly(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_past_is_error(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_run_until_event_that_never_fires(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            env.run(ev)
+
+    def test_step_on_empty_queue(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_initial_time(self):
+        env = Environment(initial_time=100.0)
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 105.0

@@ -1,0 +1,72 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "lower bound" in out
+        assert "OGGP" in out
+
+    def test_block_cyclic(self):
+        out = run_example("block_cyclic_redistribution.py")
+        assert "OGGP" in out
+        assert "ratio" in out
+
+    def test_ss_tdma(self):
+        out = run_example("ss_tdma_switch.py")
+        assert "reconstruction check passed" in out
+
+    def test_inprocess_cluster(self):
+        out = run_example("inprocess_cluster.py")
+        assert "verified" in out
+
+    def test_fft_transpose(self):
+        out = run_example("fft_transpose.py")
+        assert "gather" in out and "all-to-all" in out
+
+    @pytest.mark.slow
+    def test_code_coupling(self):
+        out = run_example("code_coupling.py")
+        assert "gain_vs_brute" in out
+
+    @pytest.mark.slow
+    def test_dynamic_scenarios(self):
+        out = run_example("dynamic_scenarios.py")
+        assert "Barrier relaxation" in out
+        assert "adaptive gain" in out
+
+    @pytest.mark.slow
+    def test_backbone_comparison(self):
+        out = run_example("backbone_comparison.py", timeout=400.0)
+        assert "fig10" in out and "fig11" in out
+
+    @pytest.mark.slow
+    def test_reproduce_paper_driver(self, tmp_path):
+        report = tmp_path / "report.md"
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "reproduce_paper.py"), str(report)],
+            capture_output=True, text=True, timeout=400,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        text = report.read_text()
+        for fig in ("fig7", "fig8", "fig9", "fig10", "fig11"):
+            assert fig in text

@@ -1,0 +1,61 @@
+"""Tests for the ablation harnesses."""
+
+from repro.experiments.ablation import (
+    AblationConfig,
+    run_ablation_matching,
+    run_ablation_rounding,
+    run_ablation_steps,
+)
+from repro.experiments.simulation import SimulationConfig
+
+TINY = AblationConfig(
+    sim=SimulationConfig(max_side=5, max_edges=15, draws=20), k=3, beta=1.0
+)
+
+
+class TestMatchingAblation:
+    def test_all_schedulers_reported(self):
+        res = run_ablation_matching(TINY)
+        names = {row[0] for row in res.rows}
+        assert names == {
+            "ggp_arbitrary", "ggp_hungarian", "oggp", "greedy", "list",
+            "stepmin",
+        }
+
+    def test_peeling_family_carries_guarantee(self):
+        res = run_ablation_matching(TINY)
+        by_name = {row[0]: row for row in res.rows}
+        for name in ("ggp_arbitrary", "ggp_hungarian", "oggp"):
+            assert by_name[name][2] <= 2.0 + 1e-9  # ratio_max
+
+    def test_oggp_at_least_as_good_as_arbitrary(self):
+        res = run_ablation_matching(TINY)
+        by_name = {row[0]: row for row in res.rows}
+        assert by_name["oggp"][1] <= by_name["ggp_arbitrary"][1] + 1e-9
+
+
+class TestRoundingAblation:
+    def test_rows_per_beta(self):
+        res = run_ablation_rounding(TINY)
+        assert len(res.rows) == 5
+        assert set(res.series) == {"round-up", "no round-up"}
+
+    def test_roundup_wins_for_large_beta(self):
+        res = run_ablation_rounding(TINY)
+        last = res.rows[-1]  # largest beta
+        roundup_avg, raw_avg = last[1], last[3]
+        assert roundup_avg <= raw_avg + 1e-9
+
+
+class TestStepsAblation:
+    def test_reports_step_metrics(self):
+        res = run_ablation_steps(TINY)
+        names = [row[0] for row in res.rows]
+        assert "ggp_arbitrary" in names
+        assert "oggp" in names
+        assert "oggp_vs_arbitrary_reduction_pct" in names
+
+    def test_oggp_uses_fewer_steps_on_average(self):
+        res = run_ablation_steps(TINY)
+        by_name = {row[0]: row for row in res.rows}
+        assert by_name["oggp"][1] <= by_name["ggp_arbitrary"][1] + 1e-9

@@ -1,0 +1,20 @@
+"""Tests for the estimator-convergence experiment."""
+
+from repro.experiments.convergence import run_convergence
+
+
+class TestConvergence:
+    def test_structure(self):
+        res = run_convergence(draw_counts=(10, 20), repetitions=3)
+        assert res.experiment_id == "convergence"
+        assert [r[0] for r in res.rows] == [10, 20]
+        for _draws, avg_mean, avg_spread, max_mean, max_spread in res.rows:
+            assert 1.0 <= avg_mean <= 2.0
+            assert avg_spread >= 0.0
+            assert avg_mean <= max_mean <= 2.0
+
+    def test_estimates_are_consistent_across_draw_counts(self):
+        res = run_convergence(draw_counts=(10, 40), repetitions=3)
+        small, large = res.rows[0], res.rows[1]
+        # The avg estimator targets the same quantity at any draw count.
+        assert abs(small[1] - large[1]) < 0.1

@@ -1,0 +1,58 @@
+"""Reduced-size runs of the future-work extension experiments."""
+
+from repro.experiments.extensions import (
+    run_ablation_relax,
+    run_dynamic_backbone,
+    run_online_batching,
+    run_preredistribution,
+)
+from repro.experiments.simulation import SimulationConfig
+
+
+class TestDynamicBackbone:
+    def test_regimes_and_shape(self):
+        res = run_dynamic_backbone(num_patterns=3)
+        regimes = [row[0] for row in res.rows]
+        assert regimes == ["ideal-fluid", "mild", "severe"]
+        by = {row[0]: row for row in res.rows}
+        # Control: under ideal fluid sharing adapting cannot win.
+        assert by["ideal-fluid"][4] <= 1.0
+        # With congestion costs, adapting wins on average.
+        assert by["mild"][4] > 0.0
+
+    def test_rescheduling_happens(self):
+        res = run_dynamic_backbone(num_patterns=2)
+        for row in res.rows:
+            assert row[3] > 1  # reschedules_avg
+
+
+class TestOnlineBatching:
+    def test_ratios_above_one_and_bounded(self):
+        res = run_online_batching(num_workloads=3, messages=20)
+        for _label, _rate, avg, worst, rounds in res.rows:
+            assert 1.0 <= avg <= worst < 3.0
+            assert rounds >= 1
+
+    def test_sparse_needs_more_rounds_than_bursty(self):
+        res = run_online_batching(num_workloads=3, messages=20)
+        by = {row[0]: row for row in res.rows}
+        assert by["sparse"][4] > by["bursty"][4]
+
+
+class TestPreredistribution:
+    def test_skewed_patterns_gain_uniform_does_not(self):
+        res = run_preredistribution(num_patterns=4)
+        by = {row[0]: row for row in res.rows}
+        assert by["hotspot"][3] > 10.0   # big average gain
+        assert by["zipf"][3] > 5.0
+        assert abs(by["uniform"][3]) < 5.0  # nothing to dispatch
+
+
+class TestAblationRelax:
+    def test_never_hurts_at_beta_zero(self):
+        cfg = SimulationConfig(max_side=6, max_edges=20, draws=25)
+        res = run_ablation_relax(cfg)
+        by_beta = {row[0]: row for row in res.rows}
+        assert by_beta[0.0][3] <= 1.0 + 1e-9  # ratio_max
+        # Larger betas: relaxation helps on average (ratio < 1) or ties.
+        assert by_beta[16.0][1] <= 1.0 + 1e-9

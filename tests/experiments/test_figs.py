@@ -1,0 +1,98 @@
+"""Reduced-size runs of every figure harness, checking paper shapes."""
+
+import pytest
+
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10_11 import (
+    TestbedConfig,
+    run_fig10,
+    run_fig11,
+    run_testbed_comparison,
+)
+from repro.experiments.simulation import SimulationConfig
+from repro.netsim.tcp import TcpParams
+from repro.util.errors import ConfigError
+
+TINY = SimulationConfig(max_side=6, max_edges=20, draws=30)
+
+
+class TestFig7:
+    def test_structure_and_shape(self):
+        res = run_fig7(TINY, k_values=(1, 3, 6))
+        assert res.experiment_id == "fig7"
+        assert len(res.rows) == 3
+        assert set(res.series) == {"ggp avg", "ggp max", "oggp avg", "oggp max"}
+        for _k, g_avg, g_max, o_avg, o_max in res.rows:
+            assert 1.0 <= g_avg <= g_max <= 2.0 + 1e-9
+            assert 1.0 <= o_avg <= o_max <= 2.0 + 1e-9
+            assert o_avg <= g_avg + 1e-9  # OGGP better on average
+
+    def test_render_produces_plot(self):
+        res = run_fig7(TINY, k_values=(1, 2))
+        out = res.render()
+        assert "fig7" in out and "oggp avg" in out
+
+
+class TestFig8:
+    def test_large_weights_near_optimal(self):
+        res = run_fig8(TINY, k_values=(2, 5))
+        for _k, g_avg, g_max, o_avg, o_max in res.rows:
+            # Paper: worst ratio 1.00016 with beta=1 and weights <= 10000.
+            assert g_max < 1.01
+            assert o_max < 1.01
+
+
+class TestFig9:
+    def test_beta_sweep_shape(self):
+        res = run_fig9(TINY, beta_values=(0.25, 2.0, 64.0))
+        assert [r[0] for r in res.rows] == [0.25, 2.0, 64.0]
+        # Ratios drop for beta far above the weights (paper's finding).
+        assert res.rows[-1][1] < res.rows[1][1] + 0.2
+        for row in res.rows:
+            assert all(v <= 2.0 + 1e-9 for v in row[1:])
+
+
+class TestFig10And11:
+    QUICK = dict(
+        n_values=(12,),
+        tcp_repeats=2,
+        size_scale=0.08,
+        tcp_params=TcpParams(dt=0.005),
+    )
+
+    def test_fig10_rows(self):
+        res = run_fig10(TestbedConfig(k=3, **self.QUICK))
+        assert res.experiment_id == "fig10"
+        (row,) = res.rows
+        n, brute, spread, ggp_t, ggp_steps, oggp_t, oggp_steps, g1, g2 = row
+        assert n == 12
+        assert brute > 0 and ggp_t > 0 and oggp_t > 0
+        assert oggp_steps <= ggp_steps
+
+    def test_fig11_beats_brute(self):
+        res = run_fig11(TestbedConfig(k=7, **self.QUICK))
+        (row,) = res.rows
+        gain_ggp, gain_oggp = row[-2], row[-1]
+        assert gain_ggp > 0 and gain_oggp > 0
+
+    def test_wrong_k_rejected(self):
+        with pytest.raises(ConfigError):
+            run_fig10(TestbedConfig(k=7))
+        with pytest.raises(ConfigError):
+            run_fig11(TestbedConfig(k=3))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TestbedConfig(k=0)
+        with pytest.raises(ConfigError):
+            TestbedConfig(k=3, tcp_repeats=0)
+        with pytest.raises(ConfigError):
+            TestbedConfig(k=3, size_scale=0)
+        with pytest.raises(ConfigError):
+            TestbedConfig(k=3, n_values=(5,))
+
+    def test_generic_comparison_other_k(self):
+        res = run_testbed_comparison(TestbedConfig(k=5, **self.QUICK))
+        assert res.experiment_id == "fig11"  # non-3 maps to the k!=3 id

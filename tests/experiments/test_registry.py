@@ -1,0 +1,58 @@
+"""Tests for the experiment registry and the result container."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.util.errors import ConfigError
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        for name in ("fig7", "fig8", "fig9", "fig10", "fig11"):
+            assert name in EXPERIMENTS
+
+    def test_ablations_registered(self):
+        assert "ablation_matching" in EXPERIMENTS
+        assert "ablation_rounding" in EXPERIMENTS
+        assert "ablation_steps" in EXPERIMENTS
+
+    def test_lookup(self):
+        assert get_experiment("fig7") is EXPERIMENTS["fig7"]
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(ConfigError, match="fig7"):
+            get_experiment("nope")
+
+
+class TestExperimentResult:
+    def make(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="x",
+            title="T",
+            headers=("a", "b"),
+            rows=[(1, 2.0), (3, 4.0)],
+            x=[1.0, 3.0],
+            series={"s": [2.0, 4.0]},
+            notes="n",
+        )
+
+    def test_table_and_markdown(self):
+        res = self.make()
+        assert "a" in res.table()
+        assert res.markdown().startswith("| a | b |")
+
+    def test_plot(self):
+        assert "s" in self.make().plot()
+
+    def test_plot_empty_when_no_series(self):
+        res = ExperimentResult("x", "T", ("a",), [(1,)])
+        assert res.plot() == ""
+
+    def test_render_includes_notes(self):
+        assert "notes: n" in self.make().render()
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "r.csv"
+        self.make().save_csv(path)
+        assert path.read_text().splitlines()[0] == "a,b"

@@ -1,0 +1,31 @@
+"""Tests for the empirical-complexity experiment."""
+
+from repro.experiments.scalability import _fit_slope, run_scalability
+
+
+class TestFitSlope:
+    def test_linear_relation(self):
+        sizes = [10.0, 20.0, 40.0]
+        times = [1.0, 2.0, 4.0]  # slope 1
+        assert abs(_fit_slope(sizes, times) - 1.0) < 1e-9
+
+    def test_quadratic_relation(self):
+        sizes = [10.0, 20.0, 40.0]
+        times = [1.0, 4.0, 16.0]  # slope 2
+        assert abs(_fit_slope(sizes, times) - 2.0) < 1e-9
+
+
+class TestScalability:
+    def test_structure_and_polynomial_growth(self):
+        res = run_scalability(edge_counts=(30, 60, 120), repeats=3)
+        assert res.experiment_id == "scalability"
+        data_rows = res.rows[:-1]
+        assert [r[0] for r in data_rows] == [30, 60, 120]
+        for row in data_rows:
+            assert all(t > 0 for t in row[1:])
+        slope_row = res.rows[-1]
+        assert slope_row[0] == "log-log slope"
+        # Small polynomial exponents, far from the superpolynomial blowup
+        # that would indicate a broken peeling loop.
+        for slope in slope_row[1:]:
+            assert 0.0 < slope < 3.5

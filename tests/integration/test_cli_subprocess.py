@@ -1,0 +1,51 @@
+"""End-to-end CLI runs in a real subprocess (entry-point wiring)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+
+def kpbs(*args: str, timeout: float = 300.0) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestCliSubprocess:
+    def test_demo(self):
+        result = kpbs("demo")
+        assert result.returncode == 0
+        assert "OGGP" in result.stdout
+
+    def test_schedule_verify_roundtrip(self, tmp_path):
+        matrix = tmp_path / "m.json"
+        matrix.write_text(json.dumps([[12.0, 3.0], [0.0, 9.0]]))
+        schedule = tmp_path / "s.json"
+        result = kpbs(
+            "schedule", "--input", str(matrix), "--k", "2", "--beta", "0.5",
+            "--output", str(schedule), "--gantt", "--relax",
+        )
+        assert result.returncode == 0
+        assert "relaxed" in result.stdout
+        result = kpbs("verify", "--matrix", str(matrix),
+                      "--schedule", str(schedule))
+        assert result.returncode == 0
+        assert "OK" in result.stdout
+
+    def test_unknown_subcommand_fails(self):
+        result = kpbs("frobnicate")
+        assert result.returncode != 0
+
+    @pytest.mark.slow
+    def test_run_experiment_with_csv(self, tmp_path):
+        csv = tmp_path / "out.csv"
+        result = kpbs("run", "fig7", "--draws", "5", "--csv", str(csv))
+        assert result.returncode == 0
+        assert csv.exists()
+        header = csv.read_text().splitlines()[0]
+        assert header == "k,ggp_avg,ggp_max,oggp_avg,oggp_max"

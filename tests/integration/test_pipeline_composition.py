@@ -1,0 +1,59 @@
+"""Composition tests: chaining optimisation passes keeps everything valid."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import lower_bound
+from repro.core.oggp import oggp
+from repro.core.postopt import merge_steps
+from repro.core.relax import relax_schedule
+from repro.core.stepmin import step_minimal_schedule
+from repro.core.verify import verify_solution
+from repro.netsim.async_exec import simulate_relaxed
+from tests.conftest import bipartite_graphs, ks
+
+
+class TestPassComposition:
+    @given(bipartite_graphs(), ks)
+    @settings(max_examples=50, deadline=None)
+    def test_oggp_merge_relax_chain(self, g, k):
+        """oggp -> merge_steps -> relax_schedule, all valid, never worse."""
+        beta = 1.0
+        base = oggp(g, k=k, beta=beta)
+        merged = merge_steps(base)
+        assert verify_solution(g, merged).ok
+        relaxed = relax_schedule(merged)
+        relaxed.validate(g)
+        assert merged.cost <= base.cost + 1e-9
+        assert merged.cost <= 2 * lower_bound(g, k, beta) + 1e-6
+
+    @given(bipartite_graphs(), ks)
+    @settings(max_examples=40, deadline=None)
+    def test_stepmin_merge_relax_chain(self, g, k):
+        base = step_minimal_schedule(g, k, beta=2.0)
+        merged = merge_steps(base)
+        assert verify_solution(g, merged).ok
+        relaxed = relax_schedule(merged)
+        relaxed.validate(g)
+        executed = simulate_relaxed(merged)
+        executed.validate(g)
+
+    @given(bipartite_graphs(max_side=5, max_edges=10))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_idempotent_on_structure(self, g):
+        once = merge_steps(oggp(g, k=3, beta=1.0))
+        twice = merge_steps(once)
+        assert twice.num_steps == once.num_steps
+        assert twice.cost == pytest.approx(once.cost)
+
+    @given(bipartite_graphs(max_side=5, max_edges=10), ks)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_then_passes(self, g, k):
+        """Serialisation composes with the optimisation passes."""
+        from repro.core.schedule import Schedule
+
+        base = oggp(g, k=k, beta=0.5)
+        restored = Schedule.from_json(base.to_json())
+        merged = merge_steps(restored)
+        assert verify_solution(g, merged).ok
+        assert merged.cost <= base.cost + 1e-9

@@ -1,0 +1,98 @@
+"""Tests for the pure-Python assignment solver (SciPy fallback)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.assignment import solve_assignment_max, solve_assignment_min
+from repro.util.errors import MatchingError
+
+scipy_lsa = pytest.importorskip("scipy.optimize").linear_sum_assignment
+
+
+class TestBasics:
+    def test_empty(self):
+        assert solve_assignment_min(np.zeros((0, 0))) == []
+
+    def test_single(self):
+        assert solve_assignment_min(np.array([[3.0]])) == [0]
+
+    def test_two_by_two(self):
+        # Diagonal costs 1+1=2, anti-diagonal 5+5=10.
+        c = np.array([[1.0, 5.0], [5.0, 1.0]])
+        assert solve_assignment_min(c) == [0, 1]
+        assert solve_assignment_max(c) == [1, 0]
+
+    def test_forbidden_entries_avoided(self):
+        inf = float("inf")
+        c = np.array([[inf, 1.0], [1.0, inf]])
+        assert solve_assignment_min(c) == [1, 0]
+
+    def test_infeasible_raises(self):
+        inf = float("inf")
+        c = np.array([[inf, inf], [1.0, 1.0]])
+        with pytest.raises(MatchingError):
+            solve_assignment_min(c)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(MatchingError):
+            solve_assignment_min(np.ones((2, 3)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(MatchingError):
+            solve_assignment_min(np.array([[np.nan]]))
+
+    def test_negative_costs(self):
+        c = np.array([[-5.0, 0.0], [0.0, -5.0]])
+        assert solve_assignment_min(c) == [0, 1]
+
+
+class TestAgainstScipy:
+    @given(st.integers(0, 10_000), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_min_cost_matches(self, seed, n):
+        rng = np.random.default_rng(seed)
+        c = rng.uniform(-10, 10, (n, n))
+        mine = solve_assignment_min(c)
+        assert sorted(mine) == list(range(n))
+        row, col = scipy_lsa(c)
+        my_cost = sum(c[i, mine[i]] for i in range(n))
+        assert my_cost == pytest.approx(float(c[row, col].sum()))
+
+    @given(st.integers(0, 10_000), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_max_score_matches(self, seed, n):
+        rng = np.random.default_rng(seed)
+        c = rng.uniform(0, 100, (n, n))
+        mine = solve_assignment_max(c)
+        row, col = scipy_lsa(c, maximize=True)
+        my_score = sum(c[i, mine[i]] for i in range(n))
+        assert my_score == pytest.approx(float(c[row, col].sum()))
+
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_integer_ties(self, seed, n):
+        rng = np.random.default_rng(seed)
+        c = rng.integers(0, 4, (n, n)).astype(float)
+        mine = solve_assignment_min(c)
+        row, col = scipy_lsa(c)
+        assert sum(c[i, mine[i]] for i in range(n)) == pytest.approx(
+            float(c[row, col].sum())
+        )
+
+
+class TestHungarianFallbackPath:
+    def test_pure_python_path_used_without_scipy(self, monkeypatch):
+        """hungarian_perfect_matching works when SciPy is 'absent'."""
+        import repro.matching.hungarian as hungarian
+        from repro.graph.generators import random_weight_regular
+
+        monkeypatch.setattr(hungarian, "_scipy_lsa", None)
+        g = random_weight_regular(5, n=5, layers=3)
+        m = hungarian.hungarian_perfect_matching(g)
+        assert m.is_perfect_in(g)
+        # Same total weight as the SciPy path.
+        monkeypatch.undo()
+        m2 = hungarian.hungarian_perfect_matching(g)
+        assert sum(e.weight for e in m) == sum(e.weight for e in m2)

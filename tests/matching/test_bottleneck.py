@@ -1,0 +1,86 @@
+"""Tests for the bottleneck (max-min-weight) matching — paper Figure 6."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching.bottleneck import bottleneck_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.util.errors import MatchingError
+from tests.conftest import bipartite_graphs
+
+
+def brute_force_best_bottleneck(graph: BipartiteGraph, target: int) -> float:
+    """Max over all size-``target`` matchings of the min edge weight."""
+    edges = list(graph.edges())
+    best = None
+    for subset in combinations(edges, target):
+        lefts = {e.left for e in subset}
+        rights = {e.right for e in subset}
+        if len(lefts) == target and len(rights) == target:
+            bn = min(e.weight for e in subset)
+            if best is None or bn > best:
+                best = bn
+    if best is None:
+        raise AssertionError("no matching of target size exists")
+    return best
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        assert len(bottleneck_matching(BipartiteGraph())) == 0
+
+    def test_single_edge(self):
+        g = BipartiteGraph.from_edges([(0, 0, 7)])
+        m = bottleneck_matching(g)
+        assert m.min_weight() == 7
+
+    def test_prefers_heavy_min(self):
+        # Two perfect matchings: {(0,0,1),(1,1,10)} min 1 or
+        # {(0,1,5),(1,0,6)} min 5 — bottleneck must pick the latter.
+        g = BipartiteGraph.from_edges(
+            [(0, 0, 1), (1, 1, 10), (0, 1, 5), (1, 0, 6)]
+        )
+        m = bottleneck_matching(g, require="perfect")
+        assert m.min_weight() == 5
+
+    def test_perfect_requires_square(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (1, 0, 1)])
+        with pytest.raises(MatchingError):
+            bottleneck_matching(g, require="perfect")
+
+    def test_perfect_missing_raises(self):
+        # Square but no perfect matching (both edges share right node 0).
+        g = BipartiteGraph.from_edges([(0, 0, 1), (1, 0, 1)])
+        g.add_right_node(1)
+        with pytest.raises(MatchingError):
+            bottleneck_matching(g, require="perfect")
+
+    def test_ties_handled(self):
+        g = BipartiteGraph.from_edges(
+            [(0, 0, 3), (0, 1, 3), (1, 0, 3), (1, 1, 3)]
+        )
+        m = bottleneck_matching(g, require="perfect")
+        assert len(m) == 2
+        assert m.min_weight() == 3
+
+
+class TestAgainstBruteForce:
+    @given(bipartite_graphs(max_side=4, max_edges=8))
+    @settings(max_examples=80, deadline=None)
+    def test_bottleneck_is_optimal_for_maximum_matchings(self, g):
+        target = len(hopcroft_karp(g))
+        m = bottleneck_matching(g, require="maximum")
+        m.validate(g)
+        assert len(m) == target
+        assert m.min_weight() == brute_force_best_bottleneck(g, target)
+
+    @given(bipartite_graphs(max_side=4, max_edges=8))
+    @settings(max_examples=40, deadline=None)
+    def test_bottleneck_at_least_arbitrary(self, g):
+        arbitrary = hopcroft_karp(g)
+        best = bottleneck_matching(g)
+        assert best.min_weight() >= 0
+        assert len(best) == len(arbitrary)

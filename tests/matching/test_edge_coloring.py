@@ -1,0 +1,86 @@
+"""Tests for König edge colouring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching.edge_coloring import koenig_edge_coloring
+from tests.conftest import bipartite_graphs
+
+
+def multigraph(seed: int, n1: int, n2: int, m: int) -> BipartiteGraph:
+    rng = np.random.default_rng(seed)
+    g = BipartiteGraph()
+    for _ in range(m):
+        g.add_edge(int(rng.integers(0, n1)), int(rng.integers(0, n2)), 1)
+    return g
+
+
+class TestBasics:
+    def test_empty(self):
+        assert koenig_edge_coloring(BipartiteGraph()) == []
+
+    def test_single_edge(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1)])
+        classes = koenig_edge_coloring(g)
+        assert len(classes) == 1
+
+    def test_star_needs_degree_classes(self):
+        g = BipartiteGraph.from_edges([(0, j, 1) for j in range(5)])
+        classes = koenig_edge_coloring(g)
+        assert len(classes) == 5
+
+    def test_parallel_edges(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1)] * 4)
+        classes = koenig_edge_coloring(g)
+        assert len(classes) == 4
+
+    def test_kempe_chain_case(self):
+        # Path u0-v0-u1-v1 plus edge forcing a chain flip.
+        g = BipartiteGraph.from_edges(
+            [(0, 0, 1), (1, 0, 1), (1, 1, 1), (2, 1, 1), (2, 0, 1)]
+        )
+        classes = koenig_edge_coloring(g)
+        assert len(classes) <= g.max_degree()
+        covered = sorted(e.id for cls in classes for e in cls)
+        assert covered == g.edge_ids()
+
+
+class TestKoenigTheorem:
+    @given(bipartite_graphs(max_side=7, max_edges=25))
+    @settings(max_examples=80, deadline=None)
+    def test_at_most_delta_classes_each_a_matching(self, g):
+        classes = koenig_edge_coloring(g)
+        assert len(classes) <= g.max_degree()
+        seen = []
+        for cls in classes:
+            lefts = [e.left for e in cls]
+            rights = [e.right for e in cls]
+            assert len(set(lefts)) == len(lefts)
+            assert len(set(rights)) == len(rights)
+            seen.extend(e.id for e in cls)
+        assert sorted(seen) == g.edge_ids()
+
+    @given(st.integers(0, 2000), st.integers(1, 6), st.integers(1, 6),
+           st.integers(1, 25))
+    @settings(max_examples=80, deadline=None)
+    def test_multigraphs(self, seed, n1, n2, m):
+        g = multigraph(seed, n1, n2, m)
+        classes = koenig_edge_coloring(g)
+        assert len(classes) <= g.max_degree()
+        for cls in classes:
+            pairs_l = [e.left for e in cls]
+            pairs_r = [e.right for e in cls]
+            assert len(set(pairs_l)) == len(pairs_l)
+            assert len(set(pairs_r)) == len(pairs_r)
+
+    def test_regular_graph_gets_exactly_delta(self):
+        # 3-regular bipartite: exactly 3 perfect-matching classes.
+        g = BipartiteGraph.from_edges(
+            [(i, (i + d) % 4, 1) for i in range(4) for d in range(3)]
+        )
+        classes = koenig_edge_coloring(g)
+        assert len(classes) == 3
+        assert all(len(cls) == 4 for cls in classes)

@@ -1,0 +1,51 @@
+"""Tests for the greedy maximal matching."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching.greedy import greedy_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from tests.conftest import bipartite_graphs
+
+
+class TestOrders:
+    def test_weight_desc_takes_heaviest(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (0, 1, 9)])
+        m = greedy_matching(g, order="weight_desc")
+        assert m.max_weight() == 9
+
+    def test_weight_asc_takes_lightest(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (0, 1, 9)])
+        m = greedy_matching(g, order="weight_asc")
+        assert m.max_weight() == 1
+
+    def test_id_order(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (0, 1, 9)])
+        m = greedy_matching(g, order="id")
+        assert next(iter(m)).weight == 1
+
+    def test_allowed_filter(self):
+        g = BipartiteGraph.from_edges([(0, 0, 5), (1, 1, 5)])
+        keep = g.edge_ids()[1]
+        m = greedy_matching(g, allowed=[keep])
+        assert m.edge_ids() == {keep}
+
+
+class TestMaximality:
+    @given(bipartite_graphs(max_side=5, max_edges=12))
+    @settings(max_examples=60)
+    def test_result_is_maximal(self, g):
+        m = greedy_matching(g)
+        m.validate(g)
+        for e in g.edges():
+            assert m.covers_left(e.left) or m.covers_right(e.right)
+
+    @given(bipartite_graphs(max_side=5, max_edges=12))
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_half_of_maximum(self, g):
+        # Classical guarantee for any maximal matching.
+        assert 2 * len(greedy_matching(g)) >= len(hopcroft_karp(g))
+
+    def test_empty_graph(self):
+        assert len(greedy_matching(BipartiteGraph())) == 0

@@ -1,0 +1,111 @@
+"""Tests for Hopcroft–Karp, including a brute-force cross-check."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.greedy import greedy_matching
+from tests.conftest import bipartite_graphs
+
+
+def brute_force_max_matching_size(graph: BipartiteGraph) -> int:
+    """Exponential reference: try all edge subsets, largest matching wins."""
+    edges = list(graph.edges())
+    for size in range(min(len(edges), graph.num_left, graph.num_right), 0, -1):
+        for subset in combinations(edges, size):
+            lefts = {e.left for e in subset}
+            rights = {e.right for e in subset}
+            if len(lefts) == size and len(rights) == size:
+                return size
+    return 0
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        assert len(hopcroft_karp(BipartiteGraph())) == 0
+
+    def test_single_edge(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1)])
+        m = hopcroft_karp(g)
+        assert len(m) == 1
+        assert m.is_perfect_in(g)
+
+    def test_star_matches_one(self):
+        g = BipartiteGraph.from_edges([(0, j, 1) for j in range(4)])
+        assert len(hopcroft_karp(g)) == 1
+
+    def test_perfect_matching_on_cycle(self):
+        # 3x3 "two diagonals" graph has a perfect matching.
+        g = BipartiteGraph.from_edges(
+            [(i, i, 1) for i in range(3)] + [(i, (i + 1) % 3, 1) for i in range(3)]
+        )
+        m = hopcroft_karp(g)
+        assert len(m) == 3
+        m.validate(g)
+
+    def test_augmenting_path_needed(self):
+        # Greedy on ids would pick (0,0) and block; HK must find size 2.
+        g = BipartiteGraph.from_edges([(0, 0, 1), (1, 0, 1), (0, 1, 1)])
+        assert len(hopcroft_karp(g)) == 2
+
+    def test_allowed_filter_restricts_edges(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (1, 1, 1)])
+        first = g.edge_ids()[0]
+        m = hopcroft_karp(g, allowed=[first])
+        assert len(m) == 1
+        assert m.edge_ids() == {first}
+
+    def test_parallel_edges(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (0, 0, 2)])
+        m = hopcroft_karp(g)
+        assert len(m) == 1
+
+
+class TestWarmStart:
+    def test_stale_initial_edges_are_dropped(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (1, 1, 1)])
+        m = hopcroft_karp(g)
+        removed = m.edges()[0]
+        g.remove_edge(removed.id)
+        m2 = hopcroft_karp(g, initial=m)
+        assert len(m2) == 1
+        assert removed.id not in m2.edge_ids()
+
+    def test_warm_start_equals_cold_start_size(self):
+        g = BipartiteGraph.from_edges(
+            [(i, j, 1) for i in range(4) for j in range(4) if (i + j) % 2 == 0]
+        )
+        seed = greedy_matching(g)
+        warm = hopcroft_karp(g, initial=seed)
+        cold = hopcroft_karp(g)
+        assert len(warm) == len(cold)
+
+    def test_initial_not_mutated(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (0, 1, 1), (1, 0, 1)])
+        seed = greedy_matching(g, order="id")
+        before = seed.edge_ids()
+        hopcroft_karp(g, initial=seed)
+        assert seed.edge_ids() == before
+
+
+class TestAgainstBruteForce:
+    @given(bipartite_graphs(max_side=4, max_edges=7))
+    @settings(max_examples=80, deadline=None)
+    def test_maximum_cardinality(self, g):
+        m = hopcroft_karp(g)
+        m.validate(g)
+        assert len(m) == brute_force_max_matching_size(g)
+
+    @given(bipartite_graphs(max_side=5, max_edges=14))
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_greedy(self, g):
+        assert len(hopcroft_karp(g)) >= len(greedy_matching(g))
+
+    @given(bipartite_graphs(max_side=5, max_edges=14))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, g):
+        a = hopcroft_karp(g)
+        b = hopcroft_karp(g)
+        assert a.edge_ids() == b.edge_ids()

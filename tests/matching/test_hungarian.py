@@ -1,0 +1,83 @@
+"""Tests for the Hungarian maximum-weight perfect matching."""
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import random_weight_regular
+from repro.matching.hungarian import hungarian_perfect_matching
+from repro.util.errors import MatchingError
+
+
+def brute_force_max_weight(graph: BipartiteGraph) -> float:
+    """Best total weight over all perfect matchings (tiny graphs)."""
+    lefts = graph.left_nodes()
+    rights = graph.right_nodes()
+    best = None
+    weight_of = {}
+    for e in graph.edges():
+        key = (e.left, e.right)
+        weight_of[key] = max(weight_of.get(key, 0), e.weight)
+    for perm in permutations(rights):
+        total = 0.0
+        ok = True
+        for left, right in zip(lefts, perm):
+            w = weight_of.get((left, right))
+            if w is None:
+                ok = False
+                break
+            total += w
+        if ok and (best is None or total > best):
+            best = total
+    if best is None:
+        raise AssertionError("no perfect matching")
+    return best
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        assert len(hungarian_perfect_matching(BipartiteGraph())) == 0
+
+    def test_single_edge(self):
+        g = BipartiteGraph.from_edges([(0, 0, 3)])
+        m = hungarian_perfect_matching(g)
+        assert len(m) == 1
+
+    def test_picks_max_weight(self):
+        g = BipartiteGraph.from_edges(
+            [(0, 0, 1), (1, 1, 1), (0, 1, 10), (1, 0, 10)]
+        )
+        m = hungarian_perfect_matching(g)
+        assert sum(e.weight for e in m) == 20
+
+    def test_parallel_edges_use_heaviest(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (0, 0, 5)])
+        m = hungarian_perfect_matching(g)
+        assert next(iter(m)).weight == 5
+
+    def test_non_square_raises(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (1, 0, 1)])
+        with pytest.raises(MatchingError):
+            hungarian_perfect_matching(g)
+
+    def test_no_perfect_matching_raises(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1), (1, 0, 1)])
+        g.add_right_node(1)
+        with pytest.raises(MatchingError):
+            hungarian_perfect_matching(g)
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(0, 500), st.integers(1, 5), st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_max_weight_on_regular_graphs(self, seed, n, layers):
+        g = random_weight_regular(seed, n=n, layers=layers)
+        m = hungarian_perfect_matching(g)
+        m.validate(g)
+        assert m.is_perfect_in(g)
+        assert sum(e.weight for e in m) == pytest.approx(
+            brute_force_max_weight(g)
+        )

@@ -1,0 +1,137 @@
+"""Tests for the max-min fair allocator, with property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.fairshare import FlowDemand, max_min_fair_rates
+from repro.netsim.topology import NetworkSpec
+from repro.util.errors import SimulationError
+
+
+def spec(n1=4, n2=4, t1=10.0, t2=10.0, T=25.0) -> NetworkSpec:
+    return NetworkSpec(n1=n1, n2=n2, nic_rate1=t1, nic_rate2=t2,
+                       backbone_rate=T)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert max_min_fair_rates(spec(), []) == []
+
+    def test_single_flow_gets_min_of_links(self):
+        rates = max_min_fair_rates(spec(T=25), [FlowDemand(0, 0)])
+        assert rates == [10.0]
+
+    def test_single_flow_backbone_limited(self):
+        rates = max_min_fair_rates(spec(T=5), [FlowDemand(0, 0)])
+        assert rates == [5.0]
+
+    def test_disjoint_flows_share_backbone(self):
+        flows = [FlowDemand(i, i) for i in range(4)]
+        rates = max_min_fair_rates(spec(T=25), flows)
+        assert rates == pytest.approx([6.25] * 4)
+
+    def test_sender_contention(self):
+        flows = [FlowDemand(0, 0), FlowDemand(0, 1)]
+        rates = max_min_fair_rates(spec(T=100), flows)
+        assert rates == pytest.approx([5.0, 5.0])
+
+    def test_receiver_contention(self):
+        flows = [FlowDemand(0, 0), FlowDemand(1, 0)]
+        rates = max_min_fair_rates(spec(T=100), flows)
+        assert rates == pytest.approx([5.0, 5.0])
+
+    def test_asymmetric_bottlenecks(self):
+        # Flow A alone on its sender; flows B, C share one sender.
+        flows = [FlowDemand(0, 0), FlowDemand(1, 1), FlowDemand(1, 2)]
+        rates = max_min_fair_rates(spec(T=100), flows)
+        assert rates == pytest.approx([10.0, 5.0, 5.0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates(spec(), [FlowDemand(99, 0)])
+        with pytest.raises(SimulationError):
+            max_min_fair_rates(spec(), [FlowDemand(0, 99)])
+
+
+@st.composite
+def flow_sets(draw):
+    n1 = draw(st.integers(1, 5))
+    n2 = draw(st.integers(1, 5))
+    flows = draw(
+        st.lists(
+            st.tuples(st.integers(0, n1 - 1), st.integers(0, n2 - 1)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    t1 = draw(st.sampled_from([1.0, 5.0, 10.0]))
+    t2 = draw(st.sampled_from([1.0, 5.0, 10.0]))
+    T = draw(st.sampled_from([2.0, 10.0, 40.0]))
+    return (
+        spec(n1=n1, n2=n2, t1=t1, t2=t2, T=T),
+        [FlowDemand(s, d) for s, d in flows],
+    )
+
+
+class TestMaxMinProperties:
+    @given(flow_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_feasibility(self, case):
+        network, flows = case
+        rates = max_min_fair_rates(network, flows)
+        assert all(r >= 0 for r in rates)
+        send = {}
+        recv = {}
+        for f, r in zip(flows, rates):
+            send[f.src] = send.get(f.src, 0.0) + r
+            recv[f.dst] = recv.get(f.dst, 0.0) + r
+        eps = 1e-6
+        assert all(v <= network.nic_rate1 + eps for v in send.values())
+        assert all(v <= network.nic_rate2 + eps for v in recv.values())
+        assert sum(rates) <= network.backbone_rate + eps
+
+    @given(flow_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_every_flow_gets_positive_rate(self, case):
+        network, flows = case
+        rates = max_min_fair_rates(network, flows)
+        assert all(r > 0 for r in rates)
+
+    @given(flow_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_max_min_optimality(self, case):
+        """No flow's rate can rise without lowering a smaller-or-equal one.
+
+        Equivalent check: every flow is bottlenecked on some link that is
+        saturated and on which it has the maximal rate among members.
+        """
+        network, flows = case
+        rates = max_min_fair_rates(network, flows)
+        eps = 1e-6
+        links: dict[tuple, tuple[float, list[int]]] = {
+            ("b",): (network.backbone_rate, list(range(len(flows)))),
+        }
+        for i, f in enumerate(flows):
+            links.setdefault(("s", f.src), (network.nic_rate1, []))[1].append(i)
+            links.setdefault(("r", f.dst), (network.nic_rate2, []))[1].append(i)
+        for i in range(len(flows)):
+            f = flows[i]
+            ok = False
+            for key in (("s", f.src), ("r", f.dst), ("b",)):
+                cap, members = links[key]
+                load = sum(rates[j] for j in members)
+                if load >= cap - eps and rates[i] >= max(
+                    rates[j] for j in members
+                ) - eps:
+                    ok = True
+                    break
+            assert ok, f"flow {i} is not bottlenecked anywhere"
+
+    @given(flow_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, case):
+        network, flows = case
+        assert max_min_fair_rates(network, flows) == max_min_fair_rates(
+            network, flows
+        )

@@ -1,0 +1,83 @@
+"""Tests for the end-to-end redistribution runner (Figs 10/11 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.runner import (
+    build_schedule,
+    run_redistribution,
+    uniform_traffic,
+)
+from repro.netsim.tcp import TcpParams
+from repro.netsim.topology import NetworkSpec
+from repro.util.errors import ConfigError
+
+FAST = TcpParams(dt=0.005)
+
+
+class TestUniformTraffic:
+    def test_units_are_mbit(self):
+        m = uniform_traffic(0, 2, 2, 10.0, 10.0)
+        assert np.allclose(m, 80.0)  # 10 MB = 80 Mbit
+
+    def test_bounds(self):
+        m = uniform_traffic(1, 5, 5, 10.0, 30.0)
+        assert (m >= 80.0).all() and (m <= 240.0).all()
+
+    def test_seeded(self):
+        assert np.array_equal(uniform_traffic(3, 4, 4, 1, 2),
+                              uniform_traffic(3, 4, 4, 1, 2))
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigError):
+            uniform_traffic(0, 2, 2, 5.0, 1.0)
+
+
+class TestBuildSchedule:
+    def test_schedule_valid_for_platform(self):
+        spec = NetworkSpec.paper_testbed(3, step_setup=0.01)
+        traffic = uniform_traffic(0, 10, 10, 1.0, 2.0)
+        for method in ("ggp", "oggp"):
+            sched = build_schedule(spec, traffic, method)
+            assert sched.k == 3
+            assert sched.beta == 0.01
+            assert sched.max_step_size <= 3
+
+
+class TestRunRedistribution:
+    def test_scheduled_beats_brute_force_at_scale(self):
+        spec = NetworkSpec.paper_testbed(5, step_setup=0.01)
+        traffic = uniform_traffic(42, 10, 10, 4.0, 10.0)
+        brute = run_redistribution(spec, traffic, "bruteforce", rng=1,
+                                   tcp_params=FAST)
+        for method in ("ggp", "oggp"):
+            out = run_redistribution(spec, traffic, method)
+            assert out.total_time < brute.total_time
+            assert out.schedule is not None
+            assert out.num_steps == out.schedule.num_steps
+
+    def test_scheduled_deterministic_brute_not(self):
+        spec = NetworkSpec.paper_testbed(3, step_setup=0.01)
+        traffic = uniform_traffic(5, 10, 10, 1.0, 3.0)
+        sched_times = {
+            run_redistribution(spec, traffic, "oggp", rng=s).total_time
+            for s in range(3)
+        }
+        assert len(sched_times) == 1
+        brute_times = {
+            run_redistribution(spec, traffic, "bruteforce", rng=s,
+                               tcp_params=FAST).total_time
+            for s in range(3)
+        }
+        assert len(brute_times) == 3
+
+    def test_volume_reported(self):
+        spec = NetworkSpec.paper_testbed(3)
+        traffic = uniform_traffic(2, 10, 10, 1.0, 1.0)
+        out = run_redistribution(spec, traffic, "ggp")
+        assert out.volume_mbit == pytest.approx(traffic.sum())
+
+    def test_unknown_method(self):
+        spec = NetworkSpec.paper_testbed(3)
+        with pytest.raises(ConfigError):
+            run_redistribution(spec, np.ones((10, 10)), "magic")  # type: ignore[arg-type]

@@ -1,0 +1,56 @@
+"""Additional edge cases for the stepwise executor."""
+
+import pytest
+
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.netsim.stepwise import simulate_schedule
+from repro.netsim.topology import NetworkSpec
+
+
+def spec(n1=3, n2=3, setup=0.1) -> NetworkSpec:
+    return NetworkSpec(n1=n1, n2=n2, nic_rate1=10.0, nic_rate2=10.0,
+                       backbone_rate=30.0, step_setup=setup)
+
+
+class TestStepwiseEdgeCases:
+    def test_sender_without_work_still_barriers(self):
+        # Only sender 0 transmits; senders 1, 2 just synchronise.
+        sched = Schedule([Step([Transfer(0, 0, 0, 10.0)])], k=1, beta=0.1)
+        result = simulate_schedule(spec(), sched)
+        assert result.total_time == pytest.approx(1.1)
+
+    def test_many_steps_accumulate_setup(self):
+        # The executor charges the *platform's* step_setup per step.
+        steps = [Step([Transfer(i, 0, 0, 1.0)]) for i in range(20)]
+        sched = Schedule(steps, k=1, beta=0.5)
+        result = simulate_schedule(spec(setup=0.5), sched)
+        assert result.setup_total == pytest.approx(10.0)
+        assert result.total_time == pytest.approx(20 * (0.5 + 0.1))
+
+    def test_step_durations_reported_per_step(self):
+        sched = Schedule(
+            [
+                Step([Transfer(0, 0, 0, 20.0)]),
+                Step([Transfer(1, 1, 1, 10.0)]),
+            ],
+            k=1, beta=0.0,
+        )
+        result = simulate_schedule(spec(setup=0.0), sched)
+        assert result.step_durations == [pytest.approx(2.0), pytest.approx(1.0)]
+
+    def test_asymmetric_receiver_rate_binds(self):
+        platform = NetworkSpec(n1=2, n2=2, nic_rate1=10.0, nic_rate2=5.0,
+                               backbone_rate=100.0, step_setup=0.0)
+        sched = Schedule([Step([Transfer(0, 0, 0, 10.0)])], k=2, beta=0.0)
+        result = simulate_schedule(platform, sched)
+        assert result.total_time == pytest.approx(2.0)  # 10 / min(10, 5)
+
+    def test_single_node_clusters(self):
+        platform = NetworkSpec(n1=1, n2=1, nic_rate1=10.0, nic_rate2=10.0,
+                               backbone_rate=10.0, step_setup=0.2)
+        sched = Schedule(
+            [Step([Transfer(0, 0, 0, 5.0)]), Step([Transfer(1, 0, 0, 5.0)])],
+            k=1, beta=0.2,
+        )
+        result = simulate_schedule(platform, sched)
+        assert result.total_time == pytest.approx(2 * (0.2 + 0.5))

@@ -1,0 +1,109 @@
+"""Tests for the fluid TCP brute-force model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.tcp import TcpParams, simulate_bruteforce
+from repro.netsim.topology import NetworkSpec
+from repro.util.errors import ConfigError, SimulationError
+
+FAST = TcpParams(dt=0.005)
+
+
+def spec(k: int = 3) -> NetworkSpec:
+    return NetworkSpec.paper_testbed(k)
+
+
+class TestBasics:
+    def test_empty_traffic(self):
+        result = simulate_bruteforce(spec(), np.zeros((10, 10)), rng=0)
+        assert result.total_time == 0.0
+        assert result.flows == []
+
+    def test_single_flow_time_close_to_ideal(self):
+        traffic = np.zeros((10, 10))
+        traffic[0, 0] = 100.0  # Mbit
+        result = simulate_bruteforce(spec(3), traffic, rng=0, params=FAST)
+        ideal = 100.0 / (100.0 / 3)  # NIC-limited: 3 s
+        assert ideal <= result.total_time <= ideal * 1.5
+
+    def test_all_volume_delivered(self):
+        rng = np.random.default_rng(0)
+        traffic = rng.uniform(1, 10, size=(10, 10))
+        result = simulate_bruteforce(spec(3), traffic, rng=1, params=FAST)
+        assert result.volume_mbit == pytest.approx(traffic.sum())
+        assert np.isfinite(result.completion_times).all()
+        assert len(result.flows) == 100
+
+    def test_completion_below_total_time(self):
+        traffic = np.full((10, 10), 5.0)
+        result = simulate_bruteforce(spec(3), traffic, rng=2, params=FAST)
+        assert result.total_time == pytest.approx(
+            float(np.max(result.completion_times))
+        )
+
+    def test_cannot_beat_capacity(self):
+        traffic = np.full((10, 10), 10.0)  # 1000 Mbit total
+        result = simulate_bruteforce(spec(3), traffic, rng=3, params=FAST)
+        assert result.total_time >= traffic.sum() / 100.0  # backbone floor
+        assert result.goodput_efficiency <= 1.0
+
+    def test_oversubscription_wastes_goodput(self):
+        traffic = np.full((10, 10), 20.0)
+        result = simulate_bruteforce(spec(5), traffic, rng=4, params=FAST)
+        assert result.goodput_efficiency < 0.99
+
+    def test_seed_reproducibility(self):
+        traffic = np.full((10, 10), 5.0)
+        a = simulate_bruteforce(spec(3), traffic, rng=7, params=FAST)
+        b = simulate_bruteforce(spec(3), traffic, rng=7, params=FAST)
+        assert a.total_time == b.total_time
+
+    def test_seeds_differ(self):
+        traffic = np.full((10, 10), 5.0)
+        a = simulate_bruteforce(spec(3), traffic, rng=7, params=FAST)
+        b = simulate_bruteforce(spec(3), traffic, rng=8, params=FAST)
+        assert a.total_time != b.total_time
+
+
+class TestScaling:
+    def test_more_volume_takes_longer(self):
+        small = np.full((10, 10), 2.0)
+        result_small = simulate_bruteforce(spec(3), small, rng=0, params=FAST)
+        result_big = simulate_bruteforce(spec(3), small * 3, rng=0, params=FAST)
+        assert result_big.total_time > result_small.total_time
+
+    def test_waste_grows_with_k(self):
+        traffic = np.full((10, 10), 8.0)
+        eff = [
+            simulate_bruteforce(spec(k), traffic, rng=1, params=FAST).goodput_efficiency
+            for k in (3, 7)
+        ]
+        assert eff[1] < eff[0] + 0.02  # k=7 no better than k=3 (usually worse)
+
+
+class TestValidation:
+    def test_wrong_shape(self):
+        with pytest.raises(SimulationError):
+            simulate_bruteforce(spec(), np.zeros((3, 3)), rng=0)
+
+    def test_negative_volume(self):
+        bad = np.zeros((10, 10))
+        bad[0, 0] = -1
+        with pytest.raises(SimulationError):
+            simulate_bruteforce(spec(), bad, rng=0)
+
+    def test_max_time_guard(self):
+        traffic = np.zeros((10, 10))
+        traffic[0, 0] = 1000.0
+        params = TcpParams(dt=0.005, max_time=0.5)
+        with pytest.raises(SimulationError, match="max_time"):
+            simulate_bruteforce(spec(3), traffic, rng=0, params=params)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            TcpParams(dt=0)
+        with pytest.raises(ConfigError):
+            TcpParams(rtt_jitter=1.5)
+        with pytest.raises(ConfigError):
+            TcpParams(rto=0)

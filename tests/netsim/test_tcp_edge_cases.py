@@ -1,0 +1,65 @@
+"""Edge cases and failure injection for the fluid TCP model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.tcp import TcpParams, simulate_bruteforce
+from repro.netsim.topology import NetworkSpec
+
+
+def small_spec() -> NetworkSpec:
+    return NetworkSpec(n1=3, n2=3, nic_rate1=20.0, nic_rate2=20.0,
+                       backbone_rate=40.0)
+
+
+class TestEdgeCases:
+    def test_single_tiny_message(self):
+        # One message far below an MSS still completes.
+        traffic = np.zeros((3, 3))
+        traffic[0, 0] = 1e-4  # Mbit
+        result = simulate_bruteforce(small_spec(), traffic, rng=0,
+                                     params=TcpParams(dt=0.001))
+        assert result.total_time > 0
+        assert result.completion_times[0] == result.total_time
+
+    def test_extremely_skewed_sizes(self):
+        traffic = np.zeros((3, 3))
+        traffic[0, 0] = 100.0
+        traffic[1, 1] = 0.01
+        result = simulate_bruteforce(small_spec(), traffic, rng=0,
+                                     params=TcpParams(dt=0.005))
+        # The tiny flow finishes long before the big one.
+        small_done = result.completion_times[1]
+        big_done = result.completion_times[0]
+        assert small_done < big_done
+
+    def test_dt_larger_than_rtt_still_terminates(self):
+        # Degenerate discretisation: dynamics coarse but no hang.
+        traffic = np.full((3, 3), 2.0)
+        params = TcpParams(dt=0.05, rtt_base=0.002)
+        result = simulate_bruteforce(small_spec(), traffic, rng=0,
+                                     params=params)
+        assert np.isfinite(result.total_time)
+
+    def test_zero_jitter_is_deterministic_modulo_loss_draws(self):
+        traffic = np.full((3, 3), 2.0)
+        params = TcpParams(rtt_jitter=0.0, dt=0.005)
+        a = simulate_bruteforce(small_spec(), traffic, rng=5, params=params)
+        b = simulate_bruteforce(small_spec(), traffic, rng=5, params=params)
+        assert a.total_time == b.total_time
+
+    def test_huge_rto_stalls_but_completes(self):
+        traffic = np.full((3, 3), 1.0)
+        params = TcpParams(rto=5.0, dt=0.005)
+        result = simulate_bruteforce(small_spec(), traffic, rng=0,
+                                     params=params)
+        assert np.isfinite(result.total_time)
+
+    def test_asymmetric_clusters(self):
+        spec = NetworkSpec(n1=5, n2=2, nic_rate1=10.0, nic_rate2=30.0,
+                           backbone_rate=60.0)
+        traffic = np.full((5, 2), 3.0)
+        result = simulate_bruteforce(spec, traffic, rng=0,
+                                     params=TcpParams(dt=0.005))
+        assert len(result.flows) == 10
+        assert result.total_time >= traffic.sum() / 60.0

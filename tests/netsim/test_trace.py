@@ -1,0 +1,151 @@
+"""Tests for the bandwidth trace and the trace-aware executor."""
+
+import pytest
+
+from repro.core.oggp import oggp
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.graph.generators import from_traffic_matrix
+from repro.netsim.fairshare import FlowDemand
+from repro.netsim.stepwise import simulate_schedule
+from repro.netsim.topology import NetworkSpec
+from repro.netsim.trace import (
+    BandwidthTrace,
+    advance_transfers,
+    simulate_schedule_trace,
+)
+from repro.util.errors import ConfigError
+
+
+def spec(k: int = 2, setup: float = 0.0) -> NetworkSpec:
+    return NetworkSpec(n1=4, n2=4, nic_rate1=10.0, nic_rate2=10.0,
+                       backbone_rate=10.0 * k, step_setup=setup)
+
+
+class TestBandwidthTrace:
+    def test_rate_lookup(self):
+        trace = BandwidthTrace.from_pairs([(0, 100.0), (5, 50.0), (9, 75.0)])
+        assert trace.rate_at(0) == 100.0
+        assert trace.rate_at(4.999) == 100.0
+        assert trace.rate_at(5) == 50.0
+        assert trace.rate_at(100) == 75.0
+
+    def test_next_change(self):
+        trace = BandwidthTrace.from_pairs([(0, 100.0), (5, 50.0)])
+        assert trace.next_change(0) == 5.0
+        assert trace.next_change(5) is None
+
+    def test_constant(self):
+        trace = BandwidthTrace.constant(42.0)
+        assert trace.rate_at(17) == 42.0
+        assert trace.next_change(0) is None
+
+    def test_k_at_follows_capacity(self):
+        platform = spec()
+        trace = BandwidthTrace.from_pairs([(0, 40.0), (3, 10.0)])
+        assert trace.k_at(platform, 0) == 4
+        assert trace.k_at(platform, 3) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BandwidthTrace((1.0,), (10.0,))  # must start at 0
+        with pytest.raises(ConfigError):
+            BandwidthTrace((0.0, 0.0), (1.0, 2.0))  # not increasing
+        with pytest.raises(ConfigError):
+            BandwidthTrace((0.0,), (0.0,))  # zero rate
+        with pytest.raises(ConfigError):
+            BandwidthTrace.constant(5.0).rate_at(-1)
+
+
+class TestSimulateScheduleTrace:
+    def test_constant_trace_matches_static_executor(self):
+        platform = NetworkSpec.paper_testbed(3, step_setup=0.05)
+        import numpy as np
+
+        traffic = np.full((10, 10), 2.0)
+        graph = from_traffic_matrix(traffic, speed=platform.flow_rate)
+        sched = oggp(graph, k=3, beta=platform.step_setup)
+        static = simulate_schedule(platform, sched,
+                                   volume_scale=platform.flow_rate)
+        traced = simulate_schedule_trace(
+            platform, sched, BandwidthTrace.constant(platform.backbone_rate),
+            volume_scale=platform.flow_rate,
+        )
+        assert traced.total_time == pytest.approx(static.total_time, rel=1e-9)
+
+    def test_capacity_dip_slows_step(self):
+        platform = spec(k=2)
+        # One step, two flows of 10 volume each at rate 10 -> 1s flat.
+        sched = Schedule(
+            [Step([Transfer(0, 0, 0, 10.0), Transfer(1, 1, 1, 10.0)])],
+            k=2, beta=0.0,
+        )
+        flat = simulate_schedule_trace(
+            platform, sched, BandwidthTrace.constant(20.0)
+        )
+        assert flat.total_time == pytest.approx(1.0)
+        dipped = simulate_schedule_trace(
+            platform, sched,
+            BandwidthTrace.from_pairs([(0, 20.0), (0.5, 10.0)]),
+        )
+        # First half at full rate (5 left each), second half both flows
+        # share 10 -> each at 5 -> 1 more second. Total 1.5 s.
+        assert dipped.total_time == pytest.approx(1.5)
+
+    def test_congestion_penalty_slows_oversubscription(self):
+        platform = spec(k=2)
+        sched = Schedule(
+            [Step([Transfer(0, 0, 0, 10.0), Transfer(1, 1, 1, 10.0)])],
+            k=2, beta=0.0,
+        )
+        trace = BandwidthTrace.constant(10.0)  # demand 20 > 10
+        ideal = simulate_schedule_trace(platform, sched, trace)
+        penalised = simulate_schedule_trace(
+            platform, sched, trace, congestion_penalty=1.0
+        )
+        assert penalised.total_time > ideal.total_time
+        # overload 2 -> drop 0.5 -> goodput 1/1.5.
+        assert penalised.total_time == pytest.approx(ideal.total_time * 1.5)
+
+    def test_penalty_noop_when_under_capacity(self):
+        platform = spec(k=2)
+        sched = Schedule([Step([Transfer(0, 0, 0, 10.0)])], k=2, beta=0.0)
+        trace = BandwidthTrace.constant(50.0)
+        a = simulate_schedule_trace(platform, sched, trace)
+        b = simulate_schedule_trace(platform, sched, trace,
+                                    congestion_penalty=2.0)
+        assert a.total_time == pytest.approx(b.total_time)
+
+
+class TestAdvanceTransfers:
+    def test_stop_at_change(self):
+        platform = spec(k=2)
+        flows = [FlowDemand(0, 0)]
+        trace = BandwidthTrace.from_pairs([(0, 20.0), (0.5, 10.0)])
+        now, shipped, done = advance_transfers(
+            platform, flows, [10.0], trace, 0.0, stop_at_change=True
+        )
+        assert not done
+        assert now == pytest.approx(0.5)
+        assert shipped[0] == pytest.approx(5.0)  # 0.5s at rate 10 (NIC cap)
+
+    def test_runs_to_completion_without_stop(self):
+        platform = spec(k=2)
+        flows = [FlowDemand(0, 0)]
+        trace = BandwidthTrace.from_pairs([(0, 20.0), (0.5, 10.0)])
+        now, shipped, done = advance_transfers(
+            platform, flows, [10.0], trace, 0.0, stop_at_change=False
+        )
+        assert done
+        assert shipped[0] == pytest.approx(10.0)
+        assert now == pytest.approx(1.0)
+
+    def test_exact_shipping_accounting(self):
+        platform = spec(k=4)
+        flows = [FlowDemand(i, i) for i in range(3)]
+        volumes = [3.0, 7.0, 11.0]
+        trace = BandwidthTrace.constant(100.0)
+        _, shipped, done = advance_transfers(
+            platform, flows, volumes, trace, 0.0
+        )
+        assert done
+        assert shipped == pytest.approx(volumes)

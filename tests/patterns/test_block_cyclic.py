@@ -1,0 +1,73 @@
+"""Tests for block-cyclic redistribution patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oggp import oggp
+from repro.patterns.block_cyclic import block_cyclic_graph, block_cyclic_matrix
+from repro.util.errors import ConfigError
+
+
+class TestMatrix:
+    def test_elements_conserved(self):
+        m = block_cyclic_matrix(1000, 4, 8, 6, 5)
+        assert m.sum() == pytest.approx(1000.0)
+
+    def test_identity_relayout_is_diagonal(self):
+        m = block_cyclic_matrix(96, 4, 8, 4, 8)
+        assert np.allclose(m, np.diag(np.diag(m)))
+        assert np.trace(m) == pytest.approx(96.0)
+
+    def test_known_small_case(self):
+        # 8 elements, block 2 over 2 procs -> owners 0,0,1,1,0,0,1,1.
+        # Target: block 1 over 4 procs -> owners 0,1,2,3,0,1,2,3.
+        m = block_cyclic_matrix(8, 2, 2, 4, 1)
+        expected = np.array(
+            [
+                [2.0, 2.0, 0.0, 0.0],
+                [0.0, 0.0, 2.0, 2.0],
+            ]
+        )
+        assert np.allclose(m, expected)
+
+    def test_element_size_scales(self):
+        base = block_cyclic_matrix(100, 3, 4, 5, 2)
+        scaled = block_cyclic_matrix(100, 3, 4, 5, 2, element_size=2.5)
+        assert np.allclose(scaled, base * 2.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            block_cyclic_matrix(0, 2, 2, 2, 2)
+        with pytest.raises(ConfigError):
+            block_cyclic_matrix(10, 0, 2, 2, 2)
+        with pytest.raises(ConfigError):
+            block_cyclic_matrix(10, 2, 2, 2, 2, element_size=0)
+
+    @given(
+        st.integers(1, 500),
+        st.integers(1, 5), st.integers(1, 5),
+        st.integers(1, 5), st.integers(1, 5),
+    )
+    @settings(max_examples=60)
+    def test_conservation_property(self, n, p1, b1, p2, b2):
+        m = block_cyclic_matrix(n, p1, b1, p2, b2)
+        assert m.shape == (p1, p2)
+        assert m.sum() == pytest.approx(float(n))
+        # Row i owns exactly the elements the source layout gives it.
+        idx = np.arange(n)
+        src_counts = np.bincount((idx // b1) % p1, minlength=p1)
+        assert np.allclose(m.sum(axis=1), src_counts)
+
+
+class TestGraph:
+    def test_graph_is_schedulable(self):
+        g = block_cyclic_graph(960, 4, 16, 6, 8)
+        s = oggp(g, k=min(4, 6), beta=1.0)
+        s.validate(g)
+
+    def test_speed_applied(self):
+        g1 = block_cyclic_graph(100, 2, 4, 3, 2, speed=1.0)
+        g2 = block_cyclic_graph(100, 2, 4, 3, 2, speed=2.0)
+        assert g2.total_weight() == pytest.approx(g1.total_weight() / 2)

@@ -1,0 +1,93 @@
+"""Tests for the collective-operation patterns and their scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import lower_bound, lower_bound_report
+from repro.core.oggp import oggp
+from repro.graph.generators import from_traffic_matrix
+from repro.patterns.collectives import (
+    alltoall_matrix,
+    alltoallv_matrix,
+    gather_matrix,
+    scatter_matrix,
+    transpose_matrix,
+)
+from repro.util.errors import ConfigError
+
+
+class TestGenerators:
+    def test_alltoall(self):
+        m = alltoall_matrix(3, 4, 2.5)
+        assert m.shape == (3, 4)
+        assert (m == 2.5).all()
+
+    def test_alltoallv_validates(self):
+        m = alltoallv_matrix([[1.0, 0.0], [2.0, 3.0]])
+        assert m.sum() == 6.0
+        with pytest.raises(ConfigError):
+            alltoallv_matrix([1.0, 2.0])
+        with pytest.raises(ConfigError):
+            alltoallv_matrix([[-1.0]])
+
+    def test_gather(self):
+        m = gather_matrix(4, 3, root=1, volume=5.0)
+        assert m[:, 1].sum() == 20.0
+        assert m.sum() == 20.0
+        with pytest.raises(ConfigError):
+            gather_matrix(4, 3, root=3, volume=5.0)
+
+    def test_scatter(self):
+        m = scatter_matrix(3, 4, root=0, volume=2.0)
+        assert m[0].sum() == 8.0
+        assert m.sum() == 8.0
+
+    def test_transpose_is_permutation(self):
+        m = transpose_matrix(2, 3, tile_volume=7.0)
+        assert m.shape == (6, 6)
+        assert ((m > 0).sum(axis=1) == 1).all()
+        assert ((m > 0).sum(axis=0) == 1).all()
+        # tile (r,c) at rank r*q+c goes to rank c*p+r
+        assert m[0 * 3 + 1, 1 * 2 + 0] == 7.0
+
+    def test_square_transpose_diagonal_stays(self):
+        m = transpose_matrix(2, 2, 1.0)
+        assert m[0, 0] == 1.0  # (0,0) tile stays on rank 0
+        assert m[3, 3] == 1.0
+
+
+class TestSchedulingBehaviour:
+    def test_gather_is_receiver_bound(self):
+        """All traffic converges on the root: W(G) dominates the bound
+        and no scheduler can parallelise anything."""
+        m = gather_matrix(6, 6, root=2, volume=10.0)
+        g = from_traffic_matrix(m)
+        report = lower_bound_report(g, k=6, beta=1.0)
+        assert report.eta_c == pytest.approx(60.0)  # root drains serially
+        s = oggp(g, k=6, beta=1.0)
+        s.validate(g)
+        assert s.max_step_size == 1  # 1-port at the root
+        assert s.cost == pytest.approx(lower_bound(g, 6, 1.0))
+
+    def test_transpose_is_one_step_when_k_allows(self):
+        m = transpose_matrix(2, 2, 4.0)
+        g = from_traffic_matrix(m)
+        s = oggp(g, k=4, beta=1.0)
+        s.validate(g)
+        assert s.num_steps == 1
+        assert s.cost == pytest.approx(5.0)
+
+    def test_alltoall_near_bound(self):
+        m = alltoall_matrix(6, 6, 3.0)
+        g = from_traffic_matrix(m)
+        bound = lower_bound(g, 3, 1.0)
+        s = oggp(g, k=3, beta=1.0)
+        s.validate(g)
+        assert s.cost <= 1.3 * bound
+
+    def test_scatter_matches_gather_by_symmetry(self):
+        gather = from_traffic_matrix(gather_matrix(5, 5, 0, 4.0))
+        scatter = from_traffic_matrix(scatter_matrix(5, 5, 0, 4.0))
+        cost_g = oggp(gather, k=5, beta=0.5).cost
+        cost_s = oggp(scatter, k=5, beta=0.5).cost
+        assert cost_g == pytest.approx(cost_s)

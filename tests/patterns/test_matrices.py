@@ -1,0 +1,98 @@
+"""Tests for the traffic-matrix generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.matrices import (
+    hotspot_matrix,
+    permutation_matrix,
+    sparse_matrix,
+    uniform_matrix,
+    zipf_matrix,
+)
+from repro.util.errors import ConfigError
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        m = uniform_matrix(0, 3, 5, 2.0, 4.0)
+        assert m.shape == (3, 5)
+        assert (m >= 2.0).all() and (m <= 4.0).all()
+
+    def test_seeded(self):
+        assert np.array_equal(uniform_matrix(1, 4, 4, 0, 1),
+                              uniform_matrix(1, 4, 4, 0, 1))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            uniform_matrix(0, 0, 3, 1, 2)
+        with pytest.raises(ConfigError):
+            uniform_matrix(0, 2, 2, 5, 1)
+
+
+class TestZipf:
+    def test_total_preserved(self):
+        m = zipf_matrix(0, 6, 4, total=100.0)
+        assert m.sum() == pytest.approx(100.0)
+        assert (m >= 0).all()
+
+    def test_skewed(self):
+        m = zipf_matrix(0, 8, 8, total=100.0, exponent=1.5)
+        flat = np.sort(m.ravel())[::-1]
+        # Top 10% of pairs carry a disproportionate share.
+        top = flat[: max(1, len(flat) // 10)].sum()
+        assert top > 100.0 / 10
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            zipf_matrix(0, 2, 2, total=-1)
+        with pytest.raises(ConfigError):
+            zipf_matrix(0, 2, 2, total=1, exponent=0)
+
+
+class TestSparse:
+    @given(st.integers(0, 100), st.sampled_from([0.1, 0.5, 0.9]))
+    @settings(max_examples=30)
+    def test_density_and_nonempty(self, seed, density):
+        m = sparse_matrix(seed, 6, 6, density, 1.0, 2.0)
+        assert (m > 0).any()
+        nz = m[m > 0]
+        assert (nz >= 1.0).all() and (nz <= 2.0).all()
+
+    def test_invalid_density(self):
+        with pytest.raises(ConfigError):
+            sparse_matrix(0, 2, 2, 0.0, 1, 2)
+        with pytest.raises(ConfigError):
+            sparse_matrix(0, 2, 2, 1.5, 1, 2)
+
+
+class TestPermutation:
+    def test_one_per_row_and_column(self):
+        m = permutation_matrix(0, 5, volume=3.0)
+        assert ((m > 0).sum(axis=0) == 1).all()
+        assert ((m > 0).sum(axis=1) == 1).all()
+        assert m[m > 0].sum() == pytest.approx(15.0)
+
+    def test_invalid_volume(self):
+        with pytest.raises(ConfigError):
+            permutation_matrix(0, 3, volume=0)
+
+
+class TestHotspot:
+    def test_hot_columns(self):
+        m = hotspot_matrix(0, 4, 6, background=1.0, hotspot=10.0, num_hot=2)
+        col_totals = m.sum(axis=0)
+        assert (col_totals == 40.0).sum() == 2  # 4 rows x 10
+        assert (col_totals == 4.0).sum() == 4
+
+    def test_zero_hot(self):
+        m = hotspot_matrix(0, 3, 3, background=2.0, hotspot=5.0, num_hot=0)
+        assert (m == 2.0).all()
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            hotspot_matrix(0, 2, 2, background=5.0, hotspot=1.0)
+        with pytest.raises(ConfigError):
+            hotspot_matrix(0, 2, 2, background=1.0, hotspot=2.0, num_hot=5)

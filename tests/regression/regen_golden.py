@@ -1,0 +1,35 @@
+"""Regenerate the golden corpus after an intentional behaviour change.
+
+Run:  python tests/regression/regen_golden.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.bounds import lower_bound
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.graph.generators import random_bipartite
+
+
+def main() -> None:
+    corpus = []
+    for seed in range(12):
+        g = random_bipartite(seed, max_side=8, max_edges=30)
+        for k in (1, 3, 6):
+            for beta in (0.0, 1.0, 4.0):
+                corpus.append({
+                    "seed": seed, "k": k, "beta": beta,
+                    "lb": lower_bound(g, k, beta),
+                    "ggp_cost": ggp(g, k, beta).cost,
+                    "ggp_steps": ggp(g, k, beta).num_steps,
+                    "oggp_cost": oggp(g, k, beta).cost,
+                    "oggp_steps": oggp(g, k, beta).num_steps,
+                })
+    out = Path(__file__).with_name("golden_costs.json")
+    out.write_text(json.dumps(corpus, indent=1))
+    print(f"wrote {len(corpus)} entries to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Golden regression tests: pinned costs for fixed seeds.
+
+These freeze the exact behaviour of the schedulers on a fixed corpus of
+instances.  If a change moves any number here, it changed scheduling
+behaviour — which may be fine (an improvement) but must be a conscious
+decision: regenerate the corpus with
+``python tests/regression/regen_golden.py`` and explain the diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.bounds import lower_bound
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.graph.generators import random_bipartite
+
+GOLDEN = Path(__file__).with_name("golden_costs.json")
+
+
+def load_corpus():
+    return json.loads(GOLDEN.read_text())
+
+
+class TestGoldenCosts:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return load_corpus()
+
+    def test_corpus_is_nonempty(self, corpus):
+        assert len(corpus) >= 100
+
+    def test_all_entries_reproduce(self, corpus):
+        graphs = {}
+        mismatches = []
+        for entry in corpus:
+            seed = entry["seed"]
+            if seed not in graphs:
+                graphs[seed] = random_bipartite(seed, max_side=8, max_edges=30)
+            g = graphs[seed]
+            k, beta = entry["k"], entry["beta"]
+            checks = {
+                "lb": lower_bound(g, k, beta),
+                "ggp_cost": ggp(g, k, beta).cost,
+                "ggp_steps": ggp(g, k, beta).num_steps,
+                "oggp_cost": oggp(g, k, beta).cost,
+                "oggp_steps": oggp(g, k, beta).num_steps,
+            }
+            for key, value in checks.items():
+                if value != pytest.approx(entry[key], rel=1e-12):
+                    mismatches.append((seed, k, beta, key, entry[key], value))
+        assert not mismatches, mismatches[:10]
+
+    def test_golden_internal_consistency(self, corpus):
+        for entry in corpus:
+            assert entry["lb"] <= entry["ggp_cost"] + 1e-9
+            assert entry["lb"] <= entry["oggp_cost"] + 1e-9
+            assert entry["ggp_cost"] <= 2 * entry["lb"] + 1e-6
+            assert entry["oggp_cost"] <= 2 * entry["lb"] + 1e-6

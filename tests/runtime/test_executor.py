@@ -1,0 +1,140 @@
+"""Tests for the runtime executors (scheduled and brute force)."""
+
+import numpy as np
+import pytest
+
+from repro.core.oggp import oggp
+from repro.core.schedule import Schedule, Step, Transfer
+from repro.graph.bipartite import BipartiteGraph
+from repro.runtime import LocalCluster, run_bruteforce, run_scheduled
+from repro.runtime.executor import TransferPlanError, _slice_plan
+
+FAST = dict(nic_rate1=1e9, nic_rate2=1e9, backbone_rate=1e9)
+
+
+def build_case(n1=2, n2=2, size=50_000, seed=0):
+    rng = np.random.default_rng(seed)
+    g = BipartiteGraph()
+    payloads = {}
+    destinations = {}
+    for i in range(n1):
+        for j in range(n2):
+            length = int(rng.integers(size // 2, size))
+            e = g.add_edge(i, j, length)
+            payloads[e.id] = rng.integers(0, 256, length, dtype=np.uint8).tobytes()
+            destinations[e.id] = (i, j)
+    return g, payloads, destinations
+
+
+class TestSlicePlan:
+    def test_slices_reassemble_exactly(self):
+        g, payloads, _ = build_case()
+        sched = oggp(g, k=2, beta=1000.0)
+        plans = _slice_plan(sched, payloads, amount_to_bytes=1.0)
+        rebuilt: dict[int, bytes] = {eid: b"" for eid in payloads}
+        for plan in plans:
+            for _sender, (eid, _dst, chunk) in plan.items():
+                rebuilt[eid] += chunk
+        assert rebuilt == payloads
+
+    def test_missing_payload_raises(self):
+        sched = Schedule([Step([Transfer(99, 0, 0, 10.0)])], k=1, beta=0.0)
+        with pytest.raises(TransferPlanError):
+            _slice_plan(sched, {}, 1.0)
+
+    def test_wrong_scale_still_reassembles(self):
+        # The final chunk absorbs rounding/scale error, so a misscaled
+        # plan still ships every byte (step timing just skews).
+        g, payloads, _ = build_case()
+        sched = oggp(g, k=2, beta=1000.0)
+        plans = _slice_plan(sched, payloads, amount_to_bytes=0.5)
+        rebuilt: dict[int, bytes] = {eid: b"" for eid in payloads}
+        for plan in plans:
+            for _sender, (eid, _dst, chunk) in plan.items():
+                rebuilt[eid] += chunk
+        assert rebuilt == payloads
+
+    def test_unscheduled_payload_detected(self):
+        g, payloads, _ = build_case()
+        sched = oggp(g, k=2, beta=1000.0)
+        extra = dict(payloads)
+        extra[max(payloads) + 1000] = b"never shipped"
+        with pytest.raises(TransferPlanError):
+            _slice_plan(sched, extra, amount_to_bytes=1.0)
+
+
+class TestRunScheduled:
+    def test_moves_and_verifies_all_bytes(self):
+        g, payloads, destinations = build_case()
+        sched = oggp(g, k=2, beta=1000.0)
+        sched.validate(g)
+        cluster = LocalCluster(2, 2, **FAST)
+        report = run_scheduled(cluster, sched, payloads, destinations)
+        report.raise_on_errors()
+        assert report.bytes_moved == sum(len(p) for p in payloads.values())
+        assert report.num_steps == sched.num_steps
+        assert report.total_seconds > 0
+
+    def test_preempted_messages_reassemble(self):
+        # Force preemption with a tiny beta (many small steps).
+        g, payloads, destinations = build_case(size=120_000)
+        sched = oggp(g, k=2, beta=10_000.0)
+        assert any(
+            len([t for s in sched.steps for t in s.transfers
+                 if t.edge_id == eid]) > 1
+            for eid in payloads
+        ), "test needs at least one preempted message"
+        cluster = LocalCluster(2, 2, **FAST)
+        report = run_scheduled(cluster, sched, payloads, destinations)
+        report.raise_on_errors()
+
+    def test_3x3_with_k2(self):
+        g, payloads, destinations = build_case(n1=3, n2=3, size=30_000, seed=3)
+        sched = oggp(g, k=2, beta=5000.0)
+        cluster = LocalCluster(3, 3, **FAST)
+        report = run_scheduled(cluster, sched, payloads, destinations)
+        report.raise_on_errors()
+
+
+class TestRunBruteforce:
+    def test_moves_and_verifies_all_bytes(self):
+        _, payloads, destinations = build_case()
+        cluster = LocalCluster(2, 2, **FAST)
+        report = run_bruteforce(cluster, payloads, destinations)
+        report.raise_on_errors()
+        assert report.num_steps == 1
+
+    def test_duplicate_pairs_rejected(self):
+        cluster = LocalCluster(2, 2, **FAST)
+        payloads = {0: b"a", 1: b"b"}
+        destinations = {0: (0, 0), 1: (0, 0)}
+        with pytest.raises(TransferPlanError):
+            run_bruteforce(cluster, payloads, destinations)
+
+    def test_out_of_range_flow_rejected_before_threads_start(self):
+        cluster = LocalCluster(2, 2, **FAST)
+        with pytest.raises(TransferPlanError, match="outside cluster"):
+            run_bruteforce(cluster, {0: b"a"}, {0: (0, 5)})
+
+
+class TestRoutingValidation:
+    def test_scheduled_out_of_range_rejected(self):
+        # Would deadlock the barrier if threads ever started.
+        from repro.core.schedule import Schedule, Step, Transfer
+
+        cluster = LocalCluster(2, 2, **FAST)
+        sched = Schedule([Step([Transfer(0, 0, 7, 5.0)])], k=1, beta=0.0)
+        with pytest.raises(TransferPlanError, match="outside cluster"):
+            run_scheduled(cluster, sched, {0: b"x" * 5}, {0: (0, 7)})
+
+
+class TestReport:
+    def test_raise_on_errors(self):
+        from repro.runtime.executor import RuntimeReport
+        from repro.util.errors import SimulationError
+
+        clean = RuntimeReport(1.0, 10, 1)
+        clean.raise_on_errors()
+        bad = RuntimeReport(1.0, 10, 1, errors=("oops",))
+        with pytest.raises(SimulationError, match="oops"):
+            bad.raise_on_errors()

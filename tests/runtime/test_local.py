@@ -1,0 +1,117 @@
+"""Tests for the thread-backed LocalCluster."""
+
+import threading
+
+import pytest
+
+from repro.runtime.local import CHUNK_BYTES, LocalCluster
+from repro.util.errors import ConfigError, SimulationError
+
+FAST = dict(nic_rate1=1e9, nic_rate2=1e9, backbone_rate=1e9)
+
+
+class TestEndpoints:
+    def test_send_recv_roundtrip(self):
+        cluster = LocalCluster(1, 1, **FAST)
+        payload = b"hello world" * 1000
+        out = {}
+
+        def rx():
+            out["data"] = cluster.receiver(0).recv(0)
+
+        t = threading.Thread(target=rx)
+        t.start()
+        cluster.sender(0).send(0, payload)
+        t.join(timeout=5)
+        assert out["data"] == payload
+
+    def test_multi_chunk_message(self):
+        cluster = LocalCluster(1, 1, **FAST)
+        payload = bytes(range(256)) * (CHUNK_BYTES // 64)  # several chunks
+        out = {}
+
+        def rx():
+            out["data"] = cluster.receiver(0).recv(0)
+
+        t = threading.Thread(target=rx)
+        t.start()
+        cluster.sender(0).send(0, payload)
+        t.join(timeout=5)
+        assert out["data"] == payload
+
+    def test_empty_message(self):
+        cluster = LocalCluster(1, 1, **FAST)
+        out = {}
+
+        def rx():
+            out["data"] = cluster.receiver(0).recv(0)
+
+        t = threading.Thread(target=rx)
+        t.start()
+        cluster.sender(0).send(0, b"")
+        t.join(timeout=5)
+        assert out["data"] == b""
+
+    def test_receiver_cannot_send(self):
+        cluster = LocalCluster(1, 1, **FAST)
+        with pytest.raises(SimulationError):
+            cluster.receiver(0).send(0, b"x")
+
+    def test_sender_cannot_recv(self):
+        cluster = LocalCluster(1, 1, **FAST)
+        with pytest.raises(SimulationError):
+            cluster.sender(0).recv(0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigError):
+            LocalCluster(0, 1, **FAST)
+
+
+class TestBarrier:
+    def test_all_ranks_participate(self):
+        cluster = LocalCluster(2, 2, **FAST)
+        passed = []
+        lock = threading.Lock()
+
+        def party(ep):
+            ep.barrier()
+            with lock:
+                passed.append(ep.index)
+
+        threads = [
+            threading.Thread(target=party, args=(cluster.sender(i),))
+            for i in range(2)
+        ] + [
+            threading.Thread(target=party, args=(cluster.receiver(i),))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(passed) == 4
+
+
+class TestShaping:
+    def test_transfer_paced_by_nic(self):
+        import time
+
+        # 1 MB at 5 MB/s NIC with small burst -> >= ~0.15 s.
+        cluster = LocalCluster(
+            1, 1, nic_rate1=5e6, nic_rate2=1e9, backbone_rate=1e9,
+            burst=64 * 1024,
+        )
+        payload = b"x" * 1_000_000
+        out = {}
+
+        def rx():
+            out["data"] = cluster.receiver(0).recv(0)
+
+        t = threading.Thread(target=rx)
+        t.start()
+        start = time.perf_counter()
+        cluster.sender(0).send(0, payload)
+        t.join(timeout=10)
+        elapsed = time.perf_counter() - start
+        assert out["data"] == payload
+        assert elapsed >= 0.1

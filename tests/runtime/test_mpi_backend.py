@@ -1,0 +1,76 @@
+"""Tests for the mpi4py backend's MPI-independent pieces."""
+
+import pytest
+
+from repro.core.oggp import oggp
+from repro.graph.bipartite import BipartiteGraph
+from repro.runtime.mpi_backend import _require_mpi, slice_plan
+from repro.util.errors import SimulationError
+
+
+def build_case():
+    g = BipartiteGraph.from_edges(
+        [(0, 0, 1000), (0, 1, 700), (1, 0, 500), (1, 1, 1200)]
+    )
+    sizes = {e.id: int(e.weight) for e in g.edges_sorted()}
+    return g, sizes
+
+
+class TestSlicePlan:
+    def test_chunks_cover_each_payload_exactly(self):
+        g, sizes = build_case()
+        sched = oggp(g, k=2, beta=300.0)  # force preemption
+        plans = slice_plan(sched, sizes)
+        covered = {eid: [] for eid in sizes}
+        for plan in plans:
+            for eid, _src, _dst, lo, hi in plan:
+                covered[eid].append((lo, hi))
+        for eid, ranges in covered.items():
+            ranges.sort()
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == sizes[eid]
+            for (a, b), (c, d) in zip(ranges, ranges[1:]):
+                assert b == c, "chunks must be contiguous"
+
+    def test_plan_matches_step_structure(self):
+        g, sizes = build_case()
+        sched = oggp(g, k=2, beta=100.0)
+        plans = slice_plan(sched, sizes)
+        assert len(plans) == sched.num_steps
+        for plan, step in zip(plans, sched.steps):
+            assert len(plan) == len(step.transfers)
+
+    def test_unscheduled_payload_detected(self):
+        g, sizes = build_case()
+        sched = oggp(g, k=2, beta=100.0)
+        extra = dict(sizes)
+        extra[max(sizes) + 99] = 500  # payload the schedule never ships
+        with pytest.raises(SimulationError):
+            slice_plan(sched, extra)
+
+    def test_oversized_payload_absorbed_by_final_chunk(self):
+        # The final chunk takes the remainder, so a size mismatch on a
+        # *scheduled* edge self-heals (timing skews, bytes complete).
+        g, sizes = build_case()
+        sched = oggp(g, k=2, beta=100.0)
+        bigger = dict(sizes)
+        first = next(iter(bigger))
+        bigger[first] += 1000
+        plans = slice_plan(sched, bigger)
+        last_end = max(
+            hi for plan in plans for eid, _s, _d, _lo, hi in plan
+            if eid == first
+        )
+        assert last_end == bigger[first]
+
+
+class TestMpiGuard:
+    def test_missing_mpi4py_raises_cleanly(self):
+        try:
+            import mpi4py  # noqa: F401
+
+            pytest.skip("mpi4py present; guard path not reachable")
+        except ImportError:
+            pass
+        with pytest.raises(SimulationError, match="mpi4py is not installed"):
+            _require_mpi()

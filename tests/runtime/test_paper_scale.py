@@ -1,0 +1,64 @@
+"""Paper-scale runtime execution (10+10 ranks, real bytes), slow-marked."""
+
+import numpy as np
+import pytest
+
+from repro.core.oggp import oggp
+from repro.graph.bipartite import BipartiteGraph
+from repro.runtime import LocalCluster, run_bruteforce, run_scheduled
+
+
+@pytest.mark.slow
+class TestPaperScaleRuntime:
+    """The paper's 10x10 all-to-all, miniaturised volumes, real threads."""
+
+    def build(self, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        graph = BipartiteGraph()
+        payloads: dict[int, bytes] = {}
+        destinations: dict[int, tuple[int, int]] = {}
+        for i in range(10):
+            for j in range(10):
+                size = int(rng.integers(20_000, 60_000))
+                edge = graph.add_edge(i, j, size)
+                payloads[edge.id] = rng.integers(
+                    0, 256, size, dtype=np.uint8
+                ).tobytes()
+                destinations[edge.id] = (i, j)
+        return graph, payloads, destinations
+
+    def test_scheduled_and_bruteforce_move_everything(self):
+        graph, payloads, destinations = self.build()
+        k = 3
+        backbone = 400e6
+        nic = backbone / k
+        schedule = oggp(graph, k=k, beta=20_000.0)
+        schedule.validate(graph)
+
+        cluster = LocalCluster(10, 10, nic_rate1=nic, nic_rate2=nic,
+                               backbone_rate=backbone)
+        scheduled = run_scheduled(cluster, schedule, payloads, destinations)
+        scheduled.raise_on_errors()
+        assert scheduled.bytes_moved == sum(len(p) for p in payloads.values())
+
+        cluster = LocalCluster(10, 10, nic_rate1=nic, nic_rate2=nic,
+                               backbone_rate=backbone)
+        brute = run_bruteforce(cluster, payloads, destinations)
+        brute.raise_on_errors()
+        assert brute.bytes_moved == scheduled.bytes_moved
+
+    def test_heavy_preemption_reassembles(self):
+        graph, payloads, destinations = self.build(seed=7)
+        # Large beta forces coarse normalisation and multi-chunk edges.
+        schedule = oggp(graph, k=5, beta=15_000.0)
+        multi_chunk = sum(
+            1
+            for eid in payloads
+            if sum(1 for s in schedule.steps for t in s.transfers
+                   if t.edge_id == eid) > 1
+        )
+        assert multi_chunk > 0
+        cluster = LocalCluster(10, 10, nic_rate1=200e6, nic_rate2=200e6,
+                               backbone_rate=1e9)
+        report = run_scheduled(cluster, schedule, payloads, destinations)
+        report.raise_on_errors()

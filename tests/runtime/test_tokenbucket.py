@@ -1,0 +1,68 @@
+"""Tests for the token-bucket shaper."""
+
+import time
+
+import pytest
+
+from repro.runtime.tokenbucket import TokenBucket
+from repro.util.errors import ConfigError
+
+
+class TestTokenBucket:
+    def test_burst_available_immediately(self):
+        bucket = TokenBucket(rate=1000.0, burst=500.0)
+        assert bucket.try_acquire(500.0)
+        assert not bucket.try_acquire(100.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=100_000.0, burst=100.0)
+        assert bucket.try_acquire(100.0)
+        time.sleep(0.01)  # ~1000 tokens refilled
+        assert bucket.try_acquire(100.0)
+
+    def test_blocking_acquire_paces(self):
+        bucket = TokenBucket(rate=10_000.0, burst=100.0)
+        bucket.try_acquire(100.0)  # drain the burst
+        start = time.perf_counter()
+        bucket.acquire(500.0)  # needs ~0.05 s at 10k/s
+        elapsed = time.perf_counter() - start
+        assert elapsed >= 0.04
+
+    def test_acquire_within_burst_is_instant(self):
+        bucket = TokenBucket(rate=10.0, burst=1000.0)
+        start = time.perf_counter()
+        bucket.acquire(500.0)
+        assert time.perf_counter() - start < 0.02
+
+    def test_debt_allows_oversized_requests(self):
+        bucket = TokenBucket(rate=100_000.0, burst=10.0)
+        waited = bucket.acquire(1000.0)  # 100x the burst
+        assert waited >= (1000.0 - 10.0) / 100_000.0 * 0.5
+        assert bucket.available <= bucket.burst
+
+    def test_rate_approximately_enforced(self):
+        rate = 200_000.0
+        bucket = TokenBucket(rate=rate, burst=1000.0)
+        bucket.try_acquire(1000.0)
+        total = 10_000.0
+        start = time.perf_counter()
+        for _ in range(10):
+            bucket.acquire(total / 10)
+        elapsed = time.perf_counter() - start
+        assert elapsed >= total / rate * 0.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=1, burst=0)
+        bucket = TokenBucket(rate=1, burst=1)
+        with pytest.raises(ConfigError):
+            bucket.acquire(-1)
+        with pytest.raises(ConfigError):
+            bucket.try_acquire(-1)
+
+    def test_zero_amount(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.acquire(0.0) == 0.0

@@ -1,0 +1,47 @@
+"""Tests for timing helpers and the exception hierarchy."""
+
+import time
+
+import pytest
+
+from repro.util.errors import (
+    ConfigError,
+    GraphError,
+    MatchingError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.util.timing import Timer
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.laps == 2
+        assert t.elapsed >= 0.015
+        assert t.mean == pytest.approx(t.elapsed / 2)
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert t.laps == 0
+        assert t.mean == 0.0
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [GraphError, MatchingError, ScheduleError, SimulationError, ConfigError],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+        with pytest.raises(ReproError):
+            raise cls("x")

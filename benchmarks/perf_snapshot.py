@@ -1,0 +1,129 @@
+"""Machine-readable algorithm benchmark: ``BENCH_algorithms.json``.
+
+Times the schedulers (GGP, OGGP and the two baselines) over a grid of
+instance sizes and writes one JSON document mapping ``algorithm x size``
+to wall-time and schedule-quality numbers.  All measurements flow
+through the :mod:`repro.obs` metrics registry — the JSON rows are
+derived from a registry snapshot, not from ad-hoc ``perf_counter``
+bookkeeping — so the file doubles as an end-to-end exercise of the
+telemetry stack.
+
+Run it directly (it is a script, not a pytest benchmark)::
+
+    PYTHONPATH=src python benchmarks/perf_snapshot.py
+    PYTHONPATH=src python benchmarks/perf_snapshot.py --sizes 5 10 --repeats 2
+
+The committed ``BENCH_algorithms.json`` at the repo root was produced
+with the defaults; regenerate it after performance-relevant changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import obs
+from repro.core.baselines import greedy_schedule, list_schedule
+from repro.core.bounds import evaluation_ratio, lower_bound
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.graph.generators import random_bipartite
+
+ALGORITHMS = {
+    "ggp": lambda graph, k, beta: ggp(graph, k, beta),
+    "oggp": lambda graph, k, beta: oggp(graph, k, beta),
+    "greedy": lambda graph, k, beta: greedy_schedule(graph, k, beta),
+    "list": lambda graph, k, beta: list_schedule(graph, k, beta),
+}
+
+#: Default per-side sizes; 20 is the paper's simulation scale.
+DEFAULT_SIZES = (5, 10, 20)
+
+
+def snapshot_rows(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    repeats: int = 3,
+    k: int = 10,
+    beta: float = 1.0,
+    seed: int = 12345,
+) -> list[dict]:
+    """One row per (algorithm, size), measured via the metrics registry."""
+    rows: list[dict] = []
+    for size in sizes:
+        instances = [
+            random_bipartite(
+                seed + draw, max_side=size, max_edges=size * size
+            )
+            for draw in range(repeats)
+        ]
+        k_eff = min(k, size)
+        bounds = [lower_bound(g, k_eff, beta) for g in instances]
+        for name, algorithm in ALGORITHMS.items():
+            with obs.observed() as (registry, _tracer):
+                timer = registry.timer(f"bench.{name}")
+                ratios = registry.histogram(f"bench.{name}.evaluation_ratio")
+                for graph, bound in zip(instances, bounds):
+                    with timer:
+                        schedule = algorithm(graph, k_eff, beta)
+                    ratios.observe(evaluation_ratio(schedule.cost, bound))
+                snap = registry.snapshot()
+            timing = snap[f"bench.{name}"]
+            quality = snap[f"bench.{name}.evaluation_ratio"]
+            rows.append(
+                {
+                    "algorithm": name,
+                    "max_side": size,
+                    "repeats": repeats,
+                    "k": k_eff,
+                    "beta": beta,
+                    "wall_time_mean_s": timing["mean"],
+                    "wall_time_max_s": timing["max"],
+                    "evaluation_ratio_mean": quality["mean"],
+                    "evaluation_ratio_max": quality["max"],
+                }
+            )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="per-side instance sizes to benchmark",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--beta", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=12345)
+    parser.add_argument(
+        "--out", default="BENCH_algorithms.json",
+        help="output path (default: ./BENCH_algorithms.json)",
+    )
+    args = parser.parse_args(argv)
+    rows = snapshot_rows(
+        sizes=tuple(args.sizes),
+        repeats=args.repeats,
+        k=args.k,
+        beta=args.beta,
+        seed=args.seed,
+    )
+    doc = {
+        "benchmark": "algorithms",
+        "config": {
+            "sizes": args.sizes,
+            "repeats": args.repeats,
+            "k": args.k,
+            "beta": args.beta,
+            "seed": args.seed,
+        },
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

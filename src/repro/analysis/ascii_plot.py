@@ -6,7 +6,7 @@ the crossover sits) without any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, Tuple
 
 
 def ascii_plot(
@@ -67,4 +67,29 @@ def ascii_plot(
         f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
     )
     lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    value_format: str = "{:>10.6g}",
+) -> str:
+    """Horizontal bar chart: one ``label  value  bar`` line per item.
+
+    Bars are scaled to the largest value; zero/negative values get no
+    bar.  Used by the profiler's flame summary and handy for any
+    label -> magnitude breakdown.
+    """
+    if not items:
+        return "(no data)"
+    label_width = max(len(label) for label, _ in items)
+    peak = max((v for _, v in items if v > 0), default=0.0)
+    lines = []
+    for label, value in items:
+        filled = round(value / peak * width) if peak > 0 and value > 0 else 0
+        bar = "#" * filled
+        lines.append(
+            f"{label:<{label_width}}  {value_format.format(value)}  {bar}"
+        )
     return "\n".join(lines)

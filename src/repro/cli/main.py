@@ -10,6 +10,13 @@ Subcommands::
     kpbs simulate --k 3 --max-mb 60 [--seed 7]
                                       one-shot testbed comparison
     kpbs demo                         the paper's Figure 2 worked example
+    kpbs stats profile.json [--trace t.json]
+                                      pretty-print a saved metrics/trace file
+
+``run``, ``schedule``, ``simulate``, ``report`` and ``demo`` all accept
+``--profile out.json`` (metrics-registry snapshot) and ``--trace
+out.trace.json`` (Chrome trace-event JSON, loadable in chrome://tracing
+or Perfetto); see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.bounds import evaluation_ratio, lower_bound
 from repro.core.ggp import ggp
 from repro.core.oggp import oggp
@@ -85,11 +93,15 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     schedule = algorithm(graph, k=args.k, beta=args.beta)
     schedule.validate(graph)
     bound = lower_bound(graph, args.k, args.beta)
+    ratio = evaluation_ratio(schedule.cost, bound)
+    metrics = obs.metrics()
+    metrics.gauge("schedule.cost").set(schedule.cost)
+    metrics.gauge("schedule.lower_bound").set(bound)
+    metrics.gauge("schedule.evaluation_ratio").set(ratio)
+    metrics.gauge("schedule.steps").set(schedule.num_steps)
+    metrics.gauge("schedule.preemptions").set(schedule.num_preemptions)
     print(schedule.describe())
-    print(
-        f"lower bound {bound:.6g}, evaluation ratio "
-        f"{evaluation_ratio(schedule.cost, bound):.4f}"
-    )
+    print(f"lower bound {bound:.6g}, evaluation ratio {ratio:.4f}")
     if args.gantt:
         from repro.analysis.gantt import gantt_sync
 
@@ -108,7 +120,13 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         if args.gantt:
             print(gantt_async(relaxed))
     if args.output:
-        Path(args.output).write_text(schedule.to_json())
+        # Schedule dict plus derived quality keys; Schedule.from_dict and
+        # `kpbs verify` read only k/beta/steps and ignore the extras.
+        doc = schedule.to_dict()
+        doc["cost"] = schedule.cost
+        doc["lower_bound"] = bound
+        doc["evaluation_ratio"] = ratio
+        Path(args.output).write_text(json.dumps(doc))
         print(f"wrote {args.output}")
     return 0
 
@@ -188,6 +206,77 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Columns of the ``kpbs stats`` table, pulled from each metric's dict.
+_STATS_COLUMNS = (
+    "value", "count", "total", "mean", "min", "p50", "p95", "max",
+    "elapsed", "laps",
+)
+
+
+def _stats_table(snapshot: dict) -> str:
+    """Aligned table for a metrics-registry snapshot dict."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        row: list[object] = [name, entry.get("type", "?")]
+        for field in _STATS_COLUMNS:
+            value = entry.get(field)
+            row.append("" if value is None else value)
+        rows.append(row)
+    return format_table(("metric", "type") + _STATS_COLUMNS, rows, floatfmt=".6g")
+
+
+def _load_json(path: str, what: str) -> object:
+    p = Path(path)
+    if not p.is_file():
+        raise ReproError(f"{what} file not found: {path}")
+    try:
+        return json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print saved --profile / --trace files."""
+    if not args.profile and not args.trace:
+        raise ReproError("nothing to show: pass a profile JSON and/or --trace")
+    if args.profile:
+        snapshot = _load_json(args.profile, "profile")
+        if not isinstance(snapshot, dict) or not all(
+            isinstance(v, dict) and "type" in v for v in snapshot.values()
+        ):
+            raise ReproError(
+                f"{args.profile} is not a metrics snapshot "
+                "(expected the JSON written by --profile)"
+            )
+        if snapshot:
+            print(_stats_table(snapshot))
+        else:
+            print("(no metrics recorded)")
+    if args.trace:
+        trace = _load_json(args.trace, "trace")
+        if not isinstance(trace, dict):
+            raise ReproError(f"{args.trace} is not a Chrome trace document")
+        records = obs.records_from_chrome(trace)
+        if args.profile:
+            print()
+        print(obs.flame_summary(records))
+    return 0
+
+
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--profile", dest="profile_out", metavar="FILE",
+        help="write a metrics-registry JSON snapshot here",
+    )
+    p.add_argument(
+        "--trace", dest="trace_out", metavar="FILE",
+        help="write Chrome trace-event JSON here (chrome://tracing, Perfetto)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``kpbs`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -215,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--repeats", type=int, default=None, help="TCP repeats (figs 10/11)")
     p.add_argument("--csv", type=str, default=None, help="also write rows to CSV")
+    _add_observability_args(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("schedule", help="schedule a traffic matrix")
@@ -229,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--relax", action="store_true",
         help="also compute the barrier-free (asynchronous) makespan",
     )
+    _add_observability_args(p)
     p.set_defaults(fn=_cmd_schedule)
 
     p = sub.add_parser(
@@ -239,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiments to include (default: all)",
     )
     p.add_argument("--out", help="write the report here (default: stdout)")
+    _add_observability_args(p)
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("verify", help="verify a schedule JSON against a matrix")
@@ -252,10 +344,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-mb", type=float, default=60.0)
     p.add_argument("--beta", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=0)
+    _add_observability_args(p)
     p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser("demo", help="the paper's Figure 2 worked example")
+    _add_observability_args(p)
     p.set_defaults(fn=_cmd_demo)
+
+    p = sub.add_parser(
+        "stats", help="pretty-print saved --profile / --trace files"
+    )
+    p.add_argument(
+        "profile", nargs="?",
+        help="metrics snapshot JSON written by --profile",
+    )
+    p.add_argument(
+        "--trace", help="Chrome trace JSON written by --trace (flame summary)"
+    )
+    p.set_defaults(fn=_cmd_stats)
 
     return parser
 
@@ -264,8 +370,23 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    profile_out = getattr(args, "profile_out", None)
+    trace_out = getattr(args, "trace_out", None)
     try:
-        return args.fn(args)
+        if not (profile_out or trace_out):
+            return args.fn(args)
+        with obs.observed() as (registry, tracer):
+            code = args.fn(args)
+        if profile_out:
+            path = Path(profile_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(registry.to_json())
+            print(f"wrote {profile_out}")
+        if trace_out:
+            Path(trace_out).parent.mkdir(parents=True, exist_ok=True)
+            obs.write_chrome_trace(trace_out, tracer)
+            print(f"wrote {trace_out}")
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -20,6 +20,7 @@ the final chunk is affected).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.graph.bipartite import BipartiteGraph, EdgeKind
 from repro.core.normalize import normalize_weights
 from repro.core.regularize import regularize
@@ -64,26 +65,53 @@ def ggp(
     if graph.is_empty():
         return Schedule([], k=k, beta=beta)
 
-    problem = normalize_weights(graph, beta)
-    reg = regularize(problem.graph, k)
-    j = reg.graph  # regularize copies; safe to consume
+    metrics = obs.metrics()
+    with obs.phase(
+        "ggp",
+        left=graph.num_left,
+        right=graph.num_right,
+        edges=graph.num_edges,
+        k=k,
+        beta=beta,
+        matching=matching,
+    ) as root:
+        with obs.phase("ggp.normalize"):
+            problem = normalize_weights(graph, beta)
+        with obs.phase("ggp.regularize"):
+            reg = regularize(problem.graph, k)
+        j = reg.graph  # regularize copies; safe to consume
 
-    remaining = dict(problem.original_weights)
-    scale = problem.scale
-    steps: list[Step] = []
-    for m, peel in peel_weight_regular(j, matching=matching):
-        chunk = float(peel) * scale
-        transfers = []
-        for edge in m.edges():
-            if edge.kind is not EdgeKind.ORIGINAL:
-                continue
-            amount = min(chunk, remaining[edge.id])
-            # Round-up arithmetic guarantees amount > 0 (the inflation is
-            # strictly less than one chunk), but guard against pathology.
-            if amount <= 0:  # pragma: no cover
-                continue
-            remaining[edge.id] -= amount
-            transfers.append(Transfer(edge.id, edge.left, edge.right, amount))
-        if transfers:
-            steps.append(Step(transfers, duration=max(t.amount for t in transfers)))
+        remaining = dict(problem.original_weights)
+        scale = problem.scale
+        steps: list[Step] = []
+        peels = dropped = 0
+        chunk_sizes = metrics.histogram("ggp.chunk_size")
+        with obs.phase("ggp.peel"):
+            for m, peel in peel_weight_regular(j, matching=matching):
+                peels += 1
+                chunk = float(peel) * scale
+                chunk_sizes.observe(chunk)
+                transfers = []
+                for edge in m.edges():
+                    if edge.kind is not EdgeKind.ORIGINAL:
+                        continue
+                    amount = min(chunk, remaining[edge.id])
+                    # Round-up arithmetic guarantees amount > 0 (the inflation is
+                    # strictly less than one chunk), but guard against pathology.
+                    if amount <= 0:  # pragma: no cover
+                        continue
+                    remaining[edge.id] -= amount
+                    transfers.append(Transfer(edge.id, edge.left, edge.right, amount))
+                if transfers:
+                    steps.append(
+                        Step(transfers, duration=max(t.amount for t in transfers))
+                    )
+                else:
+                    # Virtual-only matching: ships no real data, dropped.
+                    dropped += 1
+        metrics.counter("ggp.calls").inc()
+        metrics.counter("ggp.peels").inc(peels)
+        metrics.counter("ggp.steps").inc(len(steps))
+        metrics.counter("ggp.dropped_virtual_steps").inc(dropped)
+        root.set(peels=peels, steps=len(steps), dropped_virtual_steps=dropped)
     return Schedule(steps, k=k, beta=beta)

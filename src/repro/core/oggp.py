@@ -13,6 +13,7 @@ particular matching choice.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.graph.bipartite import BipartiteGraph
 from repro.core.ggp import ggp
 from repro.core.schedule import Schedule
@@ -25,4 +26,10 @@ def oggp(graph: BipartiteGraph, k: int, beta: float) -> Schedule:
     >>> g = paper_figure2_graph()
     >>> oggp(g, k=3, beta=1.0).validate(g)
     """
-    return ggp(graph, k=k, beta=beta, matching="bottleneck")
+    with obs.phase("oggp", k=k, beta=beta) as root:
+        schedule = ggp(graph, k=k, beta=beta, matching="bottleneck")
+        root.set(steps=schedule.num_steps)
+    metrics = obs.metrics()
+    metrics.counter("oggp.calls").inc()
+    metrics.counter("oggp.steps").inc(schedule.num_steps)
+    return schedule

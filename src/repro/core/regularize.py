@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.graph.bipartite import BipartiteGraph, EdgeKind, NodeKind, Number
 from repro.util.errors import GraphError
 
@@ -148,6 +149,22 @@ def regularize(graph: BipartiteGraph, k: int) -> RegularizationResult:
         dropped_right=dropped_right,
     )
     result.validate()
+
+    # Virtual-structure accounting: how much scaffolding Proposition 1's
+    # construction added on top of the real pattern.
+    metrics = obs.metrics()
+    metrics.counter("regularize.calls").inc()
+    metrics.counter("regularize.filler_edges").inc(filler_count)
+    metrics.counter("regularize.deficiency_edges").inc(deficiency_count)
+    metrics.counter("regularize.added_left_nodes").inc(j.num_left - n1)
+    metrics.counter("regularize.added_right_nodes").inc(j.num_right - n2)
+    metrics.histogram("regularize.virtual_edge_fraction").observe(
+        (filler_count + deficiency_count) / j.num_edges
+    )
+    # Proposition-1 invariant, by construction: a perfect matching of J
+    # has n1' + n2' - k_eff edges, of which at most k_eff are original.
+    metrics.gauge("regularize.k_eff").set(k_eff)
+    metrics.gauge("regularize.target_weight").set(float(target))
     return result
 
 

@@ -181,6 +181,18 @@ class Schedule:
         """Largest number of simultaneous transfers in any step."""
         return max((len(s) for s in self.steps), default=0)
 
+    @property
+    def num_preemptions(self) -> int:
+        """Chunk appearances beyond each message's first.
+
+        A message scheduled in ``c`` steps was preempted ``c - 1``
+        times; this sums that over all messages — 0 means every message
+        ships in one piece.
+        """
+        chunks = sum(len(s) for s in self.steps)
+        distinct = len({t.edge_id for s in self.steps for t in s.transfers})
+        return chunks - distinct
+
     def transferred_per_edge(self) -> dict[int, float]:
         """Map ``edge_id -> total amount shipped`` over the schedule."""
         totals: dict[int, float] = {}

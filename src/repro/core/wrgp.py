@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Iterator, Literal
 
+from repro import obs
 from repro.graph.bipartite import BipartiteGraph, Number
 from repro.core.schedule import Schedule, Step, Transfer
 from repro.matching.base import Matching
@@ -60,6 +61,9 @@ def peel_weight_regular(
             f"weight-regular graph must be square, got {graph.num_left} left "
             f"vs {graph.num_right} right nodes"
         )
+    metrics = obs.metrics()
+    peel_counter = metrics.counter("wrgp.peels")
+    peel_sizes = metrics.histogram("wrgp.peel_size")
     while not graph.is_empty():
         if matching == "bottleneck":
             m = bottleneck_matching(graph, require="perfect")
@@ -75,6 +79,8 @@ def peel_weight_regular(
         peel = m.min_weight()
         if peel <= 0:  # pragma: no cover - positive weights guarantee this
             raise GraphError(f"non-positive peel amount {peel!r}")
+        peel_counter.inc()
+        peel_sizes.observe(float(peel))
         yield m, peel
         for edge in m.edges():
             graph.decrease_weight(edge.id, peel)
@@ -103,14 +109,18 @@ def wrgp(
     work.remove_isolated_nodes()
     k = max(1, min(work.num_left, work.num_right))
     steps = []
-    for m, peel in peel_weight_regular(work, matching=matching):
-        steps.append(
-            Step(
-                (
-                    Transfer(e.id, e.left, e.right, float(peel))
-                    for e in m.edges()
-                ),
-                duration=float(peel),
+    with obs.phase(
+        "wrgp", edges=work.num_edges, matching=matching, beta=beta
+    ) as root:
+        for m, peel in peel_weight_regular(work, matching=matching):
+            steps.append(
+                Step(
+                    (
+                        Transfer(e.id, e.left, e.right, float(peel))
+                        for e in m.edges()
+                    ),
+                    duration=float(peel),
+                )
             )
-        )
+        root.set(steps=len(steps))
     return Schedule(steps, k=k, beta=beta)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.analysis.stats import SeriesStats, summarize
 from repro.core.bounds import evaluation_ratio, lower_bound
 from repro.core.ggp import ggp
@@ -66,6 +67,7 @@ def _measure_chunk(
     streams = spawn_streams(config.seed + point_index, stop)[start:stop]
     ggp_ratios: list[float] = []
     oggp_ratios: list[float] = []
+    metrics = obs.metrics()
     for rng in streams:
         graph = random_bipartite(
             rng,
@@ -76,12 +78,28 @@ def _measure_chunk(
         )
         k_draw = k if k is not None else int(rng.integers(1, config.max_side + 1))
         bound = lower_bound(graph, k_draw, beta)
-        ggp_ratios.append(
-            evaluation_ratio(ggp(graph, k_draw, beta).cost, bound)
-        )
-        oggp_ratios.append(
-            evaluation_ratio(oggp(graph, k_draw, beta).cost, bound)
-        )
+        schedules = {
+            "ggp": ggp(graph, k_draw, beta),
+            "oggp": oggp(graph, k_draw, beta),
+        }
+        ggp_ratios.append(evaluation_ratio(schedules["ggp"].cost, bound))
+        oggp_ratios.append(evaluation_ratio(schedules["oggp"].cost, bound))
+        if obs.enabled():
+            # Derived quality metrics per draw; the paper's headline
+            # numbers become registry histograms a profile run can dump.
+            metrics.counter("experiment.draws").inc()
+            for algo, schedule in schedules.items():
+                metrics.histogram(f"experiment.{algo}.cost").observe(schedule.cost)
+                metrics.histogram(f"experiment.{algo}.lower_bound").observe(bound)
+                metrics.histogram(f"experiment.{algo}.evaluation_ratio").observe(
+                    evaluation_ratio(schedule.cost, bound)
+                )
+                metrics.histogram(f"experiment.{algo}.steps").observe(
+                    schedule.num_steps
+                )
+                metrics.histogram(f"experiment.{algo}.preemptions").observe(
+                    schedule.num_preemptions
+                )
     return ggp_ratios, oggp_ratios
 
 
@@ -100,6 +118,12 @@ def measure_ratios(
     order, on sub-sampling draws, or on ``processes`` — the draws are
     embarrassingly parallel and ``processes > 1`` fans them out over a
     multiprocessing pool (useful for paper-fidelity 100k-draw runs).
+
+    When :mod:`repro.obs` is enabled, per-draw quality metrics (cost,
+    lower bound, evaluation ratio, steps, preemptions) accumulate in
+    the active registry — but only for ``processes == 1``: pool workers
+    are separate processes whose registries are discarded, so profile
+    with a single process.
     """
     if processes <= 1 or config.draws < 4:
         g, o = _measure_chunk((config, k, beta, point_index, 0, config.draws))

@@ -22,6 +22,7 @@ from __future__ import annotations
 from itertools import groupby
 from typing import Literal
 
+from repro import obs
 from repro.graph.bipartite import BipartiteGraph
 from repro.matching.base import Matching
 from repro.matching.hopcroft_karp import hopcroft_karp
@@ -44,6 +45,8 @@ def bottleneck_matching(
     Returns an empty matching for an empty graph (cardinality 0 is
     trivially both maximum and perfect).
     """
+    metrics = obs.metrics()
+    metrics.counter("matching.bottleneck.calls").inc()
     if graph.is_empty():
         if require == "perfect" and (graph.num_left or graph.num_right):
             raise MatchingError("graph with nodes but no edges has no perfect matching")
@@ -69,11 +72,14 @@ def bottleneck_matching(
     adj: dict[int, list] = {u: [] for u in graph.left_nodes()}
     pair_left: dict = {}
     pair_right: dict = {}
+    probes = 0
     for _, group in groupby(by_weight, key=lambda e: e.weight):
+        probes += 1
         for edge in sorted(group, key=lambda e: e.id):
             adj[edge.left].append(edge)
         hopcroft_karp_core(adj, pair_left, pair_right)
         if len(pair_left) == target:
+            metrics.counter("matching.bottleneck.threshold_probes").inc(probes)
             return Matching(pair_left.values())
 
     if require == "perfect":

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Collection
 
+from repro import obs
 from repro.graph.bipartite import BipartiteGraph, Edge
 from repro.matching.base import Matching
 
@@ -48,6 +49,7 @@ def hopcroft_karp(
 
     Returns a new :class:`Matching`; inputs are not mutated.
     """
+    obs.metrics().counter("matching.hk.calls").inc()
     allowed_set = None if allowed is None else set(allowed)
 
     # Deterministic adjacency: left nodes ascending, edges by id.
@@ -146,8 +148,17 @@ def hopcroft_karp_core(
                 stack.pop()
         return False
 
+    # Phase/augmentation counts accumulate locally (the loops are the
+    # hot path) and post to the registry once per call.
+    bfs_phases = 0
+    augmented = 0
     while bfs():
+        bfs_phases += 1
         ptr = {u: 0 for u in lefts}
         for u in lefts:
             if u not in pair_left:
-                try_augment(u, ptr)
+                if try_augment(u, ptr):
+                    augmented += 1
+    metrics = obs.metrics()
+    metrics.counter("matching.hk.bfs_phases").inc(bfs_phases)
+    metrics.counter("matching.hk.augmenting_paths").inc(augmented)

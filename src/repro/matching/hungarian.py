@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.graph.bipartite import BipartiteGraph, Edge
 from repro.matching.base import Matching
 from repro.util.errors import MatchingError
@@ -54,30 +55,34 @@ def hungarian_perfect_matching(graph: BipartiteGraph) -> Matching:
             f"perfect matching impossible: {len(lefts)} left vs "
             f"{len(rights)} right nodes"
         )
+    metrics = obs.metrics()
+    metrics.counter("matching.hungarian.calls").inc()
     if not lefts:
         return Matching()
     n = len(lefts)
-    left_pos = {node: i for i, node in enumerate(lefts)}
-    right_pos = {node: j for j, node in enumerate(rights)}
+    metrics.histogram("matching.hungarian.size").observe(n)
+    with metrics.timer("matching.hungarian"), obs.span("matching.hungarian", n=n):
+        left_pos = {node: i for i, node in enumerate(lefts)}
+        right_pos = {node: j for j, node in enumerate(rights)}
 
-    # Score matrix: heaviest parallel edge per pair; "missing" sentinel
-    # far below any feasible total so a perfect matching avoids it.
-    total = float(graph.total_weight())
-    missing = -(total + 1.0) * (n + 1)
-    score = np.full((n, n), missing, dtype=float)
-    best_edge: dict[tuple[int, int], Edge] = {}
-    for edge in graph.edges_sorted():
-        i, j = left_pos[edge.left], right_pos[edge.right]
-        w = float(edge.weight)
-        if w > score[i, j]:
-            score[i, j] = w
-            best_edge[(i, j)] = edge
+        # Score matrix: heaviest parallel edge per pair; "missing" sentinel
+        # far below any feasible total so a perfect matching avoids it.
+        total = float(graph.total_weight())
+        missing = -(total + 1.0) * (n + 1)
+        score = np.full((n, n), missing, dtype=float)
+        best_edge: dict[tuple[int, int], Edge] = {}
+        for edge in graph.edges_sorted():
+            i, j = left_pos[edge.left], right_pos[edge.right]
+            w = float(edge.weight)
+            if w > score[i, j]:
+                score[i, j] = w
+                best_edge[(i, j)] = edge
 
-    assignment = _solve_max(score)
-    edges = []
-    for i, j in enumerate(assignment):
-        edge = best_edge.get((i, j))
-        if edge is None:
-            raise MatchingError("graph has no perfect matching")
-        edges.append(edge)
-    return Matching(edges)
+        assignment = _solve_max(score)
+        edges = []
+        for i, j in enumerate(assignment):
+            edge = best_edge.get((i, j))
+            if edge is None:
+                raise MatchingError("graph has no perfect matching")
+            edges.append(edge)
+        return Matching(edges)

@@ -13,6 +13,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro import obs
 from repro.core.ggp import ggp
 from repro.core.oggp import oggp
 from repro.core.schedule import Schedule
@@ -70,8 +71,11 @@ def run_redistribution(
     """Run one redistribution with the chosen method and measure time."""
     traffic = np.asarray(traffic_mbit, dtype=float)
     volume = float(traffic.sum())
+    metrics = obs.metrics()
     if method == "bruteforce":
-        result = simulate_bruteforce(spec, traffic, rng=rng, params=tcp_params)
+        with obs.phase("netsim.run", method=method, volume_mbit=volume):
+            result = simulate_bruteforce(spec, traffic, rng=rng, params=tcp_params)
+        metrics.counter("netsim.bruteforce_runs").inc()
         return RedistributionOutcome(
             method=method,
             total_time=result.total_time,
@@ -80,15 +84,18 @@ def run_redistribution(
         )
     if method not in ("ggp", "oggp"):
         raise ConfigError(f"unknown method {method!r}")
-    schedule = build_schedule(spec, traffic, method)
-    # Schedule amounts are seconds at flow_rate; convert back to Mbit.
-    result = simulate_schedule(
-        spec,
-        schedule,
-        volume_scale=spec.flow_rate,
-        rng=derive_rng(rng),
-        rate_jitter=rate_jitter,
-    )
+    with obs.phase("netsim.run", method=method, volume_mbit=volume) as root:
+        with obs.phase("netsim.build_schedule"):
+            schedule = build_schedule(spec, traffic, method)
+        # Schedule amounts are seconds at flow_rate; convert back to Mbit.
+        result = simulate_schedule(
+            spec,
+            schedule,
+            volume_scale=spec.flow_rate,
+            rng=derive_rng(rng),
+            rate_jitter=rate_jitter,
+        )
+        root.set(steps=result.num_steps, total_time=result.total_time)
     return RedistributionOutcome(
         method=method,
         total_time=result.total_time,

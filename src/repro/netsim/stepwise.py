@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.schedule import Schedule
 from repro.des import Barrier, Environment
 from repro.netsim.fairshare import FlowDemand, max_min_fair_rates
@@ -101,14 +102,30 @@ def simulate_schedule(
             if rank == 0:
                 step_end_times[i] = env.now
 
-    procs = [env.process(node(r)) for r in range(spec.n1)]
-    done = env.all_of(procs)
-    env.run(done)
+    with obs.phase(
+        "netsim.stepwise", steps=len(step_plans), parties=spec.n1, k=spec.k
+    ):
+        procs = [env.process(node(r)) for r in range(spec.n1)]
+        done = env.all_of(procs)
+        env.run(done)
 
     previous = 0.0
     for i, end in enumerate(step_end_times):
         step_durations.append(end - previous - spec.step_setup)
         previous = end
+
+    metrics = obs.metrics()
+    metrics.counter("netsim.runs").inc()
+    metrics.counter("netsim.steps").inc(len(step_plans))
+    step_hist = metrics.histogram("netsim.step_duration")
+    flows_hist = metrics.histogram("netsim.step_flows")
+    util_hist = metrics.histogram("netsim.backbone_utilization")
+    k = spec.k
+    for plan, duration in zip(step_plans, step_durations):
+        step_hist.observe(duration)
+        flows_hist.observe(len(plan))
+        util_hist.observe(len(plan) / k)
+    metrics.gauge("netsim.total_time").set(env.now)
 
     return StepwiseResult(
         total_time=env.now,

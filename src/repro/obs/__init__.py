@@ -1,0 +1,238 @@
+"""repro.obs — scheduler-wide observability (metrics + tracing).
+
+Zero-dependency telemetry for the K-PBS stack.  Two instruments:
+
+- a **metrics registry** (:class:`MetricsRegistry`) of counters,
+  gauges, histograms and accumulating timers, addressed by dotted
+  names and exportable to JSON/CSV;
+- a **span tracer** (:class:`Tracer`) recording nested, attributed
+  phases, exportable to Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto) and to an ASCII flame summary.
+
+Observability is **off by default** and costs ~nothing when off: the
+module-level accessors return shared null objects whose operations are
+no-ops, so instrumented code never branches.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observed() as (registry, tracer):
+        schedule = oggp(graph, k=3, beta=1.0)
+    print(registry.to_json())
+    obs.write_chrome_trace("run.trace.json", tracer)
+
+Instrumentation sites use the same module::
+
+    reg = obs.metrics()                  # active registry or null
+    with obs.phase("ggp.regularize"):    # span + accumulating timer
+        ...
+    reg.counter("ggp.peels").inc()
+
+The process-global state is what the CLI's ``--profile``/``--trace``
+flags toggle; library embedders can also pass explicit instances to
+:func:`observed`/:func:`enable` (e.g. one registry per request).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TimerMetric,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
+from repro.obs.tracer import _NULL_SPAN as _null_span
+
+__all__ = [
+    # state management
+    "enable",
+    "disable",
+    "enabled",
+    "observed",
+    "metrics",
+    "tracer",
+    # instrumentation primitives
+    "span",
+    "phase",
+    # classes
+    "MetricsRegistry",
+    "NullRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimerMetric",
+    "Tracer",
+    "NullTracer",
+    "SpanRecord",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    # exporters
+    "chrome_trace",
+    "write_chrome_trace",
+    "records_from_chrome",
+    "flame_summary",
+]
+
+#: Exporter names resolved lazily from :mod:`repro.obs.export` — that
+#: module pulls in the analysis layer (and transitively the schedule
+#: model), which itself imports util.timing -> obs; deferring the import
+#: keeps ``repro.obs`` cycle-free.
+_EXPORTS = frozenset(
+    ("chrome_trace", "write_chrome_trace", "records_from_chrome", "flame_summary")
+)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        from repro.obs import export
+
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+_lock = threading.Lock()
+_metrics: MetricsRegistry | None = None
+_tracer: Tracer | None = None
+
+
+def metrics() -> MetricsRegistry | NullRegistry:
+    """The active registry, or the shared null registry when disabled."""
+    active = _metrics
+    return active if active is not None else NULL_REGISTRY
+
+
+def tracer() -> Tracer | NullTracer:
+    """The active tracer, or the shared null tracer when disabled."""
+    active = _tracer
+    return active if active is not None else NULL_TRACER
+
+
+def enabled() -> bool:
+    """True when any observability (metrics or tracing) is active."""
+    return _metrics is not None or _tracer is not None
+
+
+def enable(
+    registry: MetricsRegistry | None = None,
+    trace: Tracer | None = None,
+) -> tuple[MetricsRegistry, Tracer]:
+    """Install process-global observability; returns the live pair.
+
+    Fresh instances are created when not supplied.  Prefer the scoped
+    :func:`observed` in tests and harnesses — ``enable`` suits
+    long-lived processes (a service turning telemetry on at startup).
+    """
+    global _metrics, _tracer
+    with _lock:
+        _metrics = registry if registry is not None else MetricsRegistry()
+        _tracer = trace if trace is not None else Tracer()
+        return _metrics, _tracer
+
+
+def disable() -> None:
+    """Turn all observability off (null objects take over)."""
+    global _metrics, _tracer
+    with _lock:
+        _metrics = None
+        _tracer = None
+
+
+@contextmanager
+def observed(
+    registry: MetricsRegistry | None = None,
+    trace: Tracer | None = None,
+):
+    """Enable observability for a ``with`` block; restores prior state.
+
+    Yields ``(registry, tracer)`` — fresh instances unless supplied —
+    so callers can export after the block::
+
+        with obs.observed() as (reg, tr):
+            run_everything()
+        Path("p.json").write_text(reg.to_json())
+    """
+    global _metrics, _tracer
+    with _lock:
+        previous = (_metrics, _tracer)
+        _metrics = registry if registry is not None else MetricsRegistry()
+        _tracer = trace if trace is not None else Tracer()
+        current = (_metrics, _tracer)
+    try:
+        yield current
+    finally:
+        with _lock:
+            _metrics, _tracer = previous
+
+
+def span(name: str, **attrs: object):
+    """A tracer span (no-op object when tracing is disabled)."""
+    active = _tracer
+    if active is None:
+        return _null_span
+    return active.span(name, **attrs)
+
+
+class _Phase:
+    """Span + same-named accumulating timer, opened and closed together."""
+
+    __slots__ = ("_span", "_timer")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        tr = _tracer
+        reg = _metrics
+        self._span = tr.span(name, **attrs) if tr is not None else _null_span
+        self._timer = reg.timer(name) if reg is not None else None
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to the underlying span."""
+        self._span.set(**attrs)
+
+    def __enter__(self) -> "_Phase":
+        self._span.__enter__()
+        if self._timer is not None:
+            self._timer.__enter__()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._timer is not None:
+            self._timer.__exit__(*exc)
+        self._span.__exit__(*exc)
+
+
+class _NullPhase:
+    """Shared no-op phase; the disabled fast path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_PHASE = _NullPhase()
+
+
+def phase(name: str, **attrs: object):
+    """One named pipeline phase: a span *and* a dotted-name timer.
+
+    The workhorse of the instrumented schedulers — ``with
+    obs.phase("ggp.regularize", edges=m):`` shows up both in the trace
+    timeline and as the ``ggp.regularize`` timer in the metrics
+    registry.  Returns a shared no-op when observability is off.
+    """
+    if _metrics is None and _tracer is None:
+        return _NULL_PHASE
+    return _Phase(name, attrs)

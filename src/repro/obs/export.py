@@ -1,0 +1,154 @@
+"""Exporters for recorded spans: Chrome trace-event JSON and ASCII flame.
+
+The Chrome format (one *complete event* per span, ``"ph": "X"``) loads
+directly into ``chrome://tracing`` and https://ui.perfetto.dev; every
+event carries ``name``/``cat``/``ph``/``ts``/``dur``/``pid``/``tid``
+plus the span attributes under ``args``.  Timestamps are microseconds
+from the tracer's epoch, per the trace-event spec.
+
+The flame summary aggregates spans by call path and renders an indented
+duration breakdown with :func:`repro.analysis.ascii_plot.ascii_bars` —
+a terminal-only answer to "which phase dominates?".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.ascii_plot import ascii_bars
+from repro.obs.tracer import SpanRecord, Tracer
+from repro.util.errors import ConfigError
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "records_from_chrome",
+    "flame_summary",
+]
+
+#: Category tag stamped on every exported event.
+TRACE_CATEGORY = "repro"
+
+
+def chrome_trace(
+    source: Tracer | Iterable[SpanRecord],
+    pid: int = 0,
+) -> dict:
+    """Chrome trace-event document for a tracer (or raw records)."""
+    records = source.records() if isinstance(source, Tracer) else list(source)
+    events = []
+    for r in records:
+        events.append(
+            {
+                "name": r.name,
+                "cat": TRACE_CATEGORY,
+                "ph": "X",
+                "ts": r.start * 1e6,
+                "dur": r.duration * 1e6,
+                "pid": pid,
+                "tid": r.thread_id,
+                "args": _jsonable(r.attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path,
+    source: Tracer | Iterable[SpanRecord],
+    pid: int = 0,
+) -> None:
+    """Serialise :func:`chrome_trace` to ``path``."""
+    Path(path).write_text(json.dumps(chrome_trace(source, pid=pid)))
+
+
+def _jsonable(attrs: Mapping) -> dict:
+    """Span attributes coerced to JSON-safe values."""
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def records_from_chrome(data: Mapping) -> list[SpanRecord]:
+    """Rebuild :class:`SpanRecord`s from a Chrome trace document.
+
+    Nesting (depth and path) is reconstructed per thread from interval
+    containment, so a trace written by :func:`write_chrome_trace` — or
+    any well-formed complete-event trace — round-trips into records the
+    flame summary can consume.
+    """
+    events = data.get("traceEvents")
+    if events is None:
+        raise ConfigError("not a Chrome trace: missing 'traceEvents'")
+    complete = [e for e in events if e.get("ph") == "X"]
+    records: list[SpanRecord] = []
+    by_tid: dict[int, list[dict]] = {}
+    for e in complete:
+        by_tid.setdefault(e.get("tid", 0), []).append(e)
+    for tid, group in by_tid.items():
+        # Parents start no later and end no earlier than their children;
+        # sorting by (start, -duration) visits parents first.
+        group.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: list[tuple[float, tuple[str, ...]]] = []  # (end_us, path)
+        for e in group:
+            start_us = float(e["ts"])
+            dur_us = float(e["dur"])
+            while stack and start_us >= stack[-1][0] - 1e-3:
+                stack.pop()
+            parent_path = stack[-1][1] if stack else ()
+            path = parent_path + (e["name"],)
+            records.append(
+                SpanRecord(
+                    name=e["name"],
+                    path=path,
+                    start=start_us / 1e6,
+                    duration=dur_us / 1e6,
+                    depth=len(path) - 1,
+                    thread_id=tid,
+                    attrs=dict(e.get("args", {})),
+                )
+            )
+            stack.append((start_us + dur_us, path))
+    records.sort(key=lambda r: (r.start, r.depth))
+    return records
+
+
+def flame_summary(
+    source: Tracer | Iterable[SpanRecord],
+    width: int = 40,
+) -> str:
+    """Indented per-path duration breakdown of the recorded spans.
+
+    Sibling frames are ordered by first occurrence; each line shows the
+    path's total seconds, call count, and a bar scaled to the busiest
+    frame.
+    """
+    records = source.records() if isinstance(source, Tracer) else list(source)
+    if not records:
+        return "(no spans recorded)"
+    totals: dict[tuple[str, ...], float] = {}
+    counts: dict[tuple[str, ...], int] = {}
+    first_seen: dict[tuple[str, ...], int] = {}
+    for i, r in enumerate(records):
+        totals[r.path] = totals.get(r.path, 0.0) + r.duration
+        counts[r.path] = counts.get(r.path, 0) + 1
+        first_seen.setdefault(r.path, i)
+
+    # Depth-first ordering: sort paths by the first-seen order of each
+    # of their prefixes, so children stay under their parent.
+    def sort_key(path: tuple[str, ...]):
+        return tuple(
+            first_seen.get(path[: i + 1], len(records)) for i in range(len(path))
+        )
+
+    items = []
+    for path in sorted(totals, key=sort_key):
+        label = "  " * (len(path) - 1) + path[-1] + f" (x{counts[path]})"
+        items.append((label, totals[path]))
+    return ascii_bars(items, width=width, value_format="{:>12.6f}s")

@@ -1,0 +1,533 @@
+"""Metrics registry: counters, gauges, histograms, accumulating timers.
+
+Zero-dependency, process-local instrumentation primitives addressed by
+dotted names (``"ggp.peels"``, ``"matching.hk.augmenting_paths"``, ...).
+A :class:`MetricsRegistry` hands out metric objects on first use
+(get-or-create); instrumented code never has to declare metrics up
+front.  Registries export to JSON and CSV and merge pairwise, so
+per-run registries can be pooled into one report.
+
+Disabled-path cost is the design constraint: when observability is off
+(the default), :data:`NULL_REGISTRY` stands in for a real registry and
+every operation collapses to an attribute lookup plus a no-op call —
+the schedulers stay within noise of their un-instrumented speed.
+
+Thread-safety: metric creation is locked; updates rely on the GIL
+(``+=`` on ints/floats, ``list.append``), which is exact for the
+CPython interpreter this project targets.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import threading
+import time
+from typing import Mapping
+
+from repro.util.errors import ConfigError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimerMetric",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+
+class Counter:
+    """Monotonically increasing integer/float count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        if amount < 0:
+            raise ConfigError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def merge_from(self, other: "Counter") -> None:
+        """Accumulate another counter's total into this one."""
+        self.value += other.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary."""
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """Last-written value (set semantics, not accumulation)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current level; overwrites the previous one."""
+        self.value = value
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Last writer wins: a set gauge overrides an unset one."""
+        if other.value is not None:
+            self.value = other.value
+
+    def reset(self) -> None:
+        self.value = None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary."""
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Sample distribution with nearest-rank percentiles.
+
+    Samples are kept verbatim (the workloads here observe at most a few
+    hundred thousand values per run); percentiles are exact, not
+    sketched.
+    """
+
+    __slots__ = ("name", "values")
+    kind = "histogram"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else math.nan
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ConfigError(f"percentile must be in [0, 100], got {p}")
+        if not self.values:
+            return math.nan
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Pool another histogram's samples into this one."""
+        self.values.extend(other.values)
+
+    def reset(self) -> None:
+        self.values = []
+
+    def to_dict(self, samples: bool = False) -> dict:
+        """JSON-compatible summary (count, total, mean, min/p50/p95/max).
+
+        With ``samples=True`` the raw observations are included too, so
+        the histogram round-trips exactly through
+        :meth:`MetricsRegistry.from_snapshot`.
+        """
+        if not self.values:
+            return {"type": self.kind, "count": 0}
+        out = {
+            "type": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
+        if samples:
+            out["samples"] = list(self.values)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class TimerMetric:
+    """Accumulating re-entrant stopwatch.
+
+    Usage::
+
+        t = TimerMetric()
+        with t:
+            do_work()
+        print(t.elapsed)
+
+    Repeated ``with`` blocks accumulate into :attr:`elapsed`; the number
+    of measured intervals is tracked in :attr:`laps`.  Unlike the
+    historical ``util.timing.Timer`` (which silently clobbered its start
+    mark), nested ``with`` blocks are supported: only the *outermost*
+    interval is accounted, so wall-clock time is never double-counted::
+
+        with t:          # counts
+            with t:      # nested: folded into the outer interval
+                inner()
+            outer()
+
+    Nesting depth is tracked per instance, not per thread — sharing one
+    timer across concurrently-running threads undercounts (the first
+    exit back to depth 0 closes the interval); give each thread its own
+    timer for concurrent sections.
+    """
+
+    __slots__ = ("name", "elapsed", "laps", "max_lap", "_depth", "_outer_start")
+    kind = "timer"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.elapsed = 0.0
+        self.laps = 0
+        self.max_lap = 0.0
+        self._depth = 0
+        self._outer_start = 0.0
+
+    def __enter__(self) -> "TimerMetric":
+        if self._depth == 0:
+            self._outer_start = time.perf_counter()
+        self._depth += 1
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._depth == 0:
+            raise ConfigError(f"timer {self.name!r} stopped more times than started")
+        self._depth -= 1
+        if self._depth == 0:
+            lap = time.perf_counter() - self._outer_start
+            self.elapsed += lap
+            self.laps += 1
+            if lap > self.max_lap:
+                self.max_lap = lap
+
+    # start()/stop() aliases for call sites where a with-block is awkward.
+    def start(self) -> "TimerMetric":
+        """Begin (or nest) an interval; pair with :meth:`stop`."""
+        return self.__enter__()
+
+    def stop(self) -> None:
+        """Close the innermost open interval."""
+        self.__exit__(None, None, None)
+
+    @property
+    def running(self) -> bool:
+        """True while at least one interval is open."""
+        return self._depth > 0
+
+    @property
+    def mean(self) -> float:
+        """Mean interval duration (0.0 when nothing was measured)."""
+        return self.elapsed / self.laps if self.laps else 0.0
+
+    def merge_from(self, other: "TimerMetric") -> None:
+        """Accumulate another timer's closed intervals into this one."""
+        self.elapsed += other.elapsed
+        self.laps += other.laps
+        if other.max_lap > self.max_lap:
+            self.max_lap = other.max_lap
+
+    def reset(self) -> None:
+        """Zero the accumulated state (open intervals are abandoned)."""
+        self.elapsed = 0.0
+        self.laps = 0
+        self.max_lap = 0.0
+        self._depth = 0
+        self._outer_start = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary."""
+        return {
+            "type": self.kind,
+            "elapsed": self.elapsed,
+            "laps": self.laps,
+            "mean": self.mean,
+            "max": self.max_lap,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimerMetric({self.name!r}, elapsed={self.elapsed:.6g}, "
+            f"laps={self.laps})"
+        )
+
+
+#: Columns of the CSV export, in order.
+_CSV_FIELDS = (
+    "name", "type", "value", "count", "total", "mean",
+    "min", "p50", "p95", "max", "elapsed", "laps",
+)
+
+
+class MetricsRegistry:
+    """Dotted-name keyed collection of metrics with export and merge.
+
+    One process-global default registry backs the :mod:`repro.obs`
+    module-level API; tests and embedders can instead inject their own
+    instance (``obs.observed(registry=MetricsRegistry())``).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, cls(name))
+        if not isinstance(metric, cls):
+            raise ConfigError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> TimerMetric:
+        """The accumulating timer called ``name``, created on first use."""
+        return self._get(name, TimerMetric)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def names(self, prefix: str = "") -> list[str]:
+        """Sorted metric names, optionally restricted to a dotted prefix."""
+        if not prefix:
+            return sorted(self._metrics)
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return sorted(
+            n for n in self._metrics if n == prefix or n.startswith(dotted)
+        )
+
+    def get(self, name: str):
+        """The metric called ``name`` or None (no creation)."""
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def clear(self) -> None:
+        """Drop every metric."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Export / merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self, samples: bool = False) -> dict[str, dict]:
+        """Name -> summary dict for every metric, sorted by name.
+
+        ``samples=True`` includes raw histogram observations (bigger,
+        but lossless — see :meth:`from_snapshot`).
+        """
+        out: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.to_dict(samples=samples)
+            else:
+                out[name] = metric.to_dict()
+        return out
+
+    def to_json(self, indent: int | None = 2, samples: bool = False) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(samples=samples), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Mapping]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` (or its JSON).
+
+        Counters, gauges and timers round-trip exactly.  Histograms
+        round-trip exactly when the snapshot was taken with
+        ``samples=True``; otherwise only the landmark values
+        (min/p50/p95/max) are re-observed, which preserves the extremes
+        but not count/total/mean — export with samples when exact
+        pooling matters.
+        """
+        reg = cls()
+        for name, summary in data.items():
+            kind = summary.get("type")
+            if kind == Counter.kind:
+                reg.counter(name).value = summary.get("value", 0)
+            elif kind == Gauge.kind:
+                reg.gauge(name).value = summary.get("value")
+            elif kind == TimerMetric.kind:
+                t = reg.timer(name)
+                t.elapsed = float(summary.get("elapsed", 0.0))
+                t.laps = int(summary.get("laps", 0))
+                t.max_lap = float(summary.get("max", 0.0))
+            elif kind == Histogram.kind:
+                h = reg.histogram(name)
+                if "samples" in summary:
+                    for v in summary["samples"]:
+                        h.observe(float(v))
+                else:
+                    for key in ("min", "p50", "p95", "max"):
+                        if key in summary:
+                            h.observe(float(summary[key]))
+            else:
+                raise ConfigError(f"metric {name!r} has unknown type {kind!r}")
+        return reg
+
+    def to_csv(self) -> str:
+        """The snapshot as CSV, one row per metric."""
+        import csv
+
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=_CSV_FIELDS, extrasaction="ignore")
+        writer.writeheader()
+        for name, summary in self.snapshot().items():
+            row = {"name": name, **summary}
+            row["type"] = summary["type"]
+            writer.writerow(row)
+        return buf.getvalue()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Pool ``other``'s metrics into this registry in place.
+
+        Same-named metrics must have the same type (ConfigError
+        otherwise); missing ones are created.
+        """
+        for name in other.names():
+            theirs = other.get(name)
+            mine = self._get(name, type(theirs))
+            mine.merge_from(theirs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({len(self)} metrics)"
+
+
+class _NullMetric:
+    """Answers every metric protocol with a no-op; shared singleton."""
+
+    __slots__ = ()
+    kind = "null"
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullMetric":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+    def start(self) -> "_NullMetric":
+        return self
+
+    def stop(self) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Registry stand-in used while observability is disabled.
+
+    Every accessor returns one shared no-op metric, so instrumented code
+    runs unconditionally without branching on an enabled flag.
+    """
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def timer(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def names(self, prefix: str = "") -> list[str]:
+        return []
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,164 @@
+"""Span tracer: nested, attributed wall-clock intervals.
+
+A *span* marks one phase of work (``with tracer.span("ggp.regularize",
+edges=m): ...``).  Spans nest — each thread keeps its own stack — and
+every closed span becomes an immutable :class:`SpanRecord` carrying its
+name, full ancestor path, start offset, duration, depth, thread id and
+attributes.  Records export to Chrome trace-event JSON and to an ASCII
+flame summary via :mod:`repro.obs.export`.
+
+When tracing is disabled, :data:`NULL_TRACER` hands out one shared
+no-op span object, so the hot-path cost of an un-traced ``with
+obs.span(...)`` is a couple of attribute lookups.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span.
+
+    ``start`` and ``duration`` are seconds relative to the tracer's
+    epoch (its construction time); ``path`` is the chain of ancestor
+    span names ending in this span's own name, which identifies the
+    frame in a flame view independent of timing.
+    """
+
+    name: str
+    path: tuple[str, ...]
+    start: float
+    duration: float
+    depth: int
+    thread_id: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class _Span:
+    """Context manager for one live span; append-on-exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_path")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._path: tuple[str, ...] = ()
+
+    def set(self, **attrs: object) -> None:
+        """Attach or update attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._path = (stack[-1]._path if stack else ()) + (self.name,)
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        end = time.perf_counter()
+        stack = self._tracer._stack()
+        # Tolerate exception-driven unwinding that skipped inner exits.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        self._tracer._append(
+            SpanRecord(
+                name=self.name,
+                path=self._path,
+                start=self._start - self._tracer.epoch,
+                duration=end - self._start,
+                depth=len(self._path) - 1,
+                thread_id=threading.get_ident(),
+                attrs=self.attrs,
+            )
+        )
+
+
+class Tracer:
+    """Collects :class:`SpanRecord`s from any number of threads."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def span(self, name: str, **attrs: object) -> _Span:
+        """A new span; use as a context manager."""
+        return _Span(self, name, attrs)
+
+    def records(self) -> list[SpanRecord]:
+        """Closed spans ordered by start time."""
+        with self._lock:
+            return sorted(self._records, key=lambda r: (r.start, r.depth))
+
+    def clear(self) -> None:
+        """Drop every recorded span."""
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class _NullSpan:
+    """Shared no-op span; the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer stand-in used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def records(self) -> list[SpanRecord]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()

@@ -17,6 +17,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.schedule import Schedule
 from repro.runtime.local import LocalCluster
 from repro.util.errors import SimulationError
@@ -112,6 +113,11 @@ def run_scheduled(
     received: dict[int, list[bytes]] = {eid: [] for eid in payloads}
     errors: list[str] = []
     errors_lock = threading.Lock()
+    # Per-sender (transfer, barrier-wait) seconds for every step; each
+    # rank owns its row, so no locking inside the worker loop.
+    sender_timings: dict[int, list[tuple[float, float]]] = {
+        r: [] for r in range(cluster.n1)
+    }
 
     def fail(msg: str) -> None:
         with errors_lock:
@@ -120,13 +126,17 @@ def run_scheduled(
     def sender_main(rank: int) -> None:
         try:
             ep = cluster.sender(rank)
+            timings = sender_timings[rank]
             for plan in plans:
+                t0 = time.perf_counter()
                 item = plan.get(rank)
                 if item is not None:
                     _eid, dst, chunk = item
                     if chunk:
                         ep.send(dst, chunk)
+                t1 = time.perf_counter()
                 ep.barrier()
+                timings.append((t1 - t0, time.perf_counter() - t1))
         except Exception as exc:  # propagate through the report
             fail(f"sender {rank}: {exc!r}")
             raise
@@ -157,12 +167,26 @@ def run_scheduled(
         threading.Thread(target=receiver_main, args=(r,), daemon=True)
         for r in range(cluster.n2)
     ]
-    start = time.perf_counter()
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    elapsed = time.perf_counter() - start
+    bytes_moved = sum(len(p) for p in payloads.values())
+    with obs.phase(
+        "runtime.run_scheduled", steps=len(plans), bytes=bytes_moved
+    ):
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+
+    metrics = obs.metrics()
+    metrics.counter("runtime.scheduled_runs").inc()
+    metrics.counter("runtime.bytes_moved").inc(bytes_moved)
+    transfer_hist = metrics.histogram("runtime.step_transfer_seconds")
+    barrier_hist = metrics.histogram("runtime.step_barrier_wait")
+    for timings in sender_timings.values():
+        for transfer_s, barrier_s in timings:
+            transfer_hist.observe(transfer_s)
+            barrier_hist.observe(barrier_s)
 
     for eid, parts in received.items():
         if b"".join(parts) != payloads[eid]:
@@ -171,7 +195,7 @@ def run_scheduled(
         del src, dst  # destinations kept for symmetry with run_bruteforce
     return RuntimeReport(
         total_seconds=elapsed,
-        bytes_moved=sum(len(p) for p in payloads.values()),
+        bytes_moved=bytes_moved,
         num_steps=len(plans),
         errors=tuple(errors),
     )
@@ -225,19 +249,25 @@ def run_bruteforce(
         threading.Thread(target=recv_flow, args=(eid,), daemon=True)
         for eid in payloads
     ]
-    start = time.perf_counter()
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    elapsed = time.perf_counter() - start
+    bytes_moved = sum(len(p) for p in payloads.values())
+    with obs.phase("runtime.run_bruteforce", flows=len(payloads), bytes=bytes_moved):
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+
+    metrics = obs.metrics()
+    metrics.counter("runtime.bruteforce_runs").inc()
+    metrics.counter("runtime.bytes_moved").inc(bytes_moved)
 
     for eid, payload in payloads.items():
         if received.get(eid) != payload:
             errors.append(f"edge {eid}: payload corrupted or incomplete")
     return RuntimeReport(
         total_seconds=elapsed,
-        bytes_moved=sum(len(p) for p in payloads.values()),
+        bytes_moved=bytes_moved,
         num_steps=1,
         errors=tuple(errors),
     )

@@ -1,48 +1,15 @@
-"""Lightweight wall-clock timing helpers for the experiment harness."""
+"""Wall-clock timing for the experiment harness.
+
+There is one timing API in this codebase: :class:`repro.obs.metrics.TimerMetric`.
+``Timer`` is kept as an alias so historical imports
+(``from repro.util.timing import Timer``) keep working; unlike the
+pre-observability implementation it is re-entrant — nested ``with``
+blocks fold into the outermost interval instead of silently clobbering
+the start mark.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from repro.obs.metrics import TimerMetric as Timer
 
-
-@dataclass
-class Timer:
-    """Accumulating stopwatch.
-
-    Usage::
-
-        t = Timer()
-        with t:
-            do_work()
-        print(t.elapsed)
-
-    Repeated ``with`` blocks accumulate into :attr:`elapsed`; the number of
-    measured intervals is tracked in :attr:`laps`.
-    """
-
-    elapsed: float = 0.0
-    laps: int = 0
-    _start: float | None = field(default=None, repr=False)
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        if self._start is None:  # pragma: no cover - defensive
-            return
-        self.elapsed += time.perf_counter() - self._start
-        self.laps += 1
-        self._start = None
-
-    @property
-    def mean(self) -> float:
-        """Mean interval duration (0.0 when nothing was measured)."""
-        return self.elapsed / self.laps if self.laps else 0.0
-
-    def reset(self) -> None:
-        """Zero the accumulated state."""
-        self.elapsed = 0.0
-        self.laps = 0
-        self._start = None
+__all__ = ["Timer"]

@@ -137,3 +137,81 @@ class TestSimulate:
         assert code == 0
         out = capsys.readouterr().out
         assert "bruteforce" in out and "oggp" in out and "gain" in out
+
+
+class TestObservabilityFlags:
+    def _matrix(self, tmp_path):
+        src = tmp_path / "m.json"
+        src.write_text(json.dumps([[10.0, 0.0], [5.0, 20.0]]))
+        return src
+
+    def test_schedule_profile_and_trace(self, tmp_path, capsys):
+        profile = tmp_path / "p.json"
+        trace = tmp_path / "t.trace.json"
+        code = main([
+            "schedule", "--input", str(self._matrix(tmp_path)), "--k", "2",
+            "--beta", "1", "--profile", str(profile), "--trace", str(trace),
+        ])
+        assert code == 0
+        snapshot = json.loads(profile.read_text())
+        assert snapshot["ggp.calls"]["value"] == 1
+        assert any(name.startswith("matching.") for name in snapshot)
+        assert snapshot["schedule.evaluation_ratio"]["value"] >= 1.0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(events[0])
+        assert any(e["name"] == "ggp.regularize" for e in events)
+
+    def test_schedule_output_json_carries_quality_keys(self, tmp_path, capsys):
+        out_path = tmp_path / "s.json"
+        main(["schedule", "--input", str(self._matrix(tmp_path)), "--k", "2",
+              "--beta", "1", "--output", str(out_path)])
+        doc = json.loads(out_path.read_text())
+        assert doc["evaluation_ratio"] == doc["cost"] / doc["lower_bound"]
+        Schedule.from_dict(doc)  # extra keys don't break deserialisation
+
+    def test_simulate_profile_has_netsim_metrics(self, tmp_path, capsys):
+        profile = tmp_path / "p.json"
+        code = main(["simulate", "--k", "3", "--max-mb", "11", "--seed", "1",
+                     "--profile", str(profile)])
+        assert code == 0
+        snapshot = json.loads(profile.read_text())
+        assert "netsim.step_duration" in snapshot
+        assert snapshot["netsim.backbone_utilization"]["count"] > 0
+
+    def test_observability_off_after_run(self, tmp_path, capsys):
+        from repro import obs
+
+        main(["schedule", "--input", str(self._matrix(tmp_path)), "--k", "2",
+              "--profile", str(tmp_path / "p.json")])
+        assert not obs.enabled()
+
+
+class TestStats:
+    def test_stats_renders_profile_and_trace(self, tmp_path, capsys):
+        matrix = tmp_path / "m.json"
+        matrix.write_text(json.dumps([[10.0, 0.0], [5.0, 20.0]]))
+        profile = tmp_path / "p.json"
+        trace = tmp_path / "t.trace.json"
+        main(["schedule", "--input", str(matrix), "--k", "2",
+              "--profile", str(profile), "--trace", str(trace)])
+        capsys.readouterr()
+        code = main(["stats", str(profile), "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ggp.calls" in out
+        assert "metric" in out and "type" in out
+        assert "ggp.regularize" in out  # flame summary frame
+
+    def test_stats_without_inputs_fails_cleanly(self, capsys):
+        assert main(["stats"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_rejects_wrong_file_type(self, tmp_path, capsys):
+        trace = tmp_path / "t.trace.json"
+        trace.write_text(json.dumps({"traceEvents": []}))
+        assert main(["stats", str(trace)]) == 2  # trace passed as profile
+        assert "not a metrics snapshot" in capsys.readouterr().err
+
+    def test_stats_missing_file_fails_cleanly(self, capsys):
+        assert main(["stats", "nope.json"]) == 2
+        assert "not found" in capsys.readouterr().err

@@ -1,0 +1,21 @@
+"""The machine-readable benchmark emitter (benchmarks/perf_snapshot.py)."""
+
+import json
+
+from benchmarks.perf_snapshot import ALGORITHMS, main, snapshot_rows
+
+
+class TestPerfSnapshot:
+    def test_rows_cover_algorithm_grid(self):
+        rows = snapshot_rows(sizes=(4,), repeats=1)
+        assert {r["algorithm"] for r in rows} == set(ALGORITHMS)
+        for row in rows:
+            assert row["wall_time_mean_s"] > 0
+            assert row["evaluation_ratio_mean"] >= 1.0
+
+    def test_main_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_algorithms.json"
+        assert main(["--sizes", "4", "--repeats", "1", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["benchmark"] == "algorithms"
+        assert len(doc["rows"]) == len(ALGORITHMS)

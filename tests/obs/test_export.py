@@ -1,0 +1,81 @@
+"""Tests for the Chrome trace exporter and the ASCII flame summary."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_CATEGORY,
+    chrome_trace,
+    flame_summary,
+    records_from_chrome,
+    write_chrome_trace,
+)
+from repro.obs.tracer import SpanRecord, Tracer
+from repro.util.errors import ConfigError
+
+
+def _nested_tracer() -> Tracer:
+    tr = Tracer()
+    with tr.span("outer", k=3):
+        with tr.span("inner"):
+            pass
+        with tr.span("inner"):
+            pass
+    return tr
+
+
+class TestChromeTrace:
+    def test_event_schema(self):
+        doc = chrome_trace(_nested_tracer())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == TRACE_CATEGORY
+            assert isinstance(event["name"], str)
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "pid" in event and "tid" in event
+        outer = next(e for e in events if e["name"] == "outer")
+        assert outer["args"] == {"k": 3}
+
+    def test_non_json_attrs_are_repred(self):
+        record = SpanRecord(
+            name="s", path=("s",), start=0.0, duration=1.0,
+            depth=0, thread_id=1, attrs={"obj": object()},
+        )
+        (event,) = chrome_trace([record])["traceEvents"]
+        assert isinstance(event["args"]["obj"], str)
+        json.dumps(event)  # fully serialisable
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = tmp_path / "t.trace.json"
+        write_chrome_trace(path, _nested_tracer())
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == 3
+
+    def test_round_trip_restores_nesting(self):
+        tr = _nested_tracer()
+        records = records_from_chrome(chrome_trace(tr))
+        assert [r.path for r in records] == [r.path for r in tr.records()]
+        assert records[0].depth == 0
+        assert records[1].depth == 1
+
+    def test_rejects_non_trace_document(self):
+        with pytest.raises(ConfigError):
+            records_from_chrome({"rows": []})
+
+
+class TestFlameSummary:
+    def test_aggregates_and_indents(self):
+        out = flame_summary(_nested_tracer())
+        lines = out.splitlines()
+        assert lines[0].startswith("outer (x1)")
+        assert lines[1].startswith("  inner (x2)")  # pooled + indented
+        assert "#" in lines[0]
+
+    def test_empty(self):
+        assert flame_summary(Tracer()) == "(no spans recorded)"

@@ -1,0 +1,61 @@
+"""End-to-end telemetry: the instrumented schedulers and simulators."""
+
+import numpy as np
+
+from repro import obs
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.graph.generators import paper_figure2_graph
+from repro.netsim.runner import run_redistribution
+from repro.netsim.topology import NetworkSpec
+
+
+class TestGgpTelemetry:
+    def test_phase_spans_on_fig2(self):
+        with obs.observed() as (registry, tracer):
+            schedule = ggp(paper_figure2_graph(), k=3, beta=1.0)
+        schedule.validate(paper_figure2_graph())
+        paths = {r.path for r in tracer.records()}
+        assert ("ggp",) in paths
+        assert ("ggp", "ggp.normalize") in paths
+        assert ("ggp", "ggp.regularize") in paths
+        assert ("ggp", "ggp.peel") in paths
+        # The timers mirror the spans under the same dotted names.
+        for name in ("ggp", "ggp.normalize", "ggp.regularize", "ggp.peel"):
+            assert registry.timer(name).laps == 1
+        assert registry.counter("ggp.calls").value == 1
+        # Every step came from one peel of the regular graph.
+        assert registry.counter("ggp.peels").value >= schedule.num_steps
+        assert registry.counter("matching.hungarian.calls").value > 0
+
+    def test_oggp_peels_match_steps(self):
+        with obs.observed() as (registry, tracer):
+            schedule = oggp(paper_figure2_graph(), k=3, beta=1.0)
+        assert registry.counter("oggp.calls").value == 1
+        assert registry.counter("oggp.steps").value == schedule.num_steps
+        assert registry.counter("wrgp.peels").value >= schedule.num_steps
+        assert registry.counter("matching.bottleneck.calls").value > 0
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["ggp"].path == ("oggp", "ggp")  # nested under oggp
+        assert by_name["oggp"].attrs["steps"] == schedule.num_steps
+
+    def test_disabled_run_records_nothing(self):
+        schedule = ggp(paper_figure2_graph(), k=3, beta=1.0)
+        assert schedule.num_steps > 0
+        assert not obs.enabled()
+        assert obs.metrics().snapshot() == {}
+
+
+class TestNetsimTelemetry:
+    def test_step_histograms(self):
+        spec = NetworkSpec.paper_testbed(3, step_setup=0.01)
+        traffic = np.full((spec.n1, spec.n2), 8.0)
+        with obs.observed() as (registry, _tracer):
+            outcome = run_redistribution(spec, traffic, "oggp", rng=0)
+        hist = registry.histogram("netsim.step_duration")
+        assert hist.count == outcome.num_steps
+        util = registry.histogram("netsim.backbone_utilization")
+        assert util.count == outcome.num_steps
+        assert 0.0 < util.max <= 1.0
+        assert registry.gauge("netsim.total_time").value == outcome.total_time
+        assert registry.counter("netsim.runs").value == 1

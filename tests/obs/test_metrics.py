@@ -1,0 +1,157 @@
+"""Tests for the metrics registry (counters, gauges, histograms, timers)."""
+
+import csv
+import io
+import json
+import time
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    TimerMetric,
+)
+from repro.util.errors import ConfigError
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("level")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.p50 == 50.0
+        assert h.p95 == 95.0
+        assert h.min == 1.0
+        assert h.max == 100.0
+        assert h.mean == pytest.approx(50.5)
+
+    def test_empty_summary(self):
+        assert Histogram("h").to_dict() == {"type": "histogram", "count": 0}
+
+
+class TestTimerMetric:
+    def test_nested_with_blocks_count_once(self):
+        t = TimerMetric("t")
+        with t:
+            with t:
+                time.sleep(0.002)
+            time.sleep(0.002)
+        assert t.laps == 1
+        assert t.elapsed >= 0.003
+        assert not t.running
+
+    def test_unbalanced_stop_raises(self):
+        t = TimerMetric("t")
+        with pytest.raises(ConfigError):
+            t.stop()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+
+    def test_names_prefix_is_dotted(self):
+        reg = MetricsRegistry()
+        for name in ("ggp", "ggp.peels", "ggpx", "oggp.calls"):
+            reg.counter(name)
+        assert reg.names("ggp") == ["ggp", "ggp.peels"]
+        assert reg.names() == ["ggp", "ggp.peels", "ggpx", "oggp.calls"]
+
+    def test_json_round_trip_exact_with_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(2.5)
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 9.0):
+            h.observe(v)
+        t = reg.timer("t")
+        with t:
+            pass
+        data = json.loads(reg.to_json(samples=True))
+        back = MetricsRegistry.from_snapshot(data)
+        assert back.snapshot(samples=True) == reg.snapshot(samples=True)
+
+    def test_summary_round_trip_keeps_landmarks(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 3.0, 50.0):
+            h.observe(v)
+        back = MetricsRegistry.from_snapshot(json.loads(reg.to_json()))
+        hb = back.get("h")
+        assert hb.min == 1.0
+        assert hb.max == 50.0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry.from_snapshot({"x": {"type": "sketch"}})
+
+    def test_merge_pools_counts(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.counter("only_b").inc()
+        b.histogram("h").observe(1.0)
+        a.merge(b)
+        assert a.counter("c").value == 5
+        assert a.counter("only_b").value == 1
+        assert a.histogram("h").count == 1
+
+    def test_merge_type_conflict_raises(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("x")
+        b.gauge("x").set(1.0)
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_csv_has_one_row_per_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h").observe(2.0)
+        rows = list(csv.DictReader(io.StringIO(reg.to_csv())))
+        assert [r["name"] for r in rows] == ["c", "h"]
+        assert rows[0]["type"] == "counter"
+        assert rows[0]["value"] == "3"
+        assert rows[1]["p50"] == "2.0"
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        NULL_REGISTRY.counter("c").inc(5)
+        NULL_REGISTRY.gauge("g").set(1.0)
+        NULL_REGISTRY.histogram("h").observe(2.0)
+        with NULL_REGISTRY.timer("t"):
+            pass
+        assert NULL_REGISTRY.snapshot() == {}

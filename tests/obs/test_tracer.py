@@ -1,0 +1,103 @@
+"""Tests for the span tracer and the obs module facade."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_nesting_builds_paths_and_depths(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+            with tr.span("inner2"):
+                pass
+        records = tr.records()
+        assert [r.name for r in records] == ["outer", "inner", "inner2"]
+        by_name = {r.name: r for r in records}
+        assert by_name["outer"].path == ("outer",)
+        assert by_name["inner"].path == ("outer", "inner")
+        assert by_name["inner2"].path == ("outer", "inner2")
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["outer"].end >= by_name["inner2"].end
+
+    def test_attrs_via_set(self):
+        tr = Tracer()
+        with tr.span("s", a=1) as span:
+            span.set(b=2)
+        (record,) = tr.records()
+        assert record.attrs == {"a": 1, "b": 2}
+
+    def test_exception_closes_span(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("x")
+        assert [r.name for r in tr.records()] == ["boom"]
+
+    def test_threads_get_independent_stacks(self):
+        tr = Tracer()
+
+        def worker():
+            with tr.span("worker"):
+                time.sleep(0.001)
+
+        with tr.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        by_name = {r.name: r for r in tr.records()}
+        assert by_name["worker"].path == ("worker",)  # not nested under main
+        assert by_name["worker"].thread_id != by_name["main"].thread_id
+
+    def test_clear(self):
+        tr = Tracer()
+        with tr.span("s"):
+            pass
+        tr.clear()
+        assert tr.records() == []
+
+
+class TestFacade:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.tracer() is NULL_TRACER
+
+    def test_observed_scopes_state(self):
+        with obs.observed() as (registry, tracer):
+            assert obs.enabled()
+            assert obs.metrics() is registry
+            with obs.span("s"):
+                pass
+        assert not obs.enabled()
+        assert [r.name for r in tracer.records()] == ["s"]
+
+    def test_observed_nests_and_restores(self):
+        with obs.observed() as (outer_reg, _):
+            with obs.observed() as (inner_reg, _):
+                assert obs.metrics() is inner_reg
+            assert obs.metrics() is outer_reg
+
+    def test_phase_records_span_and_timer(self):
+        with obs.observed() as (registry, tracer):
+            with obs.phase("p", x=1):
+                pass
+        (record,) = tracer.records()
+        assert record.name == "p"
+        assert record.attrs == {"x": 1}
+        assert registry.timer("p").laps == 1
+
+    def test_disabled_span_overhead_is_small(self):
+        # Not a strict benchmark — just catches the null path growing
+        # real work.  10k disabled spans should be far under 50ms.
+        start = time.perf_counter()
+        for _ in range(10_000):
+            with obs.span("hot", i=1):
+                pass
+        assert time.perf_counter() - start < 0.05

@@ -35,6 +35,22 @@ class TestTimer:
         assert t.laps == 0
         assert t.mean == 0.0
 
+    def test_nested_with_blocks_count_outer_interval_once(self):
+        # The historical Timer clobbered its start mark on re-entry;
+        # nesting must account the outermost interval exactly once.
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+            with t:
+                time.sleep(0.005)
+        assert t.laps == 1
+        assert t.elapsed >= 0.009
+
+    def test_is_the_obs_timer(self):
+        from repro.obs.metrics import TimerMetric
+
+        assert Timer is TimerMetric
+
 
 class TestErrorHierarchy:
     @pytest.mark.parametrize(

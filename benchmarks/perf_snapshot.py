@@ -27,6 +27,7 @@ from pathlib import Path
 from repro import obs
 from repro.core.baselines import greedy_schedule, list_schedule
 from repro.core.bounds import evaluation_ratio, lower_bound
+from repro.core.cache import ScheduleCache, cached_schedule
 from repro.core.ggp import ggp
 from repro.core.oggp import oggp
 from repro.graph.generators import random_bipartite
@@ -38,8 +39,9 @@ ALGORITHMS = {
     "list": lambda graph, k, beta: list_schedule(graph, k, beta),
 }
 
-#: Default per-side sizes; 20 is the paper's simulation scale.
-DEFAULT_SIZES = (5, 10, 20)
+#: Default per-side sizes; 20 is the paper's simulation scale, 50/100
+#: stress the warm-started peeling engines.
+DEFAULT_SIZES = (5, 10, 20, 50, 100)
 
 
 def snapshot_rows(
@@ -68,6 +70,24 @@ def snapshot_rows(
                     with timer:
                         schedule = algorithm(graph, k_eff, beta)
                     ratios.observe(evaluation_ratio(schedule.cost, bound))
+                # Work counters for the timed runs, read before the cache
+                # exercise below re-runs the algorithm and inflates them.
+                peels = registry.counter("wrgp.peels").value
+                probes = registry.counter(
+                    "matching.bottleneck.threshold_probes"
+                ).value
+                cache_hits = cache_misses = 0
+                if name in ("ggp", "oggp"):
+                    # Exercise the schedule cache on one instance: the
+                    # first call misses (and computes), the second hits.
+                    cache = ScheduleCache(maxsize=4)
+                    for _ in range(2):
+                        cached_schedule(
+                            instances[0], k=k_eff, beta=beta,
+                            algorithm=name, cache=cache,
+                        )
+                    cache_hits = registry.counter("schedule_cache.hits").value
+                    cache_misses = registry.counter("schedule_cache.misses").value
                 snap = registry.snapshot()
             timing = snap[f"bench.{name}"]
             quality = snap[f"bench.{name}.evaluation_ratio"]
@@ -82,6 +102,10 @@ def snapshot_rows(
                     "wall_time_max_s": timing["max"],
                     "evaluation_ratio_mean": quality["mean"],
                     "evaluation_ratio_max": quality["max"],
+                    "wrgp_peels": peels,
+                    "bottleneck_threshold_probes": probes,
+                    "schedule_cache_hits": cache_hits,
+                    "schedule_cache_misses": cache_misses,
                 }
             )
     return rows

@@ -3,6 +3,9 @@
 Public surface:
 
 - :class:`~repro.core.schedule.Schedule` / :class:`~repro.core.schedule.Step`
+- :class:`~repro.core.cache.ScheduleCache` /
+  :func:`~repro.core.cache.cached_schedule` — memoised schedules keyed
+  by the canonical redistribution pattern
 - :func:`~repro.core.bounds.lower_bound`
 - :func:`~repro.core.wrgp.wrgp` — Weight-Regular Graph Peeling (§4.1)
 - :func:`~repro.core.ggp.ggp` — Generic Graph Peeling (§4.2)
@@ -14,6 +17,11 @@ Public surface:
 """
 
 from repro.core.schedule import Schedule, Step, Transfer
+from repro.core.cache import (
+    ScheduleCache,
+    cached_schedule,
+    DEFAULT_SCHEDULE_CACHE,
+)
 from repro.core.bounds import lower_bound, LowerBoundReport
 from repro.core.normalize import normalize_weights, NormalizedProblem
 from repro.core.regularize import regularize, RegularizationResult
@@ -68,6 +76,9 @@ __all__ = [
     "Schedule",
     "Step",
     "Transfer",
+    "ScheduleCache",
+    "cached_schedule",
+    "DEFAULT_SCHEDULE_CACHE",
     "lower_bound",
     "LowerBoundReport",
     "normalize_weights",

@@ -25,7 +25,7 @@ from repro.graph.bipartite import BipartiteGraph, EdgeKind
 from repro.core.normalize import normalize_weights
 from repro.core.regularize import regularize
 from repro.core.schedule import Schedule, Step, Transfer
-from repro.core.wrgp import MatchingStrategy, peel_weight_regular
+from repro.core.wrgp import MatchingStrategy, PeelEngine, peel_weight_regular
 from repro.util.errors import ConfigError
 
 
@@ -34,6 +34,7 @@ def ggp(
     k: int,
     beta: float,
     matching: MatchingStrategy = "max_weight",
+    engine: PeelEngine = "fast",
 ) -> Schedule:
     """Schedule ``graph`` under the K-PBS constraints; 2-approximation.
 
@@ -53,6 +54,10 @@ def ggp(
         turns GGP into OGGP (prefer calling
         :func:`repro.core.oggp.oggp` for that).  All three produce valid
         2-approximations.
+    engine:
+        Peeling engine (see :func:`repro.core.wrgp.peel_weight_regular`):
+        ``'fast'`` (warm-started, default), ``'resume'`` (fastest), or
+        ``'reference'`` (stateless oracle).
 
     >>> from repro.graph import paper_figure2_graph
     >>> s = ggp(paper_figure2_graph(), k=3, beta=1.0)
@@ -87,7 +92,7 @@ def ggp(
         peels = dropped = 0
         chunk_sizes = metrics.histogram("ggp.chunk_size")
         with obs.phase("ggp.peel"):
-            for m, peel in peel_weight_regular(j, matching=matching):
+            for m, peel in peel_weight_regular(j, matching=matching, engine=engine):
                 peels += 1
                 chunk = float(peel) * scale
                 chunk_sizes.observe(chunk)

@@ -17,9 +17,15 @@ from repro import obs
 from repro.graph.bipartite import BipartiteGraph
 from repro.core.ggp import ggp
 from repro.core.schedule import Schedule
+from repro.core.wrgp import PeelEngine
 
 
-def oggp(graph: BipartiteGraph, k: int, beta: float) -> Schedule:
+def oggp(
+    graph: BipartiteGraph,
+    k: int,
+    beta: float,
+    engine: PeelEngine = "fast",
+) -> Schedule:
     """Schedule ``graph`` with OGGP; see :func:`repro.core.ggp.ggp`.
 
     >>> from repro.graph import paper_figure2_graph
@@ -27,7 +33,7 @@ def oggp(graph: BipartiteGraph, k: int, beta: float) -> Schedule:
     >>> oggp(g, k=3, beta=1.0).validate(g)
     """
     with obs.phase("oggp", k=k, beta=beta) as root:
-        schedule = ggp(graph, k=k, beta=beta, matching="bottleneck")
+        schedule = ggp(graph, k=k, beta=beta, matching="bottleneck", engine=engine)
         root.set(steps=schedule.num_steps)
     metrics = obs.metrics()
     metrics.counter("oggp.calls").inc()

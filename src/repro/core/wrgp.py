@@ -16,12 +16,21 @@ a perfect matching with equal-size chunks wastes nothing.
 
 Implementation notes
 --------------------
-- The perfect matching is recomputed *incrementally*: the previous
-  matching minus its exhausted edges is a near-perfect matching of the
-  peeled graph, so Hopcroft–Karp only needs a few augmentations per
-  iteration instead of a full run.
 - ``matching='bottleneck'`` swaps in the max-min-weight perfect matching
   (paper Figure 6) — this is the only difference between GGP and OGGP.
+- The matchings are computed by warm-started peeler engines
+  (:mod:`repro.matching.peeler`) that persist sorted indices, node
+  maps, and matrix state across peels.  ``engine='fast'`` (default)
+  produces matchings identical to the stateless routines;
+  ``engine='resume'`` additionally carries the bottleneck matching
+  itself across peels (fastest, but may pick different — equally
+  optimal — matchings, so schedules can differ in step count by a
+  little); ``engine='reference'`` is the retained stateless path used
+  as the equivalence oracle in tests.
+- The ``'arbitrary'`` strategy recomputes its perfect matching
+  *incrementally* in every engine: the previous matching minus its
+  exhausted edges is a near-perfect matching of the peeled graph, so
+  Hopcroft–Karp only needs a few augmentations per iteration.
 """
 
 from __future__ import annotations
@@ -35,7 +44,8 @@ from repro.matching.base import Matching
 from repro.matching.bottleneck import bottleneck_matching
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.hungarian import hungarian_perfect_matching
-from repro.util.errors import GraphError, MatchingError
+from repro.matching.peeler import BottleneckPeeler, HungarianPeeler
+from repro.util.errors import ConfigError, GraphError, MatchingError
 
 #: 'arbitrary' — any perfect matching (Hopcroft–Karp, warm-started);
 #: 'max_weight' — maximum-weight perfect matching (Hungarian, as the
@@ -43,10 +53,17 @@ from repro.util.errors import GraphError, MatchingError
 #: matching (Figure 6; this is what makes OGGP).
 MatchingStrategy = Literal["arbitrary", "max_weight", "bottleneck"]
 
+#: 'fast' — warm-started engines, schedules identical to 'reference';
+#: 'resume' — also persists the bottleneck matching across peels
+#: (fastest; schedules remain valid but may differ slightly);
+#: 'reference' — the stateless per-peel calls, kept as the test oracle.
+PeelEngine = Literal["fast", "resume", "reference"]
+
 
 def peel_weight_regular(
     graph: BipartiteGraph,
     matching: MatchingStrategy = "arbitrary",
+    engine: PeelEngine = "fast",
 ) -> Iterator[tuple[Matching, Number]]:
     """Destructively peel ``graph``; yields ``(matching, peel_amount)`` pairs.
 
@@ -54,6 +71,8 @@ def peel_weight_regular(
     yielded matchings hold edge snapshots *before* the peel, so their
     weights are the pre-peel remaining weights.
     """
+    if engine not in ("fast", "resume", "reference"):
+        raise ConfigError(f"unknown peel engine {engine!r}")
     previous: Matching | None = None
     size = graph.num_left
     if size != graph.num_right:
@@ -61,11 +80,23 @@ def peel_weight_regular(
             f"weight-regular graph must be square, got {graph.num_left} left "
             f"vs {graph.num_right} right nodes"
         )
+    bottleneck_peeler: BottleneckPeeler | None = None
+    hungarian_peeler: HungarianPeeler | None = None
+    if engine != "reference" and not graph.is_empty():
+        if matching == "bottleneck":
+            mode = "resume" if engine == "resume" else "replay"
+            bottleneck_peeler = BottleneckPeeler(graph, mode=mode)
+        elif matching == "max_weight":
+            hungarian_peeler = HungarianPeeler(graph)
     metrics = obs.metrics()
     peel_counter = metrics.counter("wrgp.peels")
     peel_sizes = metrics.histogram("wrgp.peel_size")
     while not graph.is_empty():
-        if matching == "bottleneck":
+        if bottleneck_peeler is not None:
+            m = bottleneck_peeler.next_matching()
+        elif hungarian_peeler is not None:
+            m = hungarian_peeler.next_matching()
+        elif matching == "bottleneck":
             m = bottleneck_matching(graph, require="perfect")
         elif matching == "max_weight":
             m = hungarian_perfect_matching(graph)
@@ -83,7 +114,7 @@ def peel_weight_regular(
         peel_sizes.observe(float(peel))
         yield m, peel
         for edge in m.edges():
-            graph.decrease_weight(edge.id, peel)
+            graph.peel_weight(edge.id, peel)
         previous = m
 
 
@@ -91,6 +122,7 @@ def wrgp(
     graph: BipartiteGraph,
     beta: float = 0.0,
     matching: MatchingStrategy = "arbitrary",
+    engine: PeelEngine = "fast",
 ) -> Schedule:
     """Schedule a *weight-regular* graph with unbounded ``k`` (paper §4.1).
 
@@ -112,7 +144,7 @@ def wrgp(
     with obs.phase(
         "wrgp", edges=work.num_edges, matching=matching, beta=beta
     ) as root:
-        for m, peel in peel_weight_regular(work, matching=matching):
+        for m, peel in peel_weight_regular(work, matching=matching, engine=engine):
             steps.append(
                 Step(
                     (

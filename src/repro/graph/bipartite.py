@@ -16,6 +16,13 @@ algorithm in the library.  Design notes:
 - **Incremental aggregates.** Node weight sums ``w(s)`` and the total
   weight ``P(G)`` are maintained incrementally; the peeling loops query
   them every iteration.
+- **Array-backed edge store.** Per-edge data lives in flat lists indexed
+  by edge id (``_eleft``/``_eright``/``_eweight``/``_ekind``); liveness
+  is tracked by the ``_live`` dict.  :class:`Edge` objects are
+  lazily-materialised *views* of those arrays, cached until the edge's
+  weight changes, so the peeling hot path (:meth:`peel_weight`,
+  :meth:`edge_weight`) mutates numbers instead of replacing frozen
+  dataclass instances.
 
 Weights may be ``int`` or ``float``.  The GGP/OGGP pipeline normalises
 weights to integers (multiples of β), so exact arithmetic is the common
@@ -58,8 +65,8 @@ class NodeKind(enum.Enum):
 class Edge:
     """A single message: ``weight`` units of traffic from ``left`` to ``right``.
 
-    Immutable; weight changes are performed by the owning graph, which
-    replaces the stored instance.
+    Immutable view of the graph's edge arrays; weight changes are
+    performed by the owning graph, which invalidates the cached view.
     """
 
     id: int
@@ -94,7 +101,11 @@ class BipartiteGraph:
     """
 
     __slots__ = (
-        "_edges",
+        "_live",
+        "_eleft",
+        "_eright",
+        "_eweight",
+        "_ekind",
         "_left_adj",
         "_right_adj",
         "_left_kind",
@@ -106,7 +117,14 @@ class BipartiteGraph:
     )
 
     def __init__(self) -> None:
-        self._edges: dict[int, Edge] = {}
+        #: live edge id -> cached Edge view (None until materialised).
+        self._live: dict[int, Edge | None] = {}
+        # Flat per-edge stores indexed by edge id; slots for removed
+        # edges keep their last values but are not live.
+        self._eleft: list[int] = []
+        self._eright: list[int] = []
+        self._eweight: list[Number] = []
+        self._ekind: list[EdgeKind] = []
         self._left_adj: dict[int, set[int]] = {}
         self._right_adj: dict[int, set[int]] = {}
         self._left_kind: dict[int, NodeKind] = {}
@@ -150,6 +168,33 @@ class BipartiteGraph:
             self._right_kind[node] = kind
             self._right_weight[node] = 0
 
+    def _install_edge(
+        self,
+        edge_id: int,
+        left: int,
+        right: int,
+        weight: Number,
+        kind: EdgeKind,
+    ) -> None:
+        """Write an edge into the arrays and aggregates (endpoints must exist)."""
+        store = self._eleft
+        if edge_id >= len(store):
+            pad = edge_id + 1 - len(store)
+            store.extend([0] * pad)
+            self._eright.extend([0] * pad)
+            self._eweight.extend([0] * pad)
+            self._ekind.extend([EdgeKind.ORIGINAL] * pad)
+        self._eleft[edge_id] = left
+        self._eright[edge_id] = right
+        self._eweight[edge_id] = weight
+        self._ekind[edge_id] = kind
+        self._live[edge_id] = None
+        self._left_adj[left].add(edge_id)
+        self._right_adj[right].add(edge_id)
+        self._left_weight[left] += weight
+        self._right_weight[right] += weight
+        self._total_weight += weight
+
     def add_edge(
         self,
         left: int,
@@ -170,22 +215,15 @@ class BipartiteGraph:
             )
         self.add_left_node(left, left_kind)
         self.add_right_node(right, right_kind)
-        edge = Edge(self._next_edge_id, left, right, weight, kind)
+        edge_id = self._next_edge_id
         self._next_edge_id += 1
-        self._edges[edge.id] = edge
-        self._left_adj[left].add(edge.id)
-        self._right_adj[right].add(edge.id)
-        self._left_weight[left] += weight
-        self._right_weight[right] += weight
-        self._total_weight += weight
-        return edge
+        self._install_edge(edge_id, left, right, weight, kind)
+        return self.edge(edge_id)
 
     def remove_edge(self, edge_id: int) -> Edge:
         """Remove and return an edge by id."""
-        try:
-            edge = self._edges.pop(edge_id)
-        except KeyError:
-            raise GraphError(f"no edge with id {edge_id}") from None
+        edge = self.edge(edge_id)  # raises GraphError when absent
+        del self._live[edge_id]
         self._left_adj[edge.left].discard(edge_id)
         self._right_adj[edge.right].discard(edge_id)
         self._left_weight[edge.left] -= edge.weight
@@ -193,32 +231,52 @@ class BipartiteGraph:
         self._total_weight -= edge.weight
         return edge
 
+    def peel_weight(self, edge_id: int, amount: Number) -> Number:
+        """Peel ``amount`` off an edge; returns the remaining weight.
+
+        Fast path for the peeling loops: mutates the flat weight array
+        and the aggregates without materialising an :class:`Edge`.
+        Returns 0 when the edge reached zero weight and was removed.
+        Peeling more than the remaining weight is an error — the WRGP
+        invariant guarantees it never happens.
+        """
+        if edge_id not in self._live:
+            raise GraphError(f"no edge with id {edge_id}")
+        if amount <= 0:
+            raise GraphError(f"peel amount must be positive, got {amount!r}")
+        remaining = self._eweight[edge_id] - amount
+        if remaining < 0:
+            raise GraphError(
+                f"cannot peel {amount!r} off edge {edge_id} of weight "
+                f"{self._eweight[edge_id]!r}"
+            )
+        if remaining == 0:
+            left = self._eleft[edge_id]
+            right = self._eright[edge_id]
+            del self._live[edge_id]
+            self._left_adj[left].discard(edge_id)
+            self._right_adj[right].discard(edge_id)
+            self._eweight[edge_id] = 0
+        else:
+            left = self._eleft[edge_id]
+            right = self._eright[edge_id]
+            self._eweight[edge_id] = remaining
+            self._live[edge_id] = None  # invalidate the cached view
+        self._left_weight[left] -= amount
+        self._right_weight[right] -= amount
+        self._total_weight -= amount
+        return remaining
+
     def decrease_weight(self, edge_id: int, amount: Number) -> Edge | None:
         """Peel ``amount`` off an edge.
 
         Returns the updated edge, or ``None`` when the edge reached zero
-        weight and was removed.  Peeling more than the remaining weight is
-        an error — the WRGP invariant guarantees it never happens.
+        weight and was removed.  :meth:`peel_weight` is the equivalent
+        fast path that skips materialising the returned Edge.
         """
-        edge = self._edges.get(edge_id)
-        if edge is None:
-            raise GraphError(f"no edge with id {edge_id}")
-        if amount <= 0:
-            raise GraphError(f"peel amount must be positive, got {amount!r}")
-        remaining = edge.weight - amount
-        if remaining < 0:
-            raise GraphError(
-                f"cannot peel {amount!r} off edge {edge_id} of weight {edge.weight!r}"
-            )
-        if remaining == 0:
-            self.remove_edge(edge_id)
+        if self.peel_weight(edge_id, amount) == 0:
             return None
-        updated = edge.with_weight(remaining)
-        self._edges[edge_id] = updated
-        self._left_weight[edge.left] -= amount
-        self._right_weight[edge.right] -= amount
-        self._total_weight -= amount
-        return updated
+        return self.edge(edge_id)
 
     def remove_isolated_nodes(self) -> tuple[list[int], list[int]]:
         """Drop nodes with no adjacent edges.
@@ -240,9 +298,13 @@ class BipartiteGraph:
         return left_removed, right_removed
 
     def copy(self) -> "BipartiteGraph":
-        """Deep copy (edges are immutable, so sharing them is safe)."""
+        """Deep copy (edge views are immutable, so sharing them is safe)."""
         g = BipartiteGraph()
-        g._edges = dict(self._edges)
+        g._live = dict(self._live)
+        g._eleft = self._eleft.copy()
+        g._eright = self._eright.copy()
+        g._eweight = self._eweight.copy()
+        g._ekind = self._ekind.copy()
         g._left_adj = {n: set(s) for n, s in self._left_adj.items()}
         g._right_adj = {n: set(s) for n, s in self._right_adj.items()}
         g._left_kind = dict(self._left_kind)
@@ -260,7 +322,7 @@ class BipartiteGraph:
     @property
     def num_edges(self) -> int:
         """Number of edges ``m``."""
-        return len(self._edges)
+        return len(self._live)
 
     @property
     def num_left(self) -> int:
@@ -287,36 +349,59 @@ class BipartiteGraph:
 
     def has_edge_id(self, edge_id: int) -> bool:
         """True when an edge with this id is present."""
-        return edge_id in self._edges
+        return edge_id in self._live
 
     def edge(self, edge_id: int) -> Edge:
         """Edge by id (raises GraphError when absent)."""
         try:
-            return self._edges[edge_id]
+            view = self._live[edge_id]
         except KeyError:
             raise GraphError(f"no edge with id {edge_id}") from None
+        if view is None:
+            view = Edge(
+                edge_id,
+                self._eleft[edge_id],
+                self._eright[edge_id],
+                self._eweight[edge_id],
+                self._ekind[edge_id],
+            )
+            self._live[edge_id] = view
+        return view
+
+    def edge_weight(self, edge_id: int) -> Number:
+        """Current weight of an edge — array read, no Edge materialisation."""
+        if edge_id not in self._live:
+            raise GraphError(f"no edge with id {edge_id}")
+        return self._eweight[edge_id]
+
+    def edge_endpoints(self, edge_id: int) -> tuple[int, int]:
+        """``(left, right)`` of an edge without materialising a view."""
+        if edge_id not in self._live:
+            raise GraphError(f"no edge with id {edge_id}")
+        return (self._eleft[edge_id], self._eright[edge_id])
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges (order unspecified)."""
-        return iter(self._edges.values())
+        for edge_id in self._live:
+            yield self.edge(edge_id)
 
     def edge_ids(self) -> list[int]:
         """Sorted list of edge ids (stable iteration order for algorithms)."""
-        return sorted(self._edges)
+        return sorted(self._live)
 
     def edges_sorted(self, key: Callable[[Edge], object] | None = None) -> list[Edge]:
         """Edges sorted by ``key`` (default: by id, i.e. insertion order)."""
         if key is None:
-            return [self._edges[i] for i in sorted(self._edges)]
-        return sorted(self._edges.values(), key=key)  # type: ignore[arg-type]
+            return [self.edge(i) for i in sorted(self._live)]
+        return sorted(self.edges(), key=key)  # type: ignore[arg-type]
 
     def left_edges(self, node: int) -> list[Edge]:
         """Edges adjacent to a left node."""
-        return [self._edges[i] for i in self._left_adj[node]]
+        return [self.edge(i) for i in self._left_adj[node]]
 
     def right_edges(self, node: int) -> list[Edge]:
         """Edges adjacent to a right node."""
-        return [self._edges[i] for i in self._right_adj[node]]
+        return [self.edge(i) for i in self._right_adj[node]]
 
     def left_node_kind(self, node: int) -> NodeKind:
         """Provenance of a left node."""
@@ -353,7 +438,7 @@ class BipartiteGraph:
 
     def is_empty(self) -> bool:
         """True when the graph has no edges."""
-        return not self._edges
+        return not self._live
 
     def is_weight_regular(self, tol: float = 1e-9) -> bool:
         """True when every *node* has the same weight sum :math:`w(s)`.
@@ -369,15 +454,18 @@ class BipartiteGraph:
 
     def original_edge_ids(self) -> set[int]:
         """Ids of edges of kind ORIGINAL."""
-        return {e.id for e in self._edges.values() if e.kind is EdgeKind.ORIGINAL}
+        kinds = self._ekind
+        return {i for i in self._live if kinds[i] is EdgeKind.ORIGINAL}
 
     def max_edge_weight(self) -> Number:
         """Largest edge weight (0 for an empty graph)."""
-        return max((e.weight for e in self._edges.values()), default=0)
+        weights = self._eweight
+        return max((weights[i] for i in self._live), default=0)
 
     def min_edge_weight(self) -> Number:
         """Smallest edge weight (0 for an empty graph)."""
-        return min((e.weight for e in self._edges.values()), default=0)
+        weights = self._eweight
+        return min((weights[i] for i in self._live), default=0)
 
     # ------------------------------------------------------------------
     # Transformation
@@ -394,19 +482,19 @@ class BipartiteGraph:
             g.add_left_node(node, self._left_kind[node])
         for node in self._right_adj:
             g.add_right_node(node, self._right_kind[node])
-        for edge in self.edges_sorted():
-            new_weight = fn(edge.weight)
+        for edge_id in sorted(self._live):
+            new_weight = fn(self._eweight[edge_id])
             if new_weight <= 0:
                 raise GraphError(
                     f"map_weights produced non-positive weight {new_weight!r}"
                 )
-            new_edge = Edge(edge.id, edge.left, edge.right, new_weight, edge.kind)
-            g._edges[new_edge.id] = new_edge
-            g._left_adj[edge.left].add(edge.id)
-            g._right_adj[edge.right].add(edge.id)
-            g._left_weight[edge.left] += new_weight
-            g._right_weight[edge.right] += new_weight
-            g._total_weight += new_weight
+            g._install_edge(
+                edge_id,
+                self._eleft[edge_id],
+                self._eright[edge_id],
+                new_weight,
+                self._ekind[edge_id],
+            )
         g._next_edge_id = self._next_edge_id
         return g
 
@@ -445,26 +533,20 @@ class BipartiteGraph:
             g.add_right_node(int(node["id"]), NodeKind(node.get("kind", "original")))
         max_id = -1
         for item in data["edges"]:
-            edge = Edge(
-                int(item["id"]),
-                int(item["left"]),
-                int(item["right"]),
-                item["weight"],
-                EdgeKind(item.get("kind", "original")),
+            edge_id = int(item["id"])
+            weight = item["weight"]
+            if weight <= 0:
+                raise GraphError(f"edge {edge_id} has non-positive weight")
+            if edge_id in g._live:
+                raise GraphError(f"duplicate edge id {edge_id}")
+            left = int(item["left"])
+            right = int(item["right"])
+            g.add_left_node(left)
+            g.add_right_node(right)
+            g._install_edge(
+                edge_id, left, right, weight, EdgeKind(item.get("kind", "original"))
             )
-            if edge.weight <= 0:
-                raise GraphError(f"edge {edge.id} has non-positive weight")
-            if edge.id in g._edges:
-                raise GraphError(f"duplicate edge id {edge.id}")
-            g.add_left_node(edge.left)
-            g.add_right_node(edge.right)
-            g._edges[edge.id] = edge
-            g._left_adj[edge.left].add(edge.id)
-            g._right_adj[edge.right].add(edge.id)
-            g._left_weight[edge.left] += edge.weight
-            g._right_weight[edge.right] += edge.weight
-            g._total_weight += edge.weight
-            max_id = max(max_id, edge.id)
+            max_id = max(max_id, edge_id)
         g._next_edge_id = max_id + 1
         return g
 
@@ -490,20 +572,27 @@ class BipartiteGraph:
         total: Number = 0
         left_w: dict[int, Number] = {n: 0 for n in self._left_adj}
         right_w: dict[int, Number] = {n: 0 for n in self._right_adj}
-        for edge in self._edges.values():
-            if edge.weight <= 0:
-                raise GraphError(f"edge {edge.id} has non-positive weight")
-            if edge.id not in self._left_adj.get(edge.left, ()):  # type: ignore[operator]
-                raise GraphError(f"edge {edge.id} missing from left adjacency")
-            if edge.id not in self._right_adj.get(edge.right, ()):  # type: ignore[operator]
-                raise GraphError(f"edge {edge.id} missing from right adjacency")
-            total += edge.weight
-            left_w[edge.left] += edge.weight
-            right_w[edge.right] += edge.weight
+        for edge_id, view in self._live.items():
+            left = self._eleft[edge_id]
+            right = self._eright[edge_id]
+            weight = self._eweight[edge_id]
+            if weight <= 0:
+                raise GraphError(f"edge {edge_id} has non-positive weight")
+            if view is not None and (
+                view.left != left or view.right != right or view.weight != weight
+            ):
+                raise GraphError(f"stale cached view for edge {edge_id}")
+            if edge_id not in self._left_adj.get(left, ()):  # type: ignore[operator]
+                raise GraphError(f"edge {edge_id} missing from left adjacency")
+            if edge_id not in self._right_adj.get(right, ()):  # type: ignore[operator]
+                raise GraphError(f"edge {edge_id} missing from right adjacency")
+            total += weight
+            left_w[left] += weight
+            right_w[right] += weight
         for side_adj, side in ((self._left_adj, "left"), (self._right_adj, "right")):
             for node, ids in side_adj.items():
                 for eid in ids:
-                    if eid not in self._edges:
+                    if eid not in self._live:
                         raise GraphError(f"stale edge id {eid} at {side} node {node}")
         if abs(total - self._total_weight) > 1e-6 * max(1.0, abs(total)):
             raise GraphError(
@@ -517,7 +606,7 @@ class BipartiteGraph:
                 raise GraphError(f"right weight cache wrong at node {node}")
 
     def __len__(self) -> int:
-        return len(self._edges)
+        return len(self._live)
 
     def __repr__(self) -> str:
         return (
@@ -534,10 +623,17 @@ class BipartiteGraph:
         if set(self._right_adj) != set(other._right_adj):
             return False
         mine = sorted(
-            (e.left, e.right, e.weight, e.kind.value) for e in self._edges.values()
+            (self._eleft[i], self._eright[i], self._eweight[i], self._ekind[i].value)
+            for i in self._live
         )
         theirs = sorted(
-            (e.left, e.right, e.weight, e.kind.value) for e in other._edges.values()
+            (
+                other._eleft[i],
+                other._eright[i],
+                other._eweight[i],
+                other._ekind[i].value,
+            )
+            for i in other._live
         )
         return mine == theirs
 

@@ -8,11 +8,15 @@
   turns GGP into OGGP.
 - :func:`greedy_matching` — fast maximal (not maximum) matching used as
   a baseline and as a warm-start seed.
+- :class:`BottleneckPeeler` / :class:`HungarianPeeler` — warm-started
+  engines that keep sorted indices, node maps and matrix state alive
+  across the WRGP/GGP/OGGP peeling loops.
 """
 
 from repro.matching.base import Matching
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.bottleneck import bottleneck_matching
+from repro.matching.peeler import BottleneckPeeler, HungarianPeeler
 from repro.matching.greedy import greedy_matching
 from repro.matching.hungarian import hungarian_perfect_matching
 from repro.matching.edge_coloring import koenig_edge_coloring
@@ -21,6 +25,8 @@ __all__ = [
     "Matching",
     "hopcroft_karp",
     "bottleneck_matching",
+    "BottleneckPeeler",
+    "HungarianPeeler",
     "greedy_matching",
     "hungarian_perfect_matching",
     "koenig_edge_coloring",

@@ -15,6 +15,14 @@ target cardinality yields the answer — identical to the paper's
 edge-by-edge loop, but tie groups are admitted together since admitting
 equal-weight edges one by one can never terminate mid-group with a
 different bottleneck value.
+
+This stateless routine rebuilds the sorted index and the matching from
+scratch on every call.  The peeling loops use
+:class:`repro.matching.peeler.BottleneckPeeler` instead, which keeps
+that state warm across peels while producing identical matchings; this
+function is retained as the general-purpose entry point (it also
+handles ``require='maximum'``) and as the equivalence oracle for the
+engine tests.
 """
 
 from __future__ import annotations
@@ -75,7 +83,9 @@ def bottleneck_matching(
     probes = 0
     for _, group in groupby(by_weight, key=lambda e: e.weight):
         probes += 1
-        for edge in sorted(group, key=lambda e: e.id):
+        # ``by_weight`` is already ordered by (-weight, id), so each tie
+        # group arrives with ids ascending — no re-sort needed.
+        for edge in group:
             adj[edge.left].append(edge)
         hopcroft_karp_core(adj, pair_left, pair_right)
         if len(pair_left) == target:

@@ -71,12 +71,17 @@ def hungarian_perfect_matching(graph: BipartiteGraph) -> Matching:
         missing = -(total + 1.0) * (n + 1)
         score = np.full((n, n), missing, dtype=float)
         best_edge: dict[tuple[int, int], Edge] = {}
-        for edge in graph.edges_sorted():
+        # Unsorted iteration suffices: the winner per cell is pinned by an
+        # explicit (max weight, then min id) comparison, so the visiting
+        # order cannot change which parallel edge is recorded.
+        for edge in graph.edges():
             i, j = left_pos[edge.left], right_pos[edge.right]
             w = float(edge.weight)
-            if w > score[i, j]:
+            cell = (i, j)
+            best = best_edge.get(cell)
+            if best is None or w > score[i, j] or (w == score[i, j] and edge.id < best.id):
                 score[i, j] = w
-                best_edge[(i, j)] = edge
+                best_edge[cell] = edge
 
         assignment = _solve_max(score)
         edges = []

@@ -14,8 +14,7 @@ from typing import Literal
 import numpy as np
 
 from repro import obs
-from repro.core.ggp import ggp
-from repro.core.oggp import oggp
+from repro.core.cache import DEFAULT_SCHEDULE_CACHE, ScheduleCache, cached_schedule
 from repro.core.schedule import Schedule
 from repro.graph.generators import from_traffic_matrix
 from repro.netsim.stepwise import simulate_schedule
@@ -47,17 +46,20 @@ def build_schedule(
     spec: NetworkSpec,
     traffic_mbit: np.ndarray,
     method: Literal["ggp", "oggp"],
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
 ) -> Schedule:
     """K-PBS schedule for a traffic matrix on a platform.
 
     Edge weights are transfer *times* in seconds at the per-flow rate
     ``t = min(t1, t2)`` (paper §2.2: ``c_ij = m_ij / t``); β is the
     platform's per-step setup delay, and ``k`` is derived from the rate
-    ratios.
+    ratios.  Repeated calls with an equivalent traffic matrix reuse the
+    schedule through ``cache`` (pass ``None`` to force a fresh run).
     """
     graph = from_traffic_matrix(traffic_mbit, speed=spec.flow_rate)
-    algorithm = ggp if method == "ggp" else oggp
-    return algorithm(graph, k=spec.k, beta=spec.step_setup)
+    return cached_schedule(
+        graph, k=spec.k, beta=spec.step_setup, algorithm=method, cache=cache
+    )
 
 
 def run_redistribution(
@@ -67,6 +69,7 @@ def run_redistribution(
     rng: RngStream | int | None = None,
     tcp_params: TcpParams = TcpParams(),
     rate_jitter: float = 0.0,
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
 ) -> RedistributionOutcome:
     """Run one redistribution with the chosen method and measure time."""
     traffic = np.asarray(traffic_mbit, dtype=float)
@@ -86,7 +89,7 @@ def run_redistribution(
         raise ConfigError(f"unknown method {method!r}")
     with obs.phase("netsim.run", method=method, volume_mbit=volume) as root:
         with obs.phase("netsim.build_schedule"):
-            schedule = build_schedule(spec, traffic, method)
+            schedule = build_schedule(spec, traffic, method, cache=cache)
         # Schedule amounts are seconds at flow_rate; convert back to Mbit.
         result = simulate_schedule(
             spec,

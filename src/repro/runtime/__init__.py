@@ -20,6 +20,7 @@ from repro.runtime.executor import (
     TransferPlanError,
     run_scheduled,
     run_bruteforce,
+    schedule_and_run,
     RuntimeReport,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "TransferPlanError",
     "run_scheduled",
     "run_bruteforce",
+    "schedule_and_run",
     "RuntimeReport",
 ]

@@ -8,7 +8,12 @@ Two engines, mirroring the paper's §5.2 implementations:
 - :func:`run_bruteforce` — all flows at once, contention resolved only
   by the shapers (the transport layer's job in the paper).
 
-Both verify payload integrity on arrival and report wall-clock timings.
+:func:`schedule_and_run` bundles scheduling and execution, reusing
+schedules for repeated patterns through the process-wide
+:class:`~repro.core.cache.ScheduleCache`.
+
+All engines verify payload integrity on arrival and report wall-clock
+timings.
 """
 
 from __future__ import annotations
@@ -18,7 +23,9 @@ import time
 from dataclasses import dataclass
 
 from repro import obs
+from repro.core.cache import DEFAULT_SCHEDULE_CACHE, ScheduleCache, cached_schedule
 from repro.core.schedule import Schedule
+from repro.graph.bipartite import BipartiteGraph
 from repro.runtime.local import LocalCluster
 from repro.util.errors import SimulationError
 
@@ -199,6 +206,36 @@ def run_scheduled(
         num_steps=len(plans),
         errors=tuple(errors),
     )
+
+
+def schedule_and_run(
+    cluster: LocalCluster,
+    graph: BipartiteGraph,
+    k: int,
+    beta: float,
+    payloads: dict[int, bytes],
+    destinations: dict[int, tuple[int, int]],
+    method: str = "oggp",
+    amount_to_bytes: float = 1.0,
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+) -> tuple[Schedule, RuntimeReport]:
+    """Schedule ``graph`` (via the cache) and execute it on ``cluster``.
+
+    ``method`` is ``'ggp'`` or ``'oggp'``.  Repeated redistribution of
+    an equivalent pattern — common when an iterative application
+    re-issues the same traffic each phase — skips the peeling loops
+    entirely on a cache hit; pass ``cache=None`` to always recompute.
+    Returns the schedule alongside the execution report.
+    """
+    schedule = cached_schedule(graph, k=k, beta=beta, algorithm=method, cache=cache)
+    report = run_scheduled(
+        cluster,
+        schedule,
+        payloads,
+        destinations,
+        amount_to_bytes=amount_to_bytes,
+    )
+    return schedule, report
 
 
 def run_bruteforce(

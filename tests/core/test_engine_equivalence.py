@@ -1,0 +1,89 @@
+"""The warm-started peeling engines reproduce the stateless reference.
+
+The ``'fast'`` engine keeps sorted indices, node maps and matrix state
+alive across peels but must remain *observably identical* to the
+``'reference'`` engine (fresh :func:`bottleneck_matching` /
+:func:`hungarian_perfect_matching` calls every peel): same schedules,
+same costs, same step counts, on every input.  The ``'resume'`` engine
+additionally carries the matching itself across peels, which may pick
+different (equally valid) matchings — it only promises a correct
+schedule.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ggp import ggp
+from repro.core.oggp import oggp
+from repro.core.wrgp import wrgp
+from repro.graph.generators import random_weight_regular
+from repro.util.errors import ConfigError
+from tests.conftest import bipartite_graphs, betas, ks
+
+strategies = st.sampled_from(["arbitrary", "max_weight", "bottleneck"])
+
+
+class TestFastEqualsReference:
+    @given(bipartite_graphs(), ks, betas, strategies)
+    @settings(max_examples=50, deadline=None)
+    def test_ggp_identical_schedule(self, g, k, beta, matching):
+        fast = ggp(g, k, beta, matching=matching, engine="fast")
+        ref = ggp(g, k, beta, matching=matching, engine="reference")
+        assert fast.to_dict() == ref.to_dict()
+        fast.validate(g)
+
+    @given(bipartite_graphs(), ks, betas)
+    @settings(max_examples=50, deadline=None)
+    def test_oggp_identical_schedule(self, g, k, beta):
+        fast = oggp(g, k, beta, engine="fast")
+        ref = oggp(g, k, beta, engine="reference")
+        assert fast.cost == ref.cost
+        assert fast.num_steps == ref.num_steps
+        assert fast.to_dict() == ref.to_dict()
+        fast.validate(g)
+
+    @given(st.integers(0, 10**6), st.integers(2, 7), betas, strategies)
+    @settings(max_examples=50, deadline=None)
+    def test_wrgp_identical_schedule(self, seed, n, beta, matching):
+        g = random_weight_regular(seed, n=n)
+        fast = wrgp(g, beta=beta, matching=matching, engine="fast")
+        ref = wrgp(g, beta=beta, matching=matching, engine="reference")
+        assert fast.to_dict() == ref.to_dict()
+        fast.validate(g)
+
+
+class TestResumeEngine:
+    """'resume' only promises validity, not identity — check exactly that."""
+
+    @given(bipartite_graphs(), ks, betas)
+    @settings(max_examples=50, deadline=None)
+    def test_oggp_resume_is_valid(self, g, k, beta):
+        schedule = oggp(g, k, beta, engine="resume")
+        schedule.validate(g)
+
+    @given(st.integers(0, 10**6), st.integers(2, 7), betas)
+    @settings(max_examples=30, deadline=None)
+    def test_wrgp_resume_is_valid(self, seed, n, beta):
+        g = random_weight_regular(seed, n=n)
+        schedule = wrgp(g, beta=beta, matching="bottleneck", engine="resume")
+        schedule.validate(g)
+
+    def test_resume_can_differ_but_stays_close(self):
+        # A fixed instance where warm matchings are known to change the
+        # peel sequence: both runs must still validate and stay within
+        # the 2-approximation of each other.
+        g = random_weight_regular(17, n=6, layers=4)
+        fast = wrgp(g, beta=1.0, matching="bottleneck", engine="fast")
+        resume = wrgp(g, beta=1.0, matching="bottleneck", engine="resume")
+        fast.validate(g)
+        resume.validate(g)
+        assert resume.cost <= 2 * fast.cost
+        assert fast.cost <= 2 * resume.cost
+
+
+class TestEngineArgument:
+    def test_unknown_engine_rejected(self):
+        g = random_weight_regular(1, n=3)
+        with pytest.raises(ConfigError):
+            wrgp(g, matching="bottleneck", engine="warp")

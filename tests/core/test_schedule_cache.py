@@ -1,0 +1,147 @@
+"""Schedule cache: canonical keying, remapping, isolation, LRU."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import obs
+from repro.core.cache import DEFAULT_SCHEDULE_CACHE, ScheduleCache, cached_schedule
+from repro.core.oggp import oggp
+from repro.graph.bipartite import BipartiteGraph
+from repro.util.errors import ConfigError
+from tests.conftest import bipartite_graphs, betas, ks
+
+
+def reinserted(graph: BipartiteGraph, reverse: bool = True) -> BipartiteGraph:
+    """Same edge multiset, different insertion order (hence edge ids)."""
+    edges = list(graph.edges())
+    if reverse:
+        edges = edges[::-1]
+    out = BipartiteGraph()
+    for e in edges:
+        out.add_edge(e.left, e.right, e.weight)
+    return out
+
+
+class TestHitSemantics:
+    @given(bipartite_graphs(), ks, betas)
+    @settings(max_examples=40, deadline=None)
+    def test_hit_equals_fresh_run(self, g, k, beta):
+        cache = ScheduleCache()
+        first = cached_schedule(g, k=k, beta=beta, cache=cache)
+        second = cached_schedule(g, k=k, beta=beta, cache=cache)
+        assert cache.stats()["hits"] == 1
+        assert second.to_dict() == first.to_dict() == oggp(g, k, beta).to_dict()
+        second.validate(g)
+
+    def test_hit_is_independent_of_previous_results(self):
+        g = BipartiteGraph.from_edges([(0, 0, 4), (0, 1, 2), (1, 1, 3), (1, 0, 5)])
+        cache = ScheduleCache()
+        first = cached_schedule(g, k=2, beta=1.0, cache=cache)
+        reference = first.to_dict()
+        hit = cached_schedule(g, k=2, beta=1.0, cache=cache)
+        # Steps carry a mutable ``duration``; stretching a returned copy
+        # must not leak into the cache or into other returned copies.
+        hit.steps[0].duration += 100.0
+        again = cached_schedule(g, k=2, beta=1.0, cache=cache)
+        assert again.to_dict() == reference
+        assert first.to_dict() == reference
+        assert hit.steps[0] is not again.steps[0]
+
+    def test_put_detaches_from_the_stored_schedule(self):
+        g = BipartiteGraph.from_edges([(0, 0, 3), (1, 1, 2)])
+        cache = ScheduleCache()
+        computed = cached_schedule(g, k=2, beta=0.5, cache=cache)
+        reference = computed.to_dict()
+        computed.steps[0].duration += 7.0
+        assert cached_schedule(g, k=2, beta=0.5, cache=cache).to_dict() == reference
+
+
+class TestCanonicalKey:
+    @given(bipartite_graphs(), ks, betas)
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_order_does_not_miss(self, g, k, beta):
+        cache = ScheduleCache()
+        cached_schedule(g, k=k, beta=beta, cache=cache)
+        g2 = reinserted(g)
+        hit = cached_schedule(g2, k=k, beta=beta, cache=cache)
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0, "size": 1}
+        # The remapped schedule must be valid *for the new graph's ids*.
+        hit.validate(g2)
+        assert hit.cost == cached_schedule(g, k=k, beta=beta, cache=cache).cost
+
+    def test_different_parameters_miss(self):
+        g = BipartiteGraph.from_edges([(0, 0, 4), (0, 1, 2), (1, 1, 3), (1, 0, 5)])
+        cache = ScheduleCache()
+        cached_schedule(g, k=2, beta=1.0, cache=cache)
+        cached_schedule(g, k=1, beta=1.0, cache=cache)  # different k
+        cached_schedule(g, k=2, beta=2.0, cache=cache)  # different beta
+        cached_schedule(g, k=2, beta=1.0, algorithm="ggp", cache=cache)
+        bigger = g.copy()
+        bigger.add_edge(0, 0, 1)
+        cached_schedule(bigger, k=2, beta=1.0, cache=cache)  # different graph
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 5
+
+    def test_wrgp_keeps_its_derived_k(self):
+        from repro.graph.generators import random_weight_regular
+
+        g = random_weight_regular(3, n=5)
+        cache = ScheduleCache()
+        first = cached_schedule(g, k=999, beta=0.5, algorithm="wrgp", cache=cache)
+        hit = cached_schedule(g, k=999, beta=0.5, algorithm="wrgp", cache=cache)
+        assert cache.stats()["hits"] == 1
+        assert hit.k == first.k == 5  # wrgp derives k from the graph
+        assert hit.to_dict() == first.to_dict()
+
+
+class TestLruAndCounters:
+    def test_eviction_is_lru(self):
+        graphs = [BipartiteGraph.from_edges([(0, 0, w)]) for w in (1, 2, 3)]
+        cache = ScheduleCache(maxsize=2)
+        cached_schedule(graphs[0], k=1, beta=0.0, cache=cache)
+        cached_schedule(graphs[1], k=1, beta=0.0, cache=cache)
+        cached_schedule(graphs[0], k=1, beta=0.0, cache=cache)  # refresh 0
+        cached_schedule(graphs[2], k=1, beta=0.0, cache=cache)  # evicts 1
+        assert cache.stats()["evictions"] == 1
+        cached_schedule(graphs[0], k=1, beta=0.0, cache=cache)  # still cached
+        assert cache.stats()["hits"] == 2
+        cached_schedule(graphs[1], k=1, beta=0.0, cache=cache)  # gone: miss
+        assert cache.stats()["misses"] == 4
+
+    def test_obs_counters_track_hits_and_misses(self):
+        g = BipartiteGraph.from_edges([(0, 0, 2), (1, 1, 3)])
+        cache = ScheduleCache()
+        with obs.observed() as (registry, _tracer):
+            cached_schedule(g, k=2, beta=1.0, cache=cache)
+            cached_schedule(g, k=2, beta=1.0, cache=cache)
+            assert registry.counter("schedule_cache.misses").value == 1
+            assert registry.counter("schedule_cache.hits").value == 1
+
+    def test_clear_and_len(self):
+        g = BipartiteGraph.from_edges([(0, 0, 2)])
+        cache = ScheduleCache()
+        cached_schedule(g, k=1, beta=0.0, cache=cache)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 1  # statistics survive clear
+
+    def test_cache_none_bypasses(self):
+        g = BipartiteGraph.from_edges([(0, 0, 2)])
+        s = cached_schedule(g, k=1, beta=0.0, cache=None)
+        s.validate(g)
+
+
+class TestValidation:
+    def test_bad_maxsize_rejected(self):
+        with pytest.raises(ConfigError):
+            ScheduleCache(maxsize=0)
+
+    def test_unknown_algorithm_rejected(self):
+        g = BipartiteGraph.from_edges([(0, 0, 2)])
+        with pytest.raises(ConfigError):
+            cached_schedule(g, k=1, beta=0.0, algorithm="magic")
+
+    def test_default_cache_exists(self):
+        assert isinstance(DEFAULT_SCHEDULE_CACHE, ScheduleCache)
+        assert DEFAULT_SCHEDULE_CACHE.maxsize >= 1

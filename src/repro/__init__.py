@@ -15,6 +15,8 @@ Scheduling) end to end:
   model (substitute for the paper's two physical clusters),
 - :mod:`repro.runtime` — an in-process rank-based message-passing runtime
   (substitute for the paper's MPICH implementation),
+- :mod:`repro.parallel` — batch scheduling over persistent worker
+  processes (:func:`schedule_batch`),
 - :mod:`repro.patterns` — redistribution-pattern generators,
 - :mod:`repro.experiments` — one harness per paper figure (7–11) plus
   ablations,
@@ -37,6 +39,7 @@ from repro.core.wrgp import wrgp
 from repro.core.ggp import ggp
 from repro.core.oggp import oggp
 from repro.core.baselines import sequential_schedule, greedy_schedule
+from repro.parallel.batch import schedule_batch
 
 __all__ = [
     "BipartiteGraph",
@@ -50,6 +53,7 @@ __all__ = [
     "oggp",
     "sequential_schedule",
     "greedy_schedule",
+    "schedule_batch",
 ]
 
 __version__ = "1.0.0"

@@ -36,7 +36,7 @@ from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10_11 import TestbedConfig, run_testbed_comparison
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 from repro.experiments.simulation import SimulationConfig
 from repro.graph.generators import from_traffic_matrix, paper_figure2_graph
 from repro.netsim.runner import run_redistribution, uniform_traffic
@@ -54,20 +54,25 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     name = args.experiment
     if name in ("fig7", "fig8", "fig9") and (
-        args.draws is not None or args.processes > 1
+        args.draws is not None or args.processes > 1 or args.jobs is not None
     ):
         config = SimulationConfig(draws=args.draws or 300)
         runner = {"fig7": run_fig7, "fig8": run_fig8, "fig9": run_fig9}[name]
-        result = runner(config, processes=args.processes)
+        result = runner(config, processes=args.processes, jobs=args.jobs)
     elif name in ("fig10", "fig11") and (
         args.size_scale != 1.0 or args.repeats is not None
+        or args.jobs is not None
     ):
         config = TestbedConfig(
             k=3 if name == "fig10" else 7,
             size_scale=args.size_scale,
             tcp_repeats=args.repeats or 3,
         )
-        result = run_testbed_comparison(config)
+        result = run_testbed_comparison(
+            config, jobs=1 if args.jobs is None else args.jobs
+        )
+    elif args.jobs is not None:
+        result = run_experiment(name, jobs=args.jobs)
     else:
         result = get_experiment(name)()
     print(result.render())
@@ -89,8 +94,18 @@ def _load_matrix(path: Path) -> np.ndarray:
 def _cmd_schedule(args: argparse.Namespace) -> int:
     matrix = _load_matrix(Path(args.input))
     graph = from_traffic_matrix(matrix, speed=args.speed)
-    algorithm = oggp if args.algorithm == "oggp" else ggp
-    schedule = algorithm(graph, k=args.k, beta=args.beta)
+    if args.jobs is not None and args.jobs != 1:
+        from repro.parallel import schedule_batch
+
+        # Same schedule as the in-process path (the batch engine is
+        # bit-identical), computed on a worker process.
+        schedule = schedule_batch(
+            [graph], args.algorithm, k=args.k, beta=args.beta,
+            jobs=args.jobs, cache=None,
+        )[0]
+    else:
+        algorithm = oggp if args.algorithm == "oggp" else ggp
+        schedule = algorithm(graph, k=args.k, beta=args.beta)
     schedule.validate(graph)
     bound = lower_bound(graph, args.k, args.beta)
     ratio = evaluation_ratio(schedule.cost, bound)
@@ -174,6 +189,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     spec = NetworkSpec.paper_testbed(args.k, step_setup=args.beta)
     traffic = uniform_traffic(args.seed, spec.n1, spec.n2, 10.0, args.max_mb)
+    if args.jobs is not None and args.jobs != 1:
+        from repro.netsim.runner import build_schedule_batch
+
+        # Pre-warm the schedule cache on the worker pool; the method
+        # loop below then hits it, producing identical schedules.
+        for method in ("ggp", "oggp"):
+            build_schedule_batch(spec, [traffic], method, jobs=args.jobs)
     rows = []
     for method in ("bruteforce", "ggp", "oggp"):
         out = run_redistribution(spec, traffic, method, rng=args.seed)
@@ -303,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale message sizes (figs 10/11; <1 for quick runs)",
     )
     p.add_argument("--repeats", type=int, default=None, help="TCP repeats (figs 10/11)")
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for batch scheduling (0 = all CPUs)",
+    )
     p.add_argument("--csv", type=str, default=None, help="also write rows to CSV")
     _add_observability_args(p)
     p.set_defaults(fn=_cmd_run)
@@ -315,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", choices=("ggp", "oggp"), default="oggp")
     p.add_argument("--output", help="write schedule JSON here")
     p.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="schedule on N worker processes (0 = all CPUs); same output",
+    )
     p.add_argument(
         "--relax", action="store_true",
         help="also compute the barrier-free (asynchronous) makespan",
@@ -344,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-mb", type=float, default=60.0)
     p.add_argument("--beta", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="pre-compute schedules on N worker processes (0 = all CPUs)",
+    )
     _add_observability_args(p)
     p.set_defaults(fn=_cmd_simulate)
 

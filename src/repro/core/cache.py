@@ -23,6 +23,7 @@ cannot poison the cache, and two hits never alias each other.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable, Literal
 
@@ -31,7 +32,7 @@ from repro.core.schedule import Schedule, Step, Transfer
 from repro.graph.bipartite import BipartiteGraph
 from repro.util.errors import ConfigError
 
-CacheableAlgorithm = Literal["ggp", "oggp", "wrgp"]
+CacheableAlgorithm = Literal["ggp", "oggp", "wrgp", "greedy"]
 
 # (duration, ((canonical_pos, left, right, amount), ...)) per step.
 _StepData = tuple[float, tuple[tuple[int, int, int, float], ...]]
@@ -53,6 +54,16 @@ def _canonical(graph: BipartiteGraph) -> tuple[tuple, list[int]]:
     return signature, ids
 
 
+def canonical_signature(graph: BipartiteGraph) -> tuple:
+    """Id-free signature of ``graph`` — the dedup key of the batch engine.
+
+    Two graphs with equal signatures are the same redistribution pattern
+    up to edge ids; :func:`~repro.parallel.batch.schedule_batch` groups
+    a batch by this key so each pattern is scheduled once.
+    """
+    return _canonical(graph)[0]
+
+
 class ScheduleCache:
     """LRU cache mapping canonical (graph, k, β, algorithm) to schedules.
 
@@ -60,9 +71,14 @@ class ScheduleCache:
     entry is evicted when the cache is full.  Hit/miss/eviction counts
     are posted to the metrics registry under ``schedule_cache.*`` and
     also available via :meth:`stats`.
+
+    The cache is **thread-safe**: a single lock guards the LRU dict and
+    the statistics, so the runtime executor's callback threads (and any
+    embedder sharing one cache across threads) can hammer get/put
+    concurrently without corrupting the OrderedDict mid-``move_to_end``.
     """
 
-    __slots__ = ("maxsize", "_entries", "_hits", "_misses", "_evictions")
+    __slots__ = ("maxsize", "_entries", "_hits", "_misses", "_evictions", "_lock")
 
     def __init__(self, maxsize: int = 128) -> None:
         if maxsize < 1:
@@ -76,22 +92,26 @@ class ScheduleCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop all entries (statistics are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
         """Lifetime hit/miss/eviction counts and current size."""
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "size": len(self._entries),
-        }
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+            }
 
     # ------------------------------------------------------------------
     # Core protocol
@@ -107,14 +127,17 @@ class ScheduleCache:
         """Fresh schedule for ``graph`` if an equivalent one is cached."""
         signature, ids = _canonical(graph)
         key = (algorithm, int(k), float(beta), signature)
-        entry = self._entries.get(key)
         metrics = obs.metrics()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
         if entry is None:
-            self._misses += 1
             metrics.counter("schedule_cache.misses").inc()
             return None
-        self._entries.move_to_end(key)
-        self._hits += 1
         metrics.counter("schedule_cache.hits").inc()
         _stored_ids, sched_k, sched_beta, steps_data = entry
         steps = [
@@ -153,12 +176,16 @@ class ScheduleCache:
             )
             for step in schedule.steps
         )
-        self._entries[key] = (ids, schedule.k, schedule.beta, steps_data)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self._evictions += 1
-            obs.metrics().counter("schedule_cache.evictions").inc()
+        evicted = 0
+        with self._lock:
+            self._entries[key] = (ids, schedule.k, schedule.beta, steps_data)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        if evicted:
+            obs.metrics().counter("schedule_cache.evictions").inc(evicted)
 
 
 #: Process-wide default cache used by the netsim and runtime layers.
@@ -176,19 +203,22 @@ def cached_schedule(
     """Schedule ``graph``, consulting ``cache`` first.
 
     ``algorithm`` picks :func:`~repro.core.ggp.ggp`,
-    :func:`~repro.core.oggp.oggp` or :func:`~repro.core.wrgp.wrgp`;
-    ``engine`` is forwarded to the peeling loop and participates in the
-    cache key (the ``'resume'`` engine may legitimately produce a
-    different — still valid — schedule than ``'fast'``/``'reference'``).
-    Pass ``cache=None`` to bypass caching entirely.
+    :func:`~repro.core.oggp.oggp`, :func:`~repro.core.wrgp.wrgp` or
+    :func:`~repro.core.baselines.greedy_schedule` (which ignores
+    ``engine``); ``engine`` is forwarded to the peeling loop and
+    participates in the cache key (the ``'resume'`` engine may
+    legitimately produce a different — still valid — schedule than
+    ``'fast'``/``'reference'``).  Pass ``cache=None`` to bypass caching
+    entirely.
     """
     # Imported here: ggp/oggp/wrgp live above this module in the package
     # graph, and importing them lazily keeps cache importable from both.
+    from repro.core.baselines import greedy_schedule
     from repro.core.ggp import ggp
     from repro.core.oggp import oggp
     from repro.core.wrgp import wrgp
 
-    if algorithm not in ("ggp", "oggp", "wrgp"):
+    if algorithm not in ("ggp", "oggp", "wrgp", "greedy"):
         raise ConfigError(f"unknown algorithm {algorithm!r}")
     tag = f"{algorithm}/{engine}"
     if cache is not None:
@@ -199,6 +229,8 @@ def cached_schedule(
         schedule = ggp(graph, k=k, beta=beta, engine=engine)
     elif algorithm == "oggp":
         schedule = oggp(graph, k=k, beta=beta, engine=engine)
+    elif algorithm == "greedy":
+        schedule = greedy_schedule(graph, k=k, beta=beta)
     else:
         schedule = wrgp(graph, beta=beta, engine=engine)
     if cache is not None:

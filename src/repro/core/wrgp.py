@@ -59,6 +59,11 @@ MatchingStrategy = Literal["arbitrary", "max_weight", "bottleneck"]
 #: 'reference' — the stateless per-peel calls, kept as the test oracle.
 PeelEngine = Literal["fast", "resume", "reference"]
 
+#: The engine names :func:`peel_weight_regular` accepts, in preference
+#: order.  Kept as a runtime tuple so callers (the batch engine, CLIs)
+#: can validate engine arguments without hard-coding the list.
+VALID_ENGINES: tuple[str, ...] = ("fast", "resume", "reference")
+
 
 def peel_weight_regular(
     graph: BipartiteGraph,
@@ -70,9 +75,24 @@ def peel_weight_regular(
     ``graph`` must be weight-regular and is consumed in place.  The
     yielded matchings hold edge snapshots *before* the peel, so their
     weights are the pre-peel remaining weights.
+
+    An unrecognised ``engine`` raises :class:`ConfigError` (a
+    :class:`ValueError`) listing the valid engines — eagerly, at call
+    time, not at first iteration.
     """
-    if engine not in ("fast", "resume", "reference"):
-        raise ConfigError(f"unknown peel engine {engine!r}")
+    if engine not in VALID_ENGINES:
+        raise ConfigError(
+            f"unknown peel engine {engine!r}; valid engines: "
+            + ", ".join(repr(e) for e in VALID_ENGINES)
+        )
+    return _peel_weight_regular(graph, matching, engine)
+
+
+def _peel_weight_regular(
+    graph: BipartiteGraph,
+    matching: MatchingStrategy,
+    engine: PeelEngine,
+) -> Iterator[tuple[Matching, Number]]:
     previous: Matching | None = None
     size = graph.num_left
     if size != graph.num_right:

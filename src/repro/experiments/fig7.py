@@ -19,9 +19,15 @@ def run_fig7(
     config: SimulationConfig | None = None,
     k_values: Sequence[int] = DEFAULT_K_VALUES,
     processes: int = 1,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 7's four curves (avg/max ratio for GGP/OGGP)."""
+    """Regenerate Figure 7's four curves (avg/max ratio for GGP/OGGP).
+
+    ``jobs`` (the CLI's ``--jobs``) overrides ``processes`` when given;
+    both name the worker-process count for the draw sweep.
+    """
     config = config or SimulationConfig()
+    processes = processes if jobs is None else jobs
     rows = []
     x: list[float] = []
     ggp_avg, ggp_max, oggp_avg, oggp_max = [], [], [], []

@@ -19,10 +19,15 @@ def run_fig8(
     config: SimulationConfig | None = None,
     k_values: Sequence[int] = DEFAULT_K_VALUES,
     processes: int = 1,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 8 (same protocol as Figure 7, weights ≤ 10000)."""
+    """Regenerate Figure 8 (same protocol as Figure 7, weights ≤ 10000).
+
+    ``jobs`` (the CLI's ``--jobs``) overrides ``processes`` when given.
+    """
     config = config or SimulationConfig()
     config = replace(config, weight_low=1, weight_high=10_000)
+    processes = processes if jobs is None else jobs
     rows = []
     x: list[float] = []
     ggp_avg, ggp_max, oggp_avg, oggp_max = [], [], [], []

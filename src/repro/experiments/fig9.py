@@ -22,9 +22,14 @@ def run_fig9(
     config: SimulationConfig | None = None,
     beta_values: Sequence[float] = DEFAULT_BETA_VALUES,
     processes: int = 1,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 9 (β sweep; ``k`` random per draw)."""
+    """Regenerate Figure 9 (β sweep; ``k`` random per draw).
+
+    ``jobs`` (the CLI's ``--jobs``) overrides ``processes`` when given.
+    """
     config = config or SimulationConfig()
+    processes = processes if jobs is None else jobs
     rows = []
     x: list[float] = []
     ggp_avg, ggp_max, oggp_avg, oggp_max = [], [], [], []

@@ -54,3 +54,24 @@ def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
+
+
+def run_experiment(
+    experiment_id: str, jobs: int | None = None
+) -> ExperimentResult:
+    """Run a registered experiment, forwarding ``jobs`` when supported.
+
+    Harnesses opt into parallelism by accepting a ``jobs`` keyword;
+    passing ``--jobs`` to one that does not support it raises
+    :class:`ConfigError` rather than silently running serially.
+    """
+    import inspect
+
+    harness = get_experiment(experiment_id)
+    if jobs is None:
+        return harness()
+    if "jobs" not in inspect.signature(harness).parameters:
+        raise ConfigError(
+            f"experiment {experiment_id!r} does not support --jobs"
+        )
+    return harness(jobs=jobs)

@@ -117,26 +117,27 @@ def measure_ratios(
     are derived per (point, draw), so results don't depend on execution
     order, on sub-sampling draws, or on ``processes`` — the draws are
     embarrassingly parallel and ``processes > 1`` fans them out over a
-    multiprocessing pool (useful for paper-fidelity 100k-draw runs).
+    persistent :class:`~repro.parallel.pool.WorkerPool` (useful for
+    paper-fidelity 100k-draw runs).
 
     When :mod:`repro.obs` is enabled, per-draw quality metrics (cost,
     lower bound, evaluation ratio, steps, preemptions) accumulate in
-    the active registry — but only for ``processes == 1``: pool workers
-    are separate processes whose registries are discarded, so profile
-    with a single process.
+    the active registry.  With ``processes > 1`` each worker records
+    into its own registry, shipped back and merged into the parent's
+    at pool shutdown — so profiles stay complete under parallelism.
     """
     if processes <= 1 or config.draws < 4:
         g, o = _measure_chunk((config, k, beta, point_index, 0, config.draws))
     else:
-        import multiprocessing
+        from repro.parallel import WorkerPool
 
         step = -(-config.draws // processes)
         chunks = [
             (config, k, beta, point_index, lo, min(lo + step, config.draws))
             for lo in range(0, config.draws, step)
         ]
-        with multiprocessing.Pool(processes) as pool:
-            parts = pool.map(_measure_chunk, chunks)
+        with WorkerPool(processes, _measure_chunk) as pool:
+            parts = pool.map(chunks, chunk_size=1)
         g = [r for part in parts for r in part[0]]
         o = [r for part in parts for r in part[1]]
     return RatioPoint(

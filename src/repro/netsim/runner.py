@@ -9,7 +9,7 @@ step by step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 
@@ -59,6 +59,37 @@ def build_schedule(
     graph = from_traffic_matrix(traffic_mbit, speed=spec.flow_rate)
     return cached_schedule(
         graph, k=spec.k, beta=spec.step_setup, algorithm=method, cache=cache
+    )
+
+
+def build_schedule_batch(
+    spec: NetworkSpec,
+    traffic_list: Sequence[np.ndarray],
+    method: Literal["ggp", "oggp"],
+    jobs: int | None = 1,
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+) -> list[Schedule]:
+    """K-PBS schedules for many traffic matrices on one platform.
+
+    The batch counterpart of :func:`build_schedule`: equivalent traffic
+    matrices are scheduled once (canonical dedup through ``cache``) and
+    the unique instances fan out over ``jobs`` worker processes.  Output
+    is bit-identical to calling :func:`build_schedule` per matrix, in
+    order, with the same cache.
+    """
+    from repro.parallel import schedule_batch
+
+    graphs = [
+        from_traffic_matrix(traffic, speed=spec.flow_rate)
+        for traffic in traffic_list
+    ]
+    return schedule_batch(
+        graphs,
+        method,
+        k=spec.k,
+        beta=spec.step_setup,
+        jobs=jobs,
+        cache=cache,
     )
 
 

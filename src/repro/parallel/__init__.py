@@ -1,0 +1,56 @@
+"""repro.parallel — persistent-pool batch scheduling engine.
+
+Three layers (see docs/performance.md, "Batch & parallel scheduling"):
+
+- :mod:`~repro.parallel.wire` — compact binary wire format for the
+  array-backed :class:`~repro.graph.bipartite.BipartiteGraph` (flat
+  :mod:`array`/:mod:`struct` payloads, O(edges) bytes, faithful to edge
+  ids and numeric weight types);
+- :mod:`~repro.parallel.pool` — :class:`WorkerPool`, persistent worker
+  processes with chunked dispatch, submission-index result ordering,
+  and telemetry ship-back/merge at shutdown;
+- :mod:`~repro.parallel.batch` — :func:`schedule_batch`, the public
+  batch API: canonical dedup through the schedule cache plus parallel
+  fan-out of the unique instances, bit-identical to the serial path.
+
+Quickstart::
+
+    from repro.parallel import schedule_batch
+
+    schedules = schedule_batch(graphs, "oggp", k=4, beta=1.0, jobs=4)
+
+Reuse warm workers across batches::
+
+    from repro.parallel import make_schedule_pool, schedule_batch
+
+    with make_schedule_pool(jobs=4) as pool:
+        first = schedule_batch(batch1, "oggp", k=4, beta=1.0, pool=pool)
+        second = schedule_batch(batch2, "ggp", k=4, beta=1.0, pool=pool)
+"""
+
+from repro.parallel.batch import BATCH_ALGORITHMS, make_schedule_pool, schedule_batch
+from repro.parallel.pool import (
+    ParallelError,
+    PoolReport,
+    WorkerCrashError,
+    WorkerPool,
+    WorkerTaskError,
+    resolve_jobs,
+    worker_cache,
+)
+from repro.parallel.wire import decode_graph, encode_graph
+
+__all__ = [
+    "BATCH_ALGORITHMS",
+    "ParallelError",
+    "PoolReport",
+    "WorkerCrashError",
+    "WorkerPool",
+    "WorkerTaskError",
+    "decode_graph",
+    "encode_graph",
+    "make_schedule_pool",
+    "resolve_jobs",
+    "schedule_batch",
+    "worker_cache",
+]

@@ -1,0 +1,314 @@
+"""Persistent worker-process pool with telemetry ship-back.
+
+One pool implementation backs every parallel path in the library: the
+batch scheduling engine (:mod:`repro.parallel.batch`), the Figure 7–9
+simulation sweeps (:mod:`repro.experiments.simulation`) and anything an
+embedder wants to fan out.  Design points:
+
+- **Warm workers.**  Worker processes are started once and stay alive
+  across :meth:`WorkerPool.map` calls, holding process-local state (the
+  per-worker :class:`~repro.core.cache.ScheduleCache`, imported modules,
+  allocator warmth) between tasks — the libnbc lesson that batch
+  throughput comes from amortising setup across requests, not only from
+  faster inner loops.
+- **Deterministic results.**  Every payload is keyed by its submission
+  index; :meth:`WorkerPool.map` reassembles results in submission order,
+  so output never depends on completion order, chunking, or the number
+  of workers.
+- **Chunked dispatch.**  Payloads travel in chunks to amortise queue
+  round-trips; chunk size adapts to the payload count (override with
+  ``chunk_size``).
+- **Telemetry merge.**  When the parent has :mod:`repro.obs` enabled at
+  pool creation, each worker records into its own
+  :class:`~repro.obs.MetricsRegistry`; on :meth:`shutdown` the
+  registries (histograms with full samples) and the per-worker schedule
+  cache statistics are shipped back and merged into the parent's active
+  registry, so ``--profile`` output stays complete under parallelism.
+  (Tracing spans are parent-process only.)
+- **Clear failure.**  A task that raises is reported with its submission
+  index (:class:`WorkerTaskError`); a worker process that dies is
+  detected and reported with the indices still in flight
+  (:class:`WorkerCrashError`).  Neither leaves the parent hanging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro import obs
+from repro.core.cache import ScheduleCache
+from repro.obs.metrics import MetricsRegistry
+from repro.util.errors import ConfigError, ReproError
+
+__all__ = [
+    "ParallelError",
+    "WorkerTaskError",
+    "WorkerCrashError",
+    "PoolReport",
+    "WorkerPool",
+    "resolve_jobs",
+    "worker_cache",
+]
+
+
+class ParallelError(ReproError):
+    """Base class for batch/pool execution failures."""
+
+
+class WorkerTaskError(ParallelError):
+    """A task raised inside a worker; ``index`` names the failing item."""
+
+    def __init__(self, index: int, detail: str) -> None:
+        super().__init__(f"task {index} failed in worker: {detail}")
+        self.index = index
+        self.detail = detail
+
+
+class WorkerCrashError(ParallelError):
+    """A worker process died mid-batch (signal, OOM kill, interpreter abort)."""
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``jobs`` argument: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1 (or None for all CPUs), got {jobs}")
+    return int(jobs)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Process-local schedule cache, created in ``_worker_main``.  Task
+#: functions reach it through :func:`worker_cache`; it lives as long as
+#: the worker process, so repeated patterns across batches hit it.
+_WORKER_CACHE: ScheduleCache | None = None
+
+
+def worker_cache() -> ScheduleCache | None:
+    """The calling worker process's schedule cache (None in the parent)."""
+    return _WORKER_CACHE
+
+
+def _worker_main(
+    task: Callable,
+    task_q,
+    result_q,
+    record_obs: bool,
+    worker_id: int,
+    cache_size: int,
+) -> None:
+    """Worker loop: process chunks until a stop message arrives."""
+    global _WORKER_CACHE
+    _WORKER_CACHE = ScheduleCache(maxsize=cache_size)
+    registry: MetricsRegistry | None = None
+    if record_obs:
+        registry, _ = obs.enable(registry=MetricsRegistry())
+    else:
+        # Forked workers inherit the parent's obs state; make the
+        # disabled case explicit so workers never write to a registry
+        # object shared (copy-on-write) with the parent.
+        obs.disable()
+    while True:
+        message = task_q.get()
+        if message[0] == "stop":
+            snapshot = registry.snapshot(samples=True) if registry else {}
+            result_q.put(
+                ("final", worker_id, snapshot, _WORKER_CACHE.stats())
+            )
+            return
+        _kind, chunk = message
+        results = []
+        for index, payload in chunk:
+            try:
+                results.append((index, True, task(payload)))
+            except Exception as exc:  # ship it back; the worker stays warm
+                results.append((index, False, f"{type(exc).__name__}: {exc}"))
+        result_q.put(("done", results))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PoolReport:
+    """What :meth:`WorkerPool.shutdown` shipped back from the workers."""
+
+    #: Per-worker metrics snapshots (empty dicts when obs was off).
+    worker_metrics: list[dict] = field(default_factory=list)
+    #: Per-worker ``ScheduleCache.stats()`` dicts.
+    cache_stats: list[dict] = field(default_factory=list)
+
+    def cache_totals(self) -> dict[str, int]:
+        """Hit/miss/eviction counts summed over all workers."""
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        for stats in self.cache_stats:
+            for key in totals:
+                totals[key] += stats.get(key, 0)
+        return totals
+
+
+class WorkerPool:
+    """Persistent pool of worker processes running one task function.
+
+    ``task`` must be a module-level (picklable) callable taking a single
+    payload argument.  The pool is reusable: call :meth:`map` any number
+    of times, then :meth:`shutdown` (or use it as a context manager).
+
+    ``record_obs`` defaults to whether :mod:`repro.obs` is enabled in
+    the parent *at pool creation*; worker registries are merged into the
+    parent's active registry at shutdown.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None,
+        task: Callable,
+        record_obs: bool | None = None,
+        cache_size: int = 128,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.task = task
+        self._record_obs = obs.enabled() if record_obs is None else record_obs
+        self._closed = False
+        ctx = multiprocessing.get_context()
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._workers = []
+        for worker_id in range(self.jobs):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    task,
+                    self._task_q,
+                    self._result_q,
+                    self._record_obs,
+                    worker_id,
+                    cache_size,
+                ),
+                daemon=True,
+                name=f"repro-worker-{worker_id}",
+            )
+            proc.start()
+            self._workers.append(proc)
+
+    # ------------------------------------------------------------------
+
+    def _dead_workers(self) -> list[int]:
+        return [
+            i for i, p in enumerate(self._workers) if p.exitcode is not None
+        ]
+
+    def map(
+        self,
+        payloads: Iterable,
+        chunk_size: int | None = None,
+    ) -> list:
+        """Run ``task`` over ``payloads``; results in submission order.
+
+        Raises :class:`WorkerTaskError` for the lowest-indexed payload
+        whose task raised, and :class:`WorkerCrashError` when a worker
+        process dies before finishing its chunks.
+        """
+        if self._closed:
+            raise ParallelError("pool already shut down")
+        items: Sequence = list(payloads)
+        n = len(items)
+        if n == 0:
+            return []
+        if chunk_size is None:
+            chunk_size = max(1, -(-n // (self.jobs * 4)))
+        pending = 0
+        for lo in range(0, n, chunk_size):
+            chunk = [(i, items[i]) for i in range(lo, min(lo + chunk_size, n))]
+            self._task_q.put(("chunk", chunk))
+            pending += 1
+        results: dict[int, object] = {}
+        failures: list[tuple[int, str]] = []
+        while pending:
+            try:
+                message = self._result_q.get(timeout=1.0)
+            except queue.Empty:
+                dead = self._dead_workers()
+                if dead:
+                    missing = sorted(set(range(n)) - set(results))
+                    raise WorkerCrashError(
+                        f"worker process(es) {dead} died mid-batch; "
+                        f"items not completed: {missing[:20]}"
+                        + ("..." if len(missing) > 20 else "")
+                    )
+                continue
+            if message[0] != "done":  # pragma: no cover - protocol guard
+                raise ParallelError(f"unexpected pool message {message[0]!r}")
+            for index, ok, value in message[1]:
+                if ok:
+                    results[index] = value
+                else:
+                    failures.append((index, value))
+            pending -= 1
+        if failures:
+            index, detail = min(failures)
+            raise WorkerTaskError(index, detail)
+        return [results[i] for i in range(n)]
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> PoolReport:
+        """Stop the workers, merge their telemetry, return the report.
+
+        Idempotent; after the first call the pool is unusable.  Worker
+        metrics registries are merged into the parent's *currently
+        active* registry (a no-op when obs is disabled in the parent).
+        """
+        if self._closed:
+            return PoolReport()
+        self._closed = True
+        for _ in self._workers:
+            self._task_q.put(("stop",))
+        report = PoolReport()
+        finals = 0
+        alive = len(self._workers)
+        while finals < alive:
+            try:
+                message = self._result_q.get(timeout=5.0)
+            except queue.Empty:
+                # Workers that already died cannot send a final message.
+                alive = len(self._workers) - len(self._dead_workers())
+                if finals >= alive:
+                    break
+                continue
+            if message[0] != "final":
+                continue  # late task results from an aborted map
+            _tag, _worker_id, snapshot, cache_stats = message
+            report.worker_metrics.append(snapshot)
+            report.cache_stats.append(cache_stats)
+            finals += 1
+        for proc in self._workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+        registry = obs.metrics()
+        if isinstance(registry, MetricsRegistry):
+            for snapshot in report.worker_metrics:
+                if snapshot:
+                    registry.merge(MetricsRegistry.from_snapshot(snapshot))
+        return report
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"WorkerPool(jobs={self.jobs}, task={self.task.__name__}, {state})"

@@ -21,6 +21,7 @@ from repro.runtime.executor import (
     run_scheduled,
     run_bruteforce,
     schedule_and_run,
+    schedule_and_run_batch,
     RuntimeReport,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "run_scheduled",
     "run_bruteforce",
     "schedule_and_run",
+    "schedule_and_run_batch",
     "RuntimeReport",
 ]

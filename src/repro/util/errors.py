@@ -35,5 +35,11 @@ class SimulationError(ReproError):
     """Raised by the DES kernel and the network simulator."""
 
 
-class ConfigError(ReproError):
-    """Raised for invalid experiment or topology configuration."""
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid experiment or topology configuration.
+
+    Also a :class:`ValueError`: bad argument values (an unknown peel
+    engine, a non-positive ``jobs`` count) are value errors first, so
+    callers outside the library can catch the stdlib type without
+    importing the repro hierarchy.
+    """

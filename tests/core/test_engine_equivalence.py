@@ -87,3 +87,23 @@ class TestEngineArgument:
         g = random_weight_regular(1, n=3)
         with pytest.raises(ConfigError):
             wrgp(g, matching="bottleneck", engine="warp")
+
+    def test_unknown_engine_is_a_value_error_listing_engines(self):
+        # ConfigError doubles as ValueError so stdlib-only callers can
+        # catch it; the message must name every valid engine.
+        from repro.core.wrgp import VALID_ENGINES, peel_weight_regular
+
+        g = random_weight_regular(1, n=3)
+        with pytest.raises(ValueError) as excinfo:
+            peel_weight_regular(g, engine="warp")
+        for engine in VALID_ENGINES:
+            assert repr(engine) in str(excinfo.value)
+
+    def test_unknown_engine_raises_eagerly_not_at_first_iteration(self):
+        # peel_weight_regular is generator-backed; the engine check must
+        # fire at call time, before anyone iterates.
+        from repro.core.wrgp import peel_weight_regular
+
+        g = random_weight_regular(1, n=3)
+        with pytest.raises(ValueError):
+            peel_weight_regular(g, engine="")  # no next() needed

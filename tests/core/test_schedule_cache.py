@@ -145,3 +145,48 @@ class TestValidation:
     def test_default_cache_exists(self):
         assert isinstance(DEFAULT_SCHEDULE_CACHE, ScheduleCache)
         assert DEFAULT_SCHEDULE_CACHE.maxsize >= 1
+
+
+class TestThreadSafety:
+    def test_concurrent_get_put_hammer(self):
+        """Two threads hammering get/put must not corrupt the LRU dict."""
+        import threading
+
+        graphs = [
+            BipartiteGraph.from_edges(
+                [(0, 0, w), (0, 1, w + 1), (1, 1, w + 2)]
+            )
+            for w in range(1, 9)
+        ]
+        cache = ScheduleCache(maxsize=4)  # small: constant evictions
+        reference = {
+            id(g): cached_schedule(g, k=2, beta=1.0, cache=None).to_dict()
+            for g in graphs
+        }
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def hammer(offset: int) -> None:
+            try:
+                barrier.wait()
+                for round_number in range(60):
+                    g = graphs[(offset + round_number) % len(graphs)]
+                    out = cached_schedule(g, k=2, beta=1.0, cache=cache)
+                    if out.to_dict() != reference[id(g)]:
+                        errors.append(
+                            f"round {round_number}: wrong schedule returned"
+                        )
+            except Exception as exc:  # pragma: no cover - the failure path
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 120
+        assert len(cache) <= 4

@@ -1,0 +1,147 @@
+"""schedule_batch: bit-identical to the serial path, clear failures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ScheduleCache, cached_schedule
+from repro.core.schedule import Schedule
+from repro.graph.bipartite import BipartiteGraph
+from repro.parallel import make_schedule_pool, schedule_batch
+from repro.parallel.pool import WorkerTaskError
+from repro.util.errors import ConfigError
+from tests.conftest import bipartite_graphs
+
+ALGORITHMS = ("ggp", "oggp", "greedy")
+ENGINES = ("fast", "resume", "reference")
+
+
+def flat(schedule: Schedule) -> tuple:
+    """Every observable field, for exact equality checks."""
+    return (
+        schedule.k,
+        schedule.beta,
+        tuple(
+            (
+                step.duration,
+                tuple(
+                    (t.edge_id, t.left, t.right, t.amount)
+                    for t in step.transfers
+                ),
+            )
+            for step in schedule.steps
+        ),
+    )
+
+
+@st.composite
+def graph_batches(draw):
+    """A small batch with deliberate duplicates (same pattern, new ids)."""
+    base = draw(st.lists(bipartite_graphs(), min_size=1, max_size=4))
+    graphs = list(base)
+    for index in draw(
+        st.lists(st.integers(0, len(base) - 1), min_size=0, max_size=3)
+    ):
+        graphs.append(base[index].copy())
+    return graphs
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("engine", ENGINES)
+    @given(graphs=graph_batches(), k=st.integers(1, 6), beta=st.sampled_from([0.0, 1.0]))
+    @settings(max_examples=8, deadline=None)
+    def test_batch_equals_serial_cached_loop(
+        self, algorithm, engine, graphs, k, beta
+    ):
+        serial_cache = ScheduleCache()
+        serial = [
+            cached_schedule(
+                g, k=k, beta=beta, algorithm=algorithm, engine=engine,
+                cache=serial_cache,
+            )
+            for g in graphs
+        ]
+        batch_cache = ScheduleCache()
+        batch = schedule_batch(
+            graphs, algorithm, k=k, beta=beta, engine=engine, jobs=2,
+            cache=batch_cache,
+        )
+        assert [flat(s) for s in serial] == [flat(b) for b in batch]
+        assert serial_cache.stats()["hits"] == batch_cache.stats()["hits"]
+        assert serial_cache.stats()["misses"] == batch_cache.stats()["misses"]
+
+    def test_uncached_batch_equals_plain_loop(self):
+        graphs = [
+            BipartiteGraph.from_edges([(0, 0, 4), (0, 1, 2), (1, 1, 3)]),
+            BipartiteGraph.from_edges([(0, 0, 5), (1, 0, 1)]),
+        ]
+        serial = [
+            cached_schedule(g, k=2, beta=1.0, algorithm="oggp", cache=None)
+            for g in graphs
+        ]
+        batch = schedule_batch(graphs, "oggp", k=2, beta=1.0, jobs=2, cache=None)
+        assert [flat(s) for s in serial] == [flat(b) for b in batch]
+
+    def test_jobs_one_is_serial(self):
+        graphs = [BipartiteGraph.from_edges([(0, 0, 2)])]
+        cache = ScheduleCache()
+        batch = schedule_batch(graphs, "oggp", k=1, beta=0.0, jobs=1, cache=cache)
+        assert flat(batch[0]) == flat(
+            cached_schedule(graphs[0], k=1, beta=0.0, algorithm="oggp")
+        )
+
+    def test_empty_batch(self):
+        assert schedule_batch([], "oggp", k=1, beta=0.0, jobs=2) == []
+
+    def test_reused_pool_across_batches(self):
+        g1 = BipartiteGraph.from_edges([(0, 0, 4), (0, 1, 2)])
+        g2 = BipartiteGraph.from_edges([(0, 0, 3), (1, 1, 3)])
+        with make_schedule_pool(jobs=2) as pool:
+            first = schedule_batch(
+                [g1, g2], "oggp", k=2, beta=1.0, pool=pool, cache=None
+            )
+            second = schedule_batch(
+                [g1], "ggp", k=2, beta=1.0, pool=pool, cache=None
+            )
+        assert flat(first[0]) == flat(
+            cached_schedule(g1, k=2, beta=1.0, algorithm="oggp", cache=None)
+        )
+        assert flat(second[0]) == flat(
+            cached_schedule(g1, k=2, beta=1.0, algorithm="ggp", cache=None)
+        )
+
+    def test_schedules_validate(self):
+        graphs = [
+            BipartiteGraph.from_edges([(0, 0, 4), (0, 1, 2), (1, 1, 3)]),
+            BipartiteGraph.from_edges([(0, 0, 1), (1, 1, 6), (1, 0, 2)]),
+        ]
+        for schedule, graph in zip(
+            schedule_batch(graphs, "oggp", k=2, beta=1.0, jobs=2, cache=None),
+            graphs,
+        ):
+            schedule.validate(graph)
+
+
+class TestValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigError, match="unknown algorithm"):
+            schedule_batch([], "simplex", k=1, beta=0.0)
+
+    def test_unknown_engine_lists_valid_ones(self):
+        with pytest.raises(ValueError, match="fast.*resume.*reference"):
+            schedule_batch([], "oggp", k=1, beta=0.0, engine="warp")
+
+
+class TestFailureSurfacing:
+    def test_worker_error_names_graph_index(self):
+        good = BipartiteGraph.from_edges([(0, 0, 2)])
+        # wrgp requires a square weight-regular graph; this one is not,
+        # so the worker raises and the error must name graph 1.
+        bad = BipartiteGraph.from_edges([(0, 0, 2), (0, 1, 5)])
+        with pytest.raises(WorkerTaskError, match="graph 1 of the batch") as exc:
+            schedule_batch(
+                [good, bad], "wrgp", k=1, beta=0.0, jobs=2, cache=None
+            )
+        assert exc.value.index == 1
+        assert "wrgp" in str(exc.value)

@@ -1,0 +1,144 @@
+"""WorkerPool: ordering, reuse, failure surfacing, telemetry merge."""
+
+import os
+import signal
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.pool import (
+    ParallelError,
+    WorkerCrashError,
+    WorkerPool,
+    WorkerTaskError,
+    resolve_jobs,
+)
+from repro.util.errors import ConfigError
+
+
+def square(x):
+    return x * x
+
+
+def fail_on_negative(x):
+    if x < 0:
+        raise ValueError(f"no negatives, got {x}")
+    return x + 1
+
+
+def record_metric(x):
+    obs.metrics().counter("pooltest.calls").inc()
+    obs.metrics().histogram("pooltest.values").observe(float(x))
+    return x
+
+
+def die_on_sentinel(x):
+    if x == "die":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x
+
+
+class TestResolveJobs:
+    def test_defaults_to_cpu_count(self):
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(-1)
+
+
+class TestMap:
+    def test_submission_order(self):
+        with WorkerPool(2, square) as pool:
+            assert pool.map(list(range(20))) == [x * x for x in range(20)]
+
+    def test_reuse_across_maps(self):
+        with WorkerPool(2, square) as pool:
+            assert pool.map([1, 2, 3]) == [1, 4, 9]
+            assert pool.map([4, 5]) == [16, 25]
+            assert pool.map([]) == []
+
+    def test_explicit_chunk_size(self):
+        with WorkerPool(2, square) as pool:
+            assert pool.map(list(range(7)), chunk_size=1) == [
+                x * x for x in range(7)
+            ]
+
+    def test_task_error_names_lowest_index(self):
+        with WorkerPool(2, fail_on_negative) as pool:
+            with pytest.raises(WorkerTaskError) as excinfo:
+                pool.map([1, 2, -7, 3, -1])
+            assert excinfo.value.index == 2
+            assert "ValueError" in excinfo.value.detail
+            assert "-7" in excinfo.value.detail
+
+    def test_worker_stays_warm_after_task_error(self):
+        with WorkerPool(1, fail_on_negative) as pool:
+            with pytest.raises(WorkerTaskError):
+                pool.map([-1])
+            assert pool.map([5]) == [6]
+
+    def test_map_after_shutdown_raises(self):
+        pool = WorkerPool(1, square)
+        pool.shutdown()
+        with pytest.raises(ParallelError):
+            pool.map([1])
+
+    def test_worker_crash_detected(self):
+        pool = WorkerPool(1, die_on_sentinel)
+        try:
+            with pytest.raises(WorkerCrashError, match="died mid-batch"):
+                pool.map(["ok", "die", "never"])
+        finally:
+            pool.shutdown()
+
+
+class TestTelemetry:
+    def test_worker_metrics_merged_into_parent(self):
+        with obs.observed() as (registry, _tracer):
+            with WorkerPool(2, record_metric) as pool:
+                pool.map(list(range(10)))
+            # merge happens at shutdown (context exit)
+        assert registry.counter("pooltest.calls").value == 10
+        hist = registry.histogram("pooltest.values").to_dict()
+        assert hist["count"] == 10
+        assert hist["min"] == 0.0 and hist["max"] == 9.0
+
+    def test_no_recording_when_parent_disabled(self):
+        assert not obs.enabled()
+        with WorkerPool(1, record_metric) as pool:
+            pool.map([1, 2])
+            report = pool.shutdown()
+        # Workers ran with obs off: the shipped snapshots are empty.
+        assert all(snapshot == {} for snapshot in report.worker_metrics)
+
+    def test_report_cache_totals(self):
+        with WorkerPool(2, square) as pool:
+            pool.map([1])
+            report = pool.shutdown()
+        totals = report.cache_totals()
+        assert set(totals) == {"hits", "misses", "evictions", "size"}
+        assert len(report.cache_stats) == 2
+
+    def test_shutdown_idempotent(self):
+        pool = WorkerPool(1, square)
+        first = pool.shutdown()
+        second = pool.shutdown()
+        assert len(first.cache_stats) == 1
+        assert second.cache_stats == []
+
+    def test_explicit_record_obs_overrides_parent_state(self):
+        registry = MetricsRegistry()
+        with WorkerPool(1, record_metric, record_obs=True) as pool:
+            pool.map([3])
+            obs.enable(registry=registry)
+            try:
+                pool.shutdown()
+            finally:
+                obs.disable()
+        assert registry.counter("pooltest.calls").value == 1

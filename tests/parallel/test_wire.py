@@ -1,0 +1,115 @@
+"""Wire format: faithful round-trips and malformed-input rejection."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.cache import canonical_signature
+from repro.core.regularize import regularize
+from repro.graph.bipartite import BipartiteGraph, EdgeKind, NodeKind
+from repro.parallel.wire import decode_graph, encode_graph
+from repro.util.errors import GraphError
+from tests.conftest import bipartite_graphs
+
+
+def graph_state(g: BipartiteGraph) -> tuple:
+    """Everything the schedulers can observe about a graph."""
+    return (
+        sorted(g.left_nodes()),
+        sorted(g.right_nodes()),
+        [(n, g.left_node_kind(n)) for n in sorted(g.left_nodes())],
+        [(n, g.right_node_kind(n)) for n in sorted(g.right_nodes())],
+        sorted(
+            (e.id, e.left, e.right, e.weight, type(e.weight), e.kind)
+            for e in g.edges()
+        ),
+        g._next_edge_id,
+    )
+
+
+class TestRoundTrip:
+    @given(bipartite_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_random_int_graphs(self, g):
+        assert graph_state(decode_graph(encode_graph(g))) == graph_state(g)
+
+    @given(bipartite_graphs(integer_weights=False))
+    @settings(max_examples=40, deadline=None)
+    def test_random_float_graphs(self, g):
+        assert graph_state(decode_graph(encode_graph(g))) == graph_state(g)
+
+    def test_mixed_weight_types(self):
+        g = BipartiteGraph.from_edges([(0, 0, 3), (0, 1, 2.5), (1, 1, 7)])
+        g2 = decode_graph(encode_graph(g))
+        assert graph_state(g2) == graph_state(g)
+        weights = {e.weight for e in g2.edges()}
+        assert weights == {3, 2.5, 7}
+        assert {type(w) for w in weights} == {int, float}
+
+    def test_edge_id_gaps_survive(self):
+        g = BipartiteGraph.from_edges([(0, 0, 4), (0, 1, 2), (1, 1, 3)])
+        g.remove_edge(1)
+        g2 = decode_graph(encode_graph(g))
+        assert graph_state(g2) == graph_state(g)
+        assert not g2.has_edge_id(1)
+        # New edges keep allocating past the old high-water mark.
+        assert g2._next_edge_id == g._next_edge_id
+
+    def test_filler_kinds_survive(self):
+        g = BipartiteGraph.from_edges([(0, 0, 4), (1, 1, 2)])
+        result = regularize(g, k=2)
+        reg = result.graph
+        kinds = {e.kind for e in reg.edges()}
+        assert EdgeKind.ORIGINAL in kinds  # sanity: regularize kept them
+        assert graph_state(decode_graph(encode_graph(reg))) == graph_state(reg)
+
+    def test_isolated_nodes_survive(self):
+        g = BipartiteGraph.from_edges([(0, 0, 1)])
+        g.add_left_node(5, NodeKind.PADDING)
+        g.add_right_node(9, NodeKind.FILLER)
+        g2 = decode_graph(encode_graph(g))
+        assert graph_state(g2) == graph_state(g)
+        assert g2.left_node_kind(5) is NodeKind.PADDING
+        assert g2.right_node_kind(9) is NodeKind.FILLER
+
+    def test_empty_graph(self):
+        g = BipartiteGraph()
+        assert graph_state(decode_graph(encode_graph(g))) == graph_state(g)
+
+    @given(bipartite_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_signature_preserved(self, g):
+        assert canonical_signature(decode_graph(encode_graph(g))) == (
+            canonical_signature(g)
+        )
+
+
+class TestMalformedInput:
+    def test_bad_magic(self):
+        with pytest.raises(GraphError, match="not a KPBW"):
+            decode_graph(b"NOPE" + b"\x00" * 64)
+
+    def test_truncated(self):
+        data = encode_graph(BipartiteGraph.from_edges([(0, 0, 1)]))
+        with pytest.raises(GraphError):
+            decode_graph(data[:10])
+
+    def test_trailing_bytes(self):
+        data = encode_graph(BipartiteGraph.from_edges([(0, 0, 1)]))
+        with pytest.raises(GraphError, match="trailing"):
+            decode_graph(data + b"\x00")
+
+    def test_bad_version(self):
+        data = bytearray(encode_graph(BipartiteGraph.from_edges([(0, 0, 1)])))
+        data[4] = 99
+        with pytest.raises(GraphError, match="version"):
+            decode_graph(bytes(data))
+
+    def test_mixed_int_beyond_f64_rejected(self):
+        g = BipartiteGraph.from_edges([(0, 0, 2**60), (0, 1, 0.5)])
+        with pytest.raises(GraphError, match="exact"):
+            encode_graph(g)
+
+    def test_huge_pure_int_weights_ok(self):
+        g = BipartiteGraph.from_edges([(0, 0, 2**60), (0, 1, 3)])
+        g2 = decode_graph(encode_graph(g))
+        assert sorted(e.weight for e in g2.edges()) == [3, 2**60]

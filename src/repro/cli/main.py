@@ -17,6 +17,10 @@ Subcommands::
 ``--profile out.json`` (metrics-registry snapshot) and ``--trace
 out.trace.json`` (Chrome trace-event JSON, loadable in chrome://tracing
 or Perfetto); see docs/observability.md.
+
+``run`` and ``simulate`` additionally accept ``--faults SPEC``
+(deterministic fault injection), ``--retries N`` and ``--task-timeout
+SECONDS``; see docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -41,7 +45,22 @@ from repro.experiments.simulation import SimulationConfig
 from repro.graph.generators import from_traffic_matrix, paper_figure2_graph
 from repro.netsim.runner import run_redistribution, uniform_traffic
 from repro.netsim.topology import NetworkSpec
+from repro.resilience import FaultSpec, RetryPolicy
 from repro.util.errors import ReproError
+
+
+def _resilience_options(args: argparse.Namespace) -> tuple:
+    """``(FaultPlan | None, RetryPolicy | None)`` from CLI flags."""
+    faults = None
+    if getattr(args, "faults", None):
+        faults = FaultSpec.parse(args.faults).plan()
+    retry = None
+    if args.retries is not None or args.task_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=args.retries if args.retries is not None else 3,
+            task_timeout=args.task_timeout,
+        )
+    return faults, retry
 
 
 def _cmd_experiments(_args: argparse.Namespace) -> int:
@@ -53,13 +72,20 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     name = args.experiment
-    if name in ("fig7", "fig8", "fig9") and (
+    extra: dict[str, object] = {}
+    if args.faults:
+        extra["faults"] = FaultSpec.parse(args.faults)
+    if args.retries is not None:
+        extra["retries"] = args.retries
+    if args.task_timeout is not None:
+        extra["task_timeout"] = args.task_timeout
+    if name in ("fig7", "fig8", "fig9") and not extra and (
         args.draws is not None or args.processes > 1 or args.jobs is not None
     ):
         config = SimulationConfig(draws=args.draws or 300)
         runner = {"fig7": run_fig7, "fig8": run_fig8, "fig9": run_fig9}[name]
         result = runner(config, processes=args.processes, jobs=args.jobs)
-    elif name in ("fig10", "fig11") and (
+    elif name in ("fig10", "fig11") and not extra and (
         args.size_scale != 1.0 or args.repeats is not None
         or args.jobs is not None
     ):
@@ -71,8 +97,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = run_testbed_comparison(
             config, jobs=1 if args.jobs is None else args.jobs
         )
-    elif args.jobs is not None:
-        result = run_experiment(name, jobs=args.jobs)
+    elif args.jobs is not None or extra:
+        result = run_experiment(name, jobs=args.jobs, **extra)
     else:
         result = get_experiment(name)()
     print(result.render())
@@ -189,20 +215,40 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     spec = NetworkSpec.paper_testbed(args.k, step_setup=args.beta)
     traffic = uniform_traffic(args.seed, spec.n1, spec.n2, 10.0, args.max_mb)
+    faults, retry = _resilience_options(args)
     if args.jobs is not None and args.jobs != 1:
         from repro.netsim.runner import build_schedule_batch
 
         # Pre-warm the schedule cache on the worker pool; the method
         # loop below then hits it, producing identical schedules.
         for method in ("ggp", "oggp"):
-            build_schedule_batch(spec, [traffic], method, jobs=args.jobs)
+            build_schedule_batch(
+                spec, [traffic], method, jobs=args.jobs,
+                retry=retry,
+                task_timeout=args.task_timeout,
+                fault_plan=faults,
+            )
     rows = []
     for method in ("bruteforce", "ggp", "oggp"):
-        out = run_redistribution(spec, traffic, method, rng=args.seed)
+        if method == "bruteforce":
+            # The TCP model has no per-transfer schedule to fault.
+            out = run_redistribution(spec, traffic, method, rng=args.seed)
+        else:
+            out = run_redistribution(
+                spec, traffic, method, rng=args.seed,
+                faults=faults, retry=retry,
+            )
         rows.append((method, out.total_time, out.num_steps))
-        print(
-            f"{method:10s} total={out.total_time:9.2f}s steps={out.num_steps}"
-        )
+        line = f"{method:10s} total={out.total_time:9.2f}s steps={out.num_steps}"
+        if out.rounds:
+            line += (
+                f" (recovered in {out.rounds} round(s), "
+                f"+{out.recovery_time:.2f}s"
+            )
+            if out.undelivered_mbit:
+                line += f", {out.undelivered_mbit:.2f} Mbit undelivered"
+            line += ")"
+        print(line)
     brute = rows[0][1]
     for method, total, _ in rows[1:]:
         print(f"{method:10s} gain vs brute force: {100 * (1 - total / brute):.1f}%")
@@ -288,6 +334,25 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_resilience_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help=(
+            "inject deterministic faults: a bare transfer-failure rate "
+            "or key=value list (seed=, transfer=, stall=, crash=, "
+            "degrade=, factor=); see docs/robustness.md"
+        ),
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max attempts per faulted unit of work (default 3)",
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock deadline for pool workers",
+    )
+
+
 def _add_observability_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--profile", dest="profile_out", metavar="FILE",
@@ -330,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for batch scheduling (0 = all CPUs)",
     )
     p.add_argument("--csv", type=str, default=None, help="also write rows to CSV")
+    _add_resilience_args(p)
     _add_observability_args(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -378,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="pre-compute schedules on N worker processes (0 = all CPUs)",
     )
+    _add_resilience_args(p)
     _add_observability_args(p)
     p.set_defaults(fn=_cmd_simulate)
 

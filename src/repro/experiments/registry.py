@@ -23,6 +23,7 @@ from repro.experiments.extensions import (
     run_online_batching,
     run_preredistribution,
 )
+from repro.experiments.resilience import run_recovery_overhead
 from repro.util.errors import ConfigError
 
 #: Experiment id -> zero-argument harness with paper-default parameters.
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "convergence": run_convergence,
     "scalability": run_scalability,
     "heterogeneity": run_heterogeneity,
+    "recovery_overhead": run_recovery_overhead,
 }
 
 
@@ -57,21 +59,29 @@ def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
 
 
 def run_experiment(
-    experiment_id: str, jobs: int | None = None
+    experiment_id: str, jobs: int | None = None, **kwargs: object
 ) -> ExperimentResult:
-    """Run a registered experiment, forwarding ``jobs`` when supported.
+    """Run a registered experiment, forwarding options when supported.
 
-    Harnesses opt into parallelism by accepting a ``jobs`` keyword;
-    passing ``--jobs`` to one that does not support it raises
-    :class:`ConfigError` rather than silently running serially.
+    Harnesses opt into options by accepting the matching keyword
+    (``jobs`` for parallelism, ``faults``/``retries`` for the resilience
+    experiments, ...); passing an option to a harness that does not
+    support it raises :class:`ConfigError` rather than silently
+    ignoring it.
     """
     import inspect
 
     harness = get_experiment(experiment_id)
-    if jobs is None:
+    forwarded = dict(kwargs)
+    if jobs is not None:
+        forwarded["jobs"] = jobs
+    if not forwarded:
         return harness()
-    if "jobs" not in inspect.signature(harness).parameters:
-        raise ConfigError(
-            f"experiment {experiment_id!r} does not support --jobs"
-        )
-    return harness(jobs=jobs)
+    parameters = inspect.signature(harness).parameters
+    for name in forwarded:
+        if name not in parameters:
+            raise ConfigError(
+                f"experiment {experiment_id!r} does not support "
+                f"--{name.replace('_', '-')}"
+            )
+    return harness(**forwarded)

@@ -17,9 +17,12 @@ from repro import obs
 from repro.core.cache import DEFAULT_SCHEDULE_CACHE, ScheduleCache, cached_schedule
 from repro.core.schedule import Schedule
 from repro.graph.generators import from_traffic_matrix
-from repro.netsim.stepwise import simulate_schedule
+from repro.netsim.stepwise import StepwiseResult, simulate_schedule
 from repro.netsim.tcp import TcpParams, simulate_bruteforce
 from repro.netsim.topology import NetworkSpec
+from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import recovery_k
+from repro.resilience.retry import RetryPolicy
 from repro.util.errors import ConfigError
 from repro.util.rng import RngStream, derive_rng
 
@@ -33,6 +36,12 @@ class RedistributionOutcome:
     ``total_time`` is the wall-clock seconds the redistribution took on
     the simulated platform; ``num_steps`` is 1 for brute force.
     ``schedule`` is the K-PBS schedule used (None for brute force).
+
+    Under fault injection, ``rounds`` counts the recovery rounds that
+    ran after the initial attempt, ``recovery_time`` is the simulated
+    seconds they took (included in ``total_time``), and
+    ``undelivered_mbit`` is whatever traffic was still missing when the
+    retry budget ran out (0 on full recovery).
     """
 
     method: Method
@@ -40,6 +49,9 @@ class RedistributionOutcome:
     num_steps: int
     volume_mbit: float
     schedule: Schedule | None = None
+    rounds: int = 0
+    recovery_time: float = 0.0
+    undelivered_mbit: float = 0.0
 
 
 def build_schedule(
@@ -68,6 +80,9 @@ def build_schedule_batch(
     method: Literal["ggp", "oggp"],
     jobs: int | None = 1,
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[Schedule]:
     """K-PBS schedules for many traffic matrices on one platform.
 
@@ -75,7 +90,9 @@ def build_schedule_batch(
     matrices are scheduled once (canonical dedup through ``cache``) and
     the unique instances fan out over ``jobs`` worker processes.  Output
     is bit-identical to calling :func:`build_schedule` per matrix, in
-    order, with the same cache.
+    order, with the same cache.  ``retry``/``task_timeout``/
+    ``fault_plan`` configure the worker pool's fault tolerance (see
+    :func:`repro.parallel.schedule_batch`).
     """
     from repro.parallel import schedule_batch
 
@@ -90,6 +107,9 @@ def build_schedule_batch(
         beta=spec.step_setup,
         jobs=jobs,
         cache=cache,
+        retry=retry,
+        task_timeout=task_timeout,
+        fault_plan=fault_plan,
     )
 
 
@@ -101,12 +121,28 @@ def run_redistribution(
     tcp_params: TcpParams = TcpParams(),
     rate_jitter: float = 0.0,
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> RedistributionOutcome:
-    """Run one redistribution with the chosen method and measure time."""
+    """Run one redistribution with the chosen method and measure time.
+
+    ``faults`` injects deterministic transfer failures, stalls and
+    backbone degradation (GGP/OGGP only — the brute-force TCP model has
+    no per-transfer schedule to fault).  After a faulted round, the
+    undelivered traffic is rebuilt into a residual matrix and
+    rescheduled — with a reduced ``k`` when the backbone was degraded —
+    until everything lands or ``retry`` (default: up to 7 recovery
+    rounds) runs out; the extra simulated time is the recovery overhead.
+    """
     traffic = np.asarray(traffic_mbit, dtype=float)
     volume = float(traffic.sum())
     metrics = obs.metrics()
     if method == "bruteforce":
+        if faults is not None and faults.any_faults():
+            raise ConfigError(
+                "fault injection needs a schedule to fault; "
+                "method 'bruteforce' does not support faults"
+            )
         with obs.phase("netsim.run", method=method, volume_mbit=volume):
             result = simulate_bruteforce(spec, traffic, rng=rng, params=tcp_params)
         metrics.counter("netsim.bruteforce_runs").inc()
@@ -118,6 +154,8 @@ def run_redistribution(
         )
     if method not in ("ggp", "oggp"):
         raise ConfigError(f"unknown method {method!r}")
+    if retry is None:
+        retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
     with obs.phase("netsim.run", method=method, volume_mbit=volume) as root:
         with obs.phase("netsim.build_schedule"):
             schedule = build_schedule(spec, traffic, method, cache=cache)
@@ -128,15 +166,96 @@ def run_redistribution(
             volume_scale=spec.flow_rate,
             rng=derive_rng(rng),
             rate_jitter=rate_jitter,
+            faults=faults,
+            fault_round=0,
         )
-        root.set(steps=result.num_steps, total_time=result.total_time)
+        total_time = result.total_time
+        num_steps = result.num_steps
+        recovery_time = 0.0
+        rounds = 0
+        residual = _residual_traffic(spec, schedule, result, traffic.shape)
+        attempt = 1
+        degraded = bool(result.degraded_steps)
+        while residual.sum() > 0 and retry.allows_retry(attempt):
+            attempt += 1
+            rounds += 1
+            rk = recovery_k(spec.k, faults, degraded)
+            recovery_graph = from_traffic_matrix(residual, speed=spec.flow_rate)
+            recovery_schedule = cached_schedule(
+                recovery_graph,
+                k=rk,
+                beta=spec.step_setup,
+                algorithm=method,
+                cache=cache,
+            )
+            recovery_result = simulate_schedule(
+                spec,
+                recovery_schedule,
+                volume_scale=spec.flow_rate,
+                rng=derive_rng(rng),
+                rate_jitter=rate_jitter,
+                faults=faults,
+                fault_round=attempt - 1,
+            )
+            total_time += recovery_result.total_time
+            recovery_time += recovery_result.total_time
+            num_steps += recovery_result.num_steps
+            metrics.counter("resilience.recovery_rounds").inc()
+            metrics.counter("resilience.recovery_steps").inc(
+                recovery_result.num_steps
+            )
+            metrics.counter("resilience.retries").inc()
+            metrics.counter("resilience.retries.netsim").inc()
+            residual = _residual_traffic(
+                spec, recovery_schedule, recovery_result, traffic.shape
+            )
+            degraded = bool(recovery_result.degraded_steps)
+        if recovery_time > 0:
+            metrics.counter("resilience.recovery_overhead_seconds").inc(
+                recovery_time
+            )
+        root.set(steps=num_steps, total_time=total_time, rounds=rounds)
     return RedistributionOutcome(
         method=method,
-        total_time=result.total_time,
-        num_steps=result.num_steps,
+        total_time=total_time,
+        num_steps=num_steps,
         volume_mbit=volume,
         schedule=schedule,
+        rounds=rounds,
+        recovery_time=recovery_time,
+        undelivered_mbit=float(residual.sum()),
     )
+
+
+def _residual_traffic(
+    spec: NetworkSpec,
+    schedule: Schedule,
+    result: StepwiseResult,
+    shape: tuple[int, ...],
+) -> np.ndarray:
+    """Undelivered Mbit per (source, destination) after a faulted run.
+
+    Edges that never faulted delivered everything; a faulted edge
+    delivered the chunks scheduled before its fault step.  Amounts are
+    schedule units (seconds at ``flow_rate``), converted back to Mbit.
+    Tiny float dust is clamped to zero so recovery terminates.
+    """
+    residual = np.zeros(shape, dtype=float)
+    failed = result.failed
+    if not failed:
+        return residual
+    totals: dict[int, float] = {}
+    where: dict[int, tuple[int, int]] = {}
+    for step in schedule.steps:
+        for t in step.transfers:
+            totals[t.edge_id] = totals.get(t.edge_id, 0.0) + t.amount
+            where[t.edge_id] = (t.left, t.right)
+    for eid in failed:
+        remaining = totals[eid] - result.delivered.get(eid, 0.0)
+        if remaining > 1e-12 * max(totals[eid], 1.0):
+            left, right = where[eid]
+            residual[left, right] += remaining * spec.flow_rate
+    return residual
 
 
 def uniform_traffic(

@@ -16,13 +16,19 @@ simulated honestly rather than idealised.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro import obs
 from repro.core.schedule import Schedule
 from repro.des import Barrier, Environment
 from repro.netsim.fairshare import FlowDemand, max_min_fair_rates
 from repro.netsim.topology import NetworkSpec
+from repro.resilience.faults import (
+    FaultPlan,
+    count_fault,
+    count_planned_faults,
+    planned_transfer_faults,
+)
 from repro.util.errors import SimulationError
 from repro.util.rng import RngStream, derive_rng
 
@@ -33,12 +39,20 @@ class StepwiseResult:
 
     ``total_time`` includes every per-step setup delay;
     ``step_durations`` excludes them (pure transfer time per step).
+
+    Under fault injection, ``delivered`` maps each edge id to the amount
+    (in schedule units, before ``volume_scale``) that actually arrived,
+    ``failed`` maps each faulted edge to its ``(step, kind)``, and
+    ``degraded_steps`` lists the steps that ran on a degraded backbone.
     """
 
     total_time: float
     step_durations: list[float]
     num_steps: int
     setup_total: float
+    delivered: dict[int, float] = field(default_factory=dict)
+    failed: dict[int, tuple[int, str]] = field(default_factory=dict)
+    degraded_steps: tuple[int, ...] = ()
 
 
 def simulate_schedule(
@@ -47,6 +61,8 @@ def simulate_schedule(
     volume_scale: float = 1.0,
     rng: RngStream | int | None = None,
     rate_jitter: float = 0.0,
+    faults: FaultPlan | None = None,
+    fault_round: int = 0,
 ) -> StepwiseResult:
     """Execute ``schedule`` on the simulated platform.
 
@@ -58,6 +74,14 @@ def simulate_schedule(
     a uniform relative factor — the "random perturbations on the
     network" the paper speculates about; 0 reproduces the deterministic
     behaviour the paper measured.
+
+    ``faults`` injects deterministic failures: a *failed* transfer drops
+    out of its step instantly (freeing its bandwidth share); a *stalled*
+    transfer occupies its slot for the full would-be duration but
+    delivers nothing; either way the edge's later chunks are skipped
+    (connection lost, the residual is left to the recovery layer).
+    Steps the plan degrades run with the backbone at
+    ``link_degradation_factor`` of its rate.
     """
     if volume_scale <= 0:
         raise SimulationError(f"volume_scale must be positive, got {volume_scale}")
@@ -65,29 +89,54 @@ def simulate_schedule(
         raise SimulationError(f"rate_jitter must be in [0, 1), got {rate_jitter}")
     rng = derive_rng(rng)
 
+    failed_at = planned_transfer_faults(schedule, faults, fault_round)
+    count_planned_faults(failed_at)
+
     env = Environment()
     barrier = Barrier(env, parties=spec.n1)
     step_durations: list[float] = []
 
+    delivered: dict[int, float] = {}
+    degraded_steps: list[int] = []
     # Pre-compute each step's per-transfer rates and sender work lists.
     step_plans: list[dict[int, float]] = []  # sender -> transfer seconds
-    for step in schedule.steps:
-        flows = [FlowDemand(t.left, t.right) for t in step.transfers]
+    for step_index, step in enumerate(schedule.steps):
+        active = []  # transfers that consume bandwidth this step
+        for t in step.transfers:
+            delivered.setdefault(t.edge_id, 0.0)
+            fault = failed_at.get(t.edge_id)
+            if fault is None or step_index < fault[0]:
+                active.append((t, True))  # healthy: counts and delivers
+            elif step_index == fault[0] and fault[1] == "stall":
+                active.append((t, False))  # stalled: burns time, no bytes
+            # failed (or post-fault) transfers drop out entirely
+        flows = [FlowDemand(t.left, t.right) for t, _ in active]
         for f in flows:
             if not (0 <= f.src < spec.n1) or not (0 <= f.dst < spec.n2):
                 raise SimulationError(
                     f"transfer {f.src}->{f.dst} outside clusters "
                     f"({spec.n1}, {spec.n2})"
                 )
-        rates = max_min_fair_rates(spec, flows)
+        step_spec = spec
+        if faults is not None:
+            factor = faults.link_factor(fault_round, step_index)
+            if factor < 1.0:
+                degraded_steps.append(step_index)
+                step_spec = replace(
+                    spec, backbone_rate=spec.backbone_rate * factor
+                )
+        rates = max_min_fair_rates(step_spec, flows)
         plan: dict[int, float] = {}
-        for t, rate in zip(step.transfers, rates):
+        for (t, delivers), rate in zip(active, rates):
             if rate <= 0:
                 raise SimulationError(f"zero rate for transfer {t.left}->{t.right}")
             if rate_jitter:
                 rate *= 1.0 - rate_jitter * float(rng.random())
             plan[t.left] = (t.amount * volume_scale) / rate
+            if delivers:
+                delivered[t.edge_id] += t.amount
         step_plans.append(plan)
+    count_fault("link_degradation", len(degraded_steps))
 
     step_end_times = [0.0] * len(step_plans)
 
@@ -132,4 +181,7 @@ def simulate_schedule(
         step_durations=step_durations,
         num_steps=len(step_plans),
         setup_total=spec.step_setup * len(step_plans),
+        delivered=delivered,
+        failed=dict(failed_at),
+        degraded_steps=tuple(degraded_steps),
     )

@@ -32,6 +32,7 @@ from repro.parallel.batch import BATCH_ALGORITHMS, make_schedule_pool, schedule_
 from repro.parallel.pool import (
     ParallelError,
     PoolReport,
+    TaskTimeoutError,
     WorkerCrashError,
     WorkerPool,
     WorkerTaskError,
@@ -44,6 +45,7 @@ __all__ = [
     "BATCH_ALGORITHMS",
     "ParallelError",
     "PoolReport",
+    "TaskTimeoutError",
     "WorkerCrashError",
     "WorkerPool",
     "WorkerTaskError",

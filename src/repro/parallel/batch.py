@@ -31,7 +31,7 @@ computed independently).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro import obs
 from repro.core.cache import (
@@ -46,6 +46,10 @@ from repro.graph.bipartite import BipartiteGraph
 from repro.parallel.pool import WorkerPool, WorkerTaskError, worker_cache
 from repro.parallel.wire import decode_graph, encode_graph
 from repro.util.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = ["schedule_batch", "make_schedule_pool", "BATCH_ALGORITHMS"]
 
@@ -94,14 +98,30 @@ def _schedule_from_data(data: tuple) -> Schedule:
     return Schedule(steps, k=sched_k, beta=sched_beta)
 
 
-def make_schedule_pool(jobs: int | None = None, cache_size: int = 128) -> WorkerPool:
+def make_schedule_pool(
+    jobs: int | None = None,
+    cache_size: int = 128,
+    retry: "RetryPolicy | None" = None,
+    task_timeout: float | None = None,
+    fault_plan: "FaultPlan | None" = None,
+) -> WorkerPool:
     """A reusable pool bound to the scheduling task.
 
     Pass it to repeated :func:`schedule_batch` calls to keep the workers
     (and their per-worker schedule caches) warm across batches; call
     ``shutdown()`` — or use it as a context manager — when done.
+    ``retry``/``task_timeout``/``fault_plan`` configure fault tolerance
+    and deterministic fault injection (see
+    :class:`~repro.parallel.pool.WorkerPool`).
     """
-    return WorkerPool(jobs, _schedule_task, cache_size=cache_size)
+    return WorkerPool(
+        jobs,
+        _schedule_task,
+        cache_size=cache_size,
+        retry=retry,
+        task_timeout=task_timeout,
+        fault_plan=fault_plan,
+    )
 
 
 def schedule_batch(
@@ -115,6 +135,9 @@ def schedule_batch(
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
     pool: WorkerPool | None = None,
     chunk_size: int | None = None,
+    retry: "RetryPolicy | None" = None,
+    task_timeout: float | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> list[Schedule]:
     """Schedule every graph in ``graphs``; returns schedules in order.
 
@@ -122,10 +145,19 @@ def schedule_batch(
     the unique instances out over ``N`` persistent worker processes
     (``None``/``0`` = one per CPU).  Pass a pool from
     :func:`make_schedule_pool` to reuse warm workers across calls (the
-    pool's worker count then wins over ``jobs``).
+    pool's worker count then wins over ``jobs``, as do the pool's own
+    retry/timeout/fault settings).
 
-    Output is **bit-identical** to the serial path for any ``jobs``; see
-    the module docstring for the exact contract.  Worker failures raise
+    ``retry`` makes worker crashes and deadline overruns survivable:
+    crashed workers are respawned and their graphs rescheduled, up to
+    ``retry.max_attempts`` per graph — scheduling is a pure function of
+    the graph, so a retried item yields the same schedule and the
+    batch result stays **bit-identical** to the serial path for any
+    ``jobs`` and any (injected or real) crash sequence.  ``fault_plan``
+    injects deterministic worker crashes (chaos testing); it is ignored
+    on the serial path, which has no workers to crash.
+
+    Worker failures that survive retry raise
     :class:`~repro.parallel.pool.WorkerTaskError` naming the failing
     graph's index in ``graphs``.
     """
@@ -191,7 +223,13 @@ def schedule_batch(
     metrics.counter("parallel.batch_dispatched").inc(len(payloads))
 
     own_pool = pool is None
-    active = pool if pool is not None else make_schedule_pool(jobs)
+    active = (
+        pool
+        if pool is not None
+        else make_schedule_pool(
+            jobs, retry=retry, task_timeout=task_timeout, fault_plan=fault_plan
+        )
+    )
     try:
         try:
             raw = active.map(payloads, chunk_size=chunk_size)

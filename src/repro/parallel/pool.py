@@ -13,22 +13,34 @@ embedder wants to fan out.  Design points:
   faster inner loops.
 - **Deterministic results.**  Every payload is keyed by its submission
   index; :meth:`WorkerPool.map` reassembles results in submission order,
-  so output never depends on completion order, chunking, or the number
-  of workers.
+  so output never depends on completion order, chunking, worker count,
+  or how many times an item had to be retried.
 - **Chunked dispatch.**  Payloads travel in chunks to amortise queue
   round-trips; chunk size adapts to the payload count (override with
-  ``chunk_size``).
+  ``chunk_size``).  Workers acknowledge each chunk as they pick it up,
+  so the parent always knows which items are in whose hands.
 - **Telemetry merge.**  When the parent has :mod:`repro.obs` enabled at
   pool creation, each worker records into its own
   :class:`~repro.obs.MetricsRegistry`; on :meth:`shutdown` the
   registries (histograms with full samples) and the per-worker schedule
   cache statistics are shipped back and merged into the parent's active
-  registry, so ``--profile`` output stays complete under parallelism.
-  (Tracing spans are parent-process only.)
-- **Clear failure.**  A task that raises is reported with its submission
-  index (:class:`WorkerTaskError`); a worker process that dies is
-  detected and reported with the indices still in flight
-  (:class:`WorkerCrashError`).  Neither leaves the parent hanging.
+  registry, so ``--profile`` output stays complete under parallelism —
+  including registries of workers respawned after a crash.  (Tracing
+  spans are parent-process only.)
+- **Fault tolerance.**  With a :class:`~repro.resilience.RetryPolicy`,
+  a crashed worker is respawned and its in-flight items are retried
+  (bounded by ``max_attempts``); a task that raises is retried the same
+  way; a worker that exceeds the per-task deadline is killed, respawned
+  and its chunk retried.  :class:`WorkerCrashError` is the *last*
+  resort, raised only once retries are exhausted.  Without a policy the
+  pool keeps its strict fail-fast contract: the first task failure
+  raises :class:`WorkerTaskError`, a dead worker raises
+  :class:`WorkerCrashError`, and a deadline overrun raises
+  :class:`TaskTimeoutError` — never a silent hang.
+- **Deterministic fault injection.**  A
+  :class:`~repro.resilience.FaultPlan` with a nonzero
+  ``worker_crash_rate`` makes workers crash on chosen ``(item,
+  attempt)`` coordinates — reproducibly, for tests and chaos drills.
 """
 
 from __future__ import annotations
@@ -36,23 +48,33 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro import obs
 from repro.core.cache import ScheduleCache
 from repro.obs.metrics import MetricsRegistry
 from repro.util.errors import ConfigError, ReproError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
+
 __all__ = [
     "ParallelError",
     "WorkerTaskError",
     "WorkerCrashError",
+    "TaskTimeoutError",
     "PoolReport",
     "WorkerPool",
     "resolve_jobs",
     "worker_cache",
 ]
+
+#: Exit code used by deterministic crash injection (distinguishable from
+#: a SIGKILL'd worker in ``ps`` output while debugging).
+_CRASH_EXIT = 47
 
 
 class ParallelError(ReproError):
@@ -70,6 +92,10 @@ class WorkerTaskError(ParallelError):
 
 class WorkerCrashError(ParallelError):
     """A worker process died mid-batch (signal, OOM kill, interpreter abort)."""
+
+
+class TaskTimeoutError(ParallelError):
+    """A chunk exceeded its wall-clock deadline in a live (stuck) worker."""
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -103,6 +129,7 @@ def _worker_main(
     record_obs: bool,
     worker_id: int,
     cache_size: int,
+    fault_plan: "FaultPlan | None",
 ) -> None:
     """Worker loop: process chunks until a stop message arrives."""
     global _WORKER_CACHE
@@ -123,14 +150,29 @@ def _worker_main(
                 ("final", worker_id, snapshot, _WORKER_CACHE.stats())
             )
             return
-        _kind, chunk = message
+        _kind, chunk_id, chunk = message
+        # Acknowledge pickup before any task code runs: the parent then
+        # knows exactly which items die with this process.
+        result_q.put(("taken", worker_id, chunk_id))
         results = []
-        for index, payload in chunk:
+        for index, attempt, payload in chunk:
+            if fault_plan is not None and fault_plan.worker_crashes(
+                index, attempt
+            ):
+                # Injected crash: die without cleanup or a final
+                # message, like a SIGKILL'd worker.  The queue feeder
+                # is flushed first so the pickup acknowledgement above
+                # is not torn mid-write (a torn frame would corrupt the
+                # result stream for every other worker).  The parent
+                # recomputes this decision to account the fault.
+                result_q.close()
+                result_q.join_thread()
+                os._exit(_CRASH_EXIT)
             try:
                 results.append((index, True, task(payload)))
             except Exception as exc:  # ship it back; the worker stays warm
                 results.append((index, False, f"{type(exc).__name__}: {exc}"))
-        result_q.put(("done", results))
+        result_q.put(("done", worker_id, chunk_id, results))
 
 
 # ----------------------------------------------------------------------
@@ -156,6 +198,27 @@ class PoolReport:
         return totals
 
 
+class _MapState:
+    """Bookkeeping for one :meth:`WorkerPool.map` call."""
+
+    def __init__(self, n: int) -> None:
+        self.results: dict[int, object] = {}
+        self.failed: dict[int, str] = {}
+        self.attempts: dict[int, int] = {}
+        #: chunk id -> [(index, attempt), ...] for every dispatched,
+        #: unfinished chunk (whether or not a worker has taken it yet).
+        self.outstanding: dict[tuple, list[tuple[int, int]]] = {}
+        #: chunk id -> (worker slot, monotonic pickup time).
+        self.taken: dict[tuple, tuple[int, float]] = {}
+        #: worker slot -> chunk ids currently in its hands.
+        self.worker_chunks: dict[int, set[tuple]] = {}
+        self.unresolved = n
+        self.seq = 0
+
+    def resolved(self, index: int) -> bool:
+        return index in self.results or index in self.failed
+
+
 class WorkerPool:
     """Persistent pool of worker processes running one task function.
 
@@ -166,6 +229,15 @@ class WorkerPool:
     ``record_obs`` defaults to whether :mod:`repro.obs` is enabled in
     the parent *at pool creation*; worker registries are merged into the
     parent's active registry at shutdown.
+
+    ``retry`` (a :class:`~repro.resilience.RetryPolicy`) bounds how many
+    times an item may be re-attempted after a task failure, a worker
+    crash or a deadline overrun; without it the pool fails fast on the
+    first incident.  ``task_timeout`` is the default per-chunk wall
+    clock deadline in seconds (``None`` — also the ``retry`` policy's
+    ``task_timeout`` when set — disables it); :meth:`map` can override
+    it per call.  ``fault_plan`` enables deterministic worker-crash
+    injection (see :mod:`repro.resilience.faults`).
     """
 
     def __init__(
@@ -174,49 +246,91 @@ class WorkerPool:
         task: Callable,
         record_obs: bool | None = None,
         cache_size: int = 128,
+        retry: "RetryPolicy | None" = None,
+        task_timeout: float | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.task = task
         self._record_obs = obs.enabled() if record_obs is None else record_obs
-        self._closed = False
-        ctx = multiprocessing.get_context()
-        self._task_q = ctx.Queue()
-        self._result_q = ctx.Queue()
-        self._workers = []
-        for worker_id in range(self.jobs):
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    task,
-                    self._task_q,
-                    self._result_q,
-                    self._record_obs,
-                    worker_id,
-                    cache_size,
-                ),
-                daemon=True,
-                name=f"repro-worker-{worker_id}",
+        self._retry = retry
+        if task_timeout is None and retry is not None:
+            task_timeout = retry.task_timeout
+        if task_timeout is not None and task_timeout <= 0:
+            raise ConfigError(
+                f"task_timeout must be positive, got {task_timeout}"
             )
-            proc.start()
-            self._workers.append(proc)
+        self._task_timeout = task_timeout
+        self._fault_plan = fault_plan
+        self._cache_size = cache_size
+        self._closed = False
+        self._generation = 0
+        self._ctx = multiprocessing.get_context()
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        self._workers: list = [None] * self.jobs
+        for worker_id in range(self.jobs):
+            self._spawn(worker_id)
 
     # ------------------------------------------------------------------
 
+    def _spawn(self, worker_id: int) -> None:
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self.task,
+                self._task_q,
+                self._result_q,
+                self._record_obs,
+                worker_id,
+                self._cache_size,
+                self._fault_plan,
+            ),
+            daemon=True,
+            name=f"repro-worker-{worker_id}",
+        )
+        proc.start()
+        self._workers[worker_id] = proc
+
+    def _respawn(self, worker_id: int) -> None:
+        """Replace a dead or killed worker with a fresh process."""
+        obs.metrics().counter("resilience.worker_respawns").inc()
+        self._spawn(worker_id)
+
+    def _kill(self, worker_id: int) -> None:
+        """Forcibly terminate a live-but-stuck worker."""
+        proc = self._workers[worker_id]
+        if proc.exitcode is None:
+            proc.terminate()
+            proc.join(timeout=0.5)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(timeout=0.5)
+
     def _dead_workers(self) -> list[int]:
         return [
-            i for i, p in enumerate(self._workers) if p.exitcode is not None
+            i
+            for i, p in enumerate(self._workers)
+            if p is not None and p.exitcode is not None
         ]
+
+    # ------------------------------------------------------------------
 
     def map(
         self,
         payloads: Iterable,
         chunk_size: int | None = None,
+        timeout: float | None = None,
     ) -> list:
         """Run ``task`` over ``payloads``; results in submission order.
 
-        Raises :class:`WorkerTaskError` for the lowest-indexed payload
-        whose task raised, and :class:`WorkerCrashError` when a worker
-        process dies before finishing its chunks.
+        ``timeout`` is a wall-clock deadline in seconds for each chunk,
+        measured from the moment a worker picks it up (default: the
+        pool's ``task_timeout``).  Raises :class:`WorkerTaskError` for
+        the lowest-indexed payload whose task (after any retries)
+        raised, :class:`WorkerCrashError` when a worker death cannot be
+        retried away, and :class:`TaskTimeoutError` when a chunk
+        overruns its deadline with retries exhausted or disabled.
         """
         if self._closed:
             raise ParallelError("pool already shut down")
@@ -224,78 +338,261 @@ class WorkerPool:
         n = len(items)
         if n == 0:
             return []
+        if timeout is None:
+            timeout = self._task_timeout
         if chunk_size is None:
             chunk_size = max(1, -(-n // (self.jobs * 4)))
-        pending = 0
+        self._generation += 1
+        gen = self._generation
+        state = _MapState(n)
+
+        def dispatch(pairs: list[tuple[int, int]]) -> None:
+            chunk_id = (gen, state.seq)
+            state.seq += 1
+            state.outstanding[chunk_id] = list(pairs)
+            self._task_q.put(
+                ("chunk", chunk_id, [(i, a, items[i]) for i, a in pairs])
+            )
+
         for lo in range(0, n, chunk_size):
-            chunk = [(i, items[i]) for i in range(lo, min(lo + chunk_size, n))]
-            self._task_q.put(("chunk", chunk))
-            pending += 1
-        results: dict[int, object] = {}
-        failures: list[tuple[int, str]] = []
-        while pending:
+            pairs = [(i, 1) for i in range(lo, min(lo + chunk_size, n))]
+            for i, _ in pairs:
+                state.attempts[i] = 1
+            dispatch(pairs)
+
+        retries_counter = obs.metrics().counter("resilience.retries")
+        pool_retries = obs.metrics().counter("resilience.retries.pool")
+
+        def settle_failure(index: int, detail: str) -> None:
+            """Retry a failed item if allowed, else record it as final."""
+            attempt = state.attempts[index]
+            if self._retry is not None and self._retry.allows_retry(attempt):
+                state.attempts[index] = attempt + 1
+                retries_counter.inc()
+                pool_retries.inc()
+                dispatch([(index, attempt + 1)])
+            else:
+                state.failed[index] = detail
+                state.unresolved -= 1
+
+        # -- incident handling -----------------------------------------
+
+        def reclaim(worker_id: int) -> list[tuple[int, int]]:
+            """Forget a lost worker's chunks; return its unfinished items."""
+            lost: list[tuple[int, int]] = []
+            for chunk_id in sorted(state.worker_chunks.pop(worker_id, ())):
+                pairs = state.outstanding.pop(chunk_id, [])
+                state.taken.pop(chunk_id, None)
+                lost.extend(p for p in pairs if not state.resolved(p[0]))
+            return lost
+
+        def account_injected_crash(lost: list[tuple[int, int]]) -> None:
+            """Recompute (deterministically) whether this crash was injected."""
+            if self._fault_plan is None:
+                return
+            from repro.resilience.faults import count_fault
+
+            if any(self._fault_plan.worker_crashes(i, a) for i, a in lost):
+                count_fault("worker_crash")
+
+        def recover_or_raise(
+            worker_id: int, lost: list[tuple[int, int]], why: str,
+            error: type[ParallelError],
+        ) -> None:
+            """Respawn ``worker_id``; retry ``lost`` or raise ``error``."""
+            if self._retry is None:
+                self._respawn(worker_id)
+                missing = sorted(
+                    i for i in range(n) if not state.resolved(i)
+                )
+                raise error(
+                    f"worker process {worker_id} {why}; "
+                    f"items not completed: {missing[:20]}"
+                    + ("..." if len(missing) > 20 else "")
+                )
+            exhausted = [(i, a) for i, a in lost if not self._retry.allows_retry(a)]
+            if exhausted:
+                self._respawn(worker_id)
+                raise error(
+                    f"worker process {worker_id} {why}; retries exhausted "
+                    f"(max_attempts={self._retry.max_attempts}) for items "
+                    f"{sorted(i for i, _ in exhausted)[:20]}"
+                )
+            self._respawn(worker_id)
+            if lost:
+                retries_counter.inc(len(lost))
+                pool_retries.inc(len(lost))
+            for i, a in lost:
+                # One item per retry chunk: a chunk crashes if *any* of
+                # its items does, so retrying items together would burn
+                # the attempt budget of every innocent chunk-mate.
+                state.attempts[i] = a + 1
+                dispatch([(i, a + 1)])
+
+        def handle_dead_workers() -> None:
+            for worker_id in self._dead_workers():
+                lost = reclaim(worker_id)
+                account_injected_crash(lost)
+                recover_or_raise(
+                    worker_id, lost, "died mid-batch", WorkerCrashError
+                )
+
+        def handle_deadline_overruns(now: float) -> None:
+            for chunk_id, (worker_id, taken_at) in list(state.taken.items()):
+                if now - taken_at <= timeout:
+                    continue
+                # The worker is alive but silent past the deadline:
+                # deadlocked or stuck.  Kill it so its slot can respawn.
+                self._kill(worker_id)
+                lost = reclaim(worker_id)
+                recover_or_raise(
+                    worker_id,
+                    lost,
+                    f"exceeded the {timeout:g}s task deadline",
+                    TaskTimeoutError,
+                )
+
+        def watchdog_requeue(last_event: float, now: float) -> bool:
+            """Re-dispatch chunks that vanished with a worker pre-pickup.
+
+            A worker can die in the instant between taking a chunk off
+            the queue and acknowledging it; such a chunk is in nobody's
+            hands.  If every worker is idle (nothing acknowledged), some
+            chunks are unaccounted for, and the queues have been silent
+            for a grace period, those chunks are re-dispatched.  Results
+            are keyed by submission index, so in the rare race where the
+            original chunk *was* still queued and both copies run, the
+            duplicate results are identical and harmless.
+            """
+            if self._retry is None or state.taken or not state.outstanding:
+                return False
+            if now - last_event < 1.0:
+                return False
+            stale = [cid for cid in state.outstanding if cid not in state.taken]
+            requeued = 0
+            for chunk_id in stale:
+                for i, a in state.outstanding.pop(chunk_id):
+                    if not state.resolved(i) and self._retry.allows_retry(a):
+                        state.attempts[i] = a + 1
+                        dispatch([(i, a + 1)])
+                        requeued += 1
+            if requeued:
+                retries_counter.inc(requeued)
+                pool_retries.inc(requeued)
+            return True
+
+        # -- result loop ----------------------------------------------
+
+        poll = 1.0
+        if timeout is not None:
+            poll = max(0.01, min(0.1, timeout / 4.0))
+        elif self._retry is not None:
+            poll = 0.25
+        last_event = time.monotonic()
+        while state.unresolved:
             try:
-                message = self._result_q.get(timeout=1.0)
+                message = self._result_q.get(timeout=poll)
             except queue.Empty:
-                dead = self._dead_workers()
-                if dead:
-                    missing = sorted(set(range(n)) - set(results))
-                    raise WorkerCrashError(
-                        f"worker process(es) {dead} died mid-batch; "
-                        f"items not completed: {missing[:20]}"
-                        + ("..." if len(missing) > 20 else "")
-                    )
+                now = time.monotonic()
+                handle_dead_workers()
+                if timeout is not None:
+                    handle_deadline_overruns(now)
+                if watchdog_requeue(last_event, now):
+                    last_event = now
                 continue
-            if message[0] != "done":  # pragma: no cover - protocol guard
-                raise ParallelError(f"unexpected pool message {message[0]!r}")
-            for index, ok, value in message[1]:
-                if ok:
-                    results[index] = value
-                else:
-                    failures.append((index, value))
-            pending -= 1
-        if failures:
-            index, detail = min(failures)
-            raise WorkerTaskError(index, detail)
-        return [results[i] for i in range(n)]
+            last_event = time.monotonic()
+            kind = message[0]
+            if kind == "taken":
+                _tag, worker_id, chunk_id = message
+                if chunk_id[0] != gen or chunk_id not in state.outstanding:
+                    continue  # stale chunk from an aborted map
+                state.taken[chunk_id] = (worker_id, last_event)
+                state.worker_chunks.setdefault(worker_id, set()).add(chunk_id)
+            elif kind == "done":
+                _tag, worker_id, chunk_id, chunk_results = message
+                if chunk_id[0] != gen:
+                    continue
+                state.outstanding.pop(chunk_id, None)
+                state.taken.pop(chunk_id, None)
+                state.worker_chunks.get(worker_id, set()).discard(chunk_id)
+                for index, ok, value in chunk_results:
+                    if state.resolved(index):
+                        continue  # duplicate from a requeued chunk
+                    if ok:
+                        state.results[index] = value
+                        state.unresolved -= 1
+                    else:
+                        settle_failure(index, value)
+            elif kind == "final":  # pragma: no cover - protocol guard
+                continue  # late shutdown echo; never expected mid-map
+            else:  # pragma: no cover - protocol guard
+                raise ParallelError(f"unexpected pool message {kind!r}")
+
+        if state.failed:
+            index = min(state.failed)
+            raise WorkerTaskError(index, state.failed[index])
+        return [state.results[i] for i in range(n)]
 
     # ------------------------------------------------------------------
 
-    def shutdown(self) -> PoolReport:
+    def shutdown(self, timeout: float = 10.0) -> PoolReport:
         """Stop the workers, merge their telemetry, return the report.
 
         Idempotent; after the first call the pool is unusable.  Worker
         metrics registries are merged into the parent's *currently
         active* registry (a no-op when obs is disabled in the parent).
+        Workers that already died contribute nothing and cost nothing:
+        only live workers are stopped and waited for, so shutdown under
+        pre-crashed workers returns promptly instead of stalling on
+        queue timeouts.
         """
         if self._closed:
             return PoolReport()
         self._closed = True
-        for _ in self._workers:
+        remaining = {
+            i
+            for i, p in enumerate(self._workers)
+            if p is not None and p.exitcode is None
+        }
+        for _ in remaining:
             self._task_q.put(("stop",))
         report = PoolReport()
-        finals = 0
-        alive = len(self._workers)
-        while finals < alive:
+        deadline = time.monotonic() + timeout
+        last_message = time.monotonic()
+        while remaining and time.monotonic() < deadline:
             try:
-                message = self._result_q.get(timeout=5.0)
+                message = self._result_q.get(timeout=0.2)
             except queue.Empty:
-                # Workers that already died cannot send a final message.
-                alive = len(self._workers) - len(self._dead_workers())
-                if finals >= alive:
+                # A worker that died after the stop was sent can never
+                # answer; drop it rather than waiting out the deadline.
+                remaining -= {
+                    i for i in remaining if self._workers[i].exitcode is not None
+                }
+                # A worker killed while blocked inside ``task_q.get()``
+                # dies holding the queue's shared lock, so survivors can
+                # never pick up their stop messages.  Once any worker is
+                # known dead, a short stall means exactly that: give the
+                # survivors up for termination instead of waiting out
+                # the full deadline.
+                any_dead = any(
+                    p is not None and p.exitcode is not None
+                    for p in self._workers
+                )
+                if any_dead and time.monotonic() - last_message > 1.0:
                     break
                 continue
+            last_message = time.monotonic()
             if message[0] != "final":
                 continue  # late task results from an aborted map
-            _tag, _worker_id, snapshot, cache_stats = message
+            _tag, worker_id, snapshot, cache_stats = message
             report.worker_metrics.append(snapshot)
             report.cache_stats.append(cache_stats)
-            finals += 1
+            remaining.discard(worker_id)
         for proc in self._workers:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - defensive
+            proc.join(timeout=1.0)
+            if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=5.0)
+                proc.join(timeout=1.0)
         registry = obs.metrics()
         if isinstance(registry, MetricsRegistry):
             for snapshot in report.worker_metrics:

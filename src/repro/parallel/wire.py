@@ -12,7 +12,7 @@ schedules bit-identically to the original.
 
 Layout (little-endian)::
 
-    magic "KPBW" | version u8 | flags u8 | pad u16
+    magic "KPBW" | version u8 | flags u8 | pad u16 | crc32 u32
     num_left u64 | num_right u64 | num_edges u64 | next_edge_id u64
     left node ids   : i64 * num_left
     left node kinds : u8  * num_left
@@ -33,11 +33,21 @@ with float weights travel as ``f64``; a *mixed* graph additionally
 carries a one-byte-per-edge mask so integer entries are restored as
 ``int`` (doubles represent them exactly up to 2**53 — larger mixed ints
 are rejected rather than silently rounded).
+
+Version 2 hardens the decoder against corrupted or adversarial input:
+the header carries a CRC-32 of the whole message (computed with the crc
+field zeroed), the total length implied by the counts and flags is
+validated *before* any payload is touched, and every kind byte, edge id
+and weight is range-checked — malformed input of any sort raises
+:class:`~repro.util.errors.GraphError`, never ``struct.error`` or
+``IndexError``, and never yields a silently-wrong graph.
 """
 
 from __future__ import annotations
 
+import math
 import struct
+import zlib
 from array import array
 
 from repro.graph.bipartite import BipartiteGraph, EdgeKind, NodeKind
@@ -46,8 +56,11 @@ from repro.util.errors import GraphError
 __all__ = ["encode_graph", "decode_graph"]
 
 _MAGIC = b"KPBW"
-_VERSION = 1
-_HEADER = struct.Struct("<4sBBxx4Q")
+_VERSION = 2
+_HEADER = struct.Struct("<4sBBxxI4Q")
+#: Offset/size of the crc32 field inside the header.
+_CRC_OFFSET = 8
+_CRC_SIZE = 4
 
 #: flags
 _INT_WEIGHTS = 1  # every weight is an int that fits in i64
@@ -103,7 +116,7 @@ def encode_graph(graph: BipartiteGraph) -> bytes:
 
     parts = [
         _HEADER.pack(
-            _MAGIC, _VERSION, flags,
+            _MAGIC, _VERSION, flags, 0,  # crc patched below
             len(left), len(right), len(ids), graph._next_edge_id,
         ),
         array("q", left).tobytes(),
@@ -117,7 +130,10 @@ def encode_graph(graph: BipartiteGraph) -> bytes:
         weight_bytes,
         mask,
     ]
-    return b"".join(parts)
+    message = bytearray(b"".join(parts))
+    crc = zlib.crc32(message)
+    message[_CRC_OFFSET : _CRC_OFFSET + _CRC_SIZE] = struct.pack("<I", crc)
+    return bytes(message)
 
 
 def _take_i64(data: bytes, offset: int, count: int) -> tuple[array, int]:
@@ -127,16 +143,54 @@ def _take_i64(data: bytes, offset: int, count: int) -> tuple[array, int]:
     return arr, end
 
 
+def _expected_size(n_left: int, n_right: int, n_edges: int, flags: int) -> int:
+    """Total message size implied by the header counts and flags."""
+    size = _HEADER.size
+    size += 9 * n_left  # ids (i64) + kinds (u8)
+    size += 9 * n_right
+    size += 25 * n_edges  # ids + lefts + rights (i64) + kinds (u8)
+    size += 8 * n_edges  # weights (i64 or f64)
+    if flags & _MIXED_WEIGHTS:
+        size += n_edges  # int-restoration mask
+    return size
+
+
 def decode_graph(data: bytes) -> BipartiteGraph:
-    """Inverse of :func:`encode_graph`."""
+    """Inverse of :func:`encode_graph`.
+
+    Every structural property is validated before use: magic, version,
+    flags, the total length implied by the counts, a CRC-32 of the whole
+    message, kind bytes, edge-id ordering and weight ranges.  Any
+    corruption — truncation, bit flips, length mismatches — raises
+    :class:`GraphError`.
+    """
     if len(data) < _HEADER.size or data[:4] != _MAGIC:
         raise GraphError("not a KPBW wire-format graph")
-    magic, version, flags, n_left, n_right, n_edges, next_edge_id = (
+    magic, version, flags, crc, n_left, n_right, n_edges, next_edge_id = (
         _HEADER.unpack_from(data)
     )
     del magic
     if version != _VERSION:
         raise GraphError(f"unsupported wire-format version {version}")
+    if flags & ~(_INT_WEIGHTS | _MIXED_WEIGHTS):
+        raise GraphError(f"unknown wire-format flags 0x{flags:02x}")
+    if (flags & _INT_WEIGHTS) and (flags & _MIXED_WEIGHTS):
+        raise GraphError("wire-format flags INT and MIXED are exclusive")
+    expected = _expected_size(n_left, n_right, n_edges, flags)
+    if len(data) > expected:
+        raise GraphError(
+            f"wire-format graph has {len(data) - expected} trailing bytes"
+        )
+    if len(data) < expected:
+        raise GraphError(
+            f"wire-format message truncated: header implies {expected} "
+            f"bytes, got {len(data)}"
+        )
+    body = bytearray(data)
+    body[_CRC_OFFSET : _CRC_OFFSET + _CRC_SIZE] = b"\x00" * _CRC_SIZE
+    if zlib.crc32(body) != crc:
+        raise GraphError("wire-format checksum mismatch (corrupted message)")
+
     off = _HEADER.size
     left, off = _take_i64(data, off, n_left)
     left_kinds = data[off : off + n_left]
@@ -165,21 +219,46 @@ def decode_graph(data: bytes) -> BipartiteGraph:
             weights = [
                 int(w) if is_int else w for w, is_int in zip(weights, mask)
             ]
-    if off != len(data):
+
+    for kinds, what, valid in (
+        (left_kinds, "left node", len(_NODE_KINDS)),
+        (right_kinds, "right node", len(_NODE_KINDS)),
+        (edge_kinds, "edge", len(_EDGE_KINDS)),
+    ):
+        for b in kinds:
+            if b >= valid:
+                raise GraphError(f"invalid {what} kind byte {b}")
+    previous = None
+    for edge_id in ids:
+        if previous is not None and edge_id <= previous:
+            raise GraphError("wire-format edge ids are not strictly ascending")
+        previous = edge_id
+    if n_edges and next_edge_id <= ids[-1]:
         raise GraphError(
-            f"wire-format graph has {len(data) - off} trailing bytes"
+            f"next_edge_id {next_edge_id} does not clear the highest "
+            f"edge id {ids[-1]}"
         )
 
     g = BipartiteGraph()
-    for node, kind in zip(left, left_kinds):
-        g.add_left_node(node, _NODE_KINDS[kind])
-    for node, kind in zip(right, right_kinds):
-        g.add_right_node(node, _NODE_KINDS[kind])
-    for edge_id, el, er, kind, weight in zip(
-        ids, lefts, rights, edge_kinds, weights
-    ):
-        if weight <= 0:
-            raise GraphError(f"edge {edge_id} has non-positive wire weight")
-        g._install_edge(edge_id, el, er, weight, _EDGE_KINDS[kind])
+    try:
+        for node, kind in zip(left, left_kinds):
+            g.add_left_node(node, _NODE_KINDS[kind])
+        for node, kind in zip(right, right_kinds):
+            g.add_right_node(node, _NODE_KINDS[kind])
+        for edge_id, el, er, kind, weight in zip(
+            ids, lefts, rights, edge_kinds, weights
+        ):
+            if isinstance(weight, float) and not math.isfinite(weight):
+                raise GraphError(f"edge {edge_id} has non-finite wire weight")
+            if weight <= 0:
+                raise GraphError(f"edge {edge_id} has non-positive wire weight")
+            g._install_edge(edge_id, el, er, weight, _EDGE_KINDS[kind])
+    except GraphError:
+        raise
+    except Exception as exc:
+        # Structurally valid bytes can still describe an impossible
+        # graph (dangling endpoints, duplicate nodes); surface those as
+        # wire errors too rather than leaking internals.
+        raise GraphError(f"wire-format graph is inconsistent: {exc}") from exc
     g._next_edge_id = next_edge_id
     return g

@@ -1,0 +1,51 @@
+"""repro.resilience — deterministic fault injection, retries, recovery.
+
+The paper assumes a perfect backbone; production redistribution does
+not get one.  This package supplies the three ingredients the rest of
+the stack uses to keep scheduling under degraded links and partial
+failures:
+
+- :mod:`repro.resilience.faults` — a seeded, order-independent fault
+  model (:class:`FaultSpec` / :class:`FaultPlan`) injecting
+  link-bandwidth degradation, transfer failures/stalls and worker
+  crashes into :mod:`repro.netsim`, :mod:`repro.runtime` and
+  :mod:`repro.parallel`.  Every decision is a pure function of the seed
+  and the decision's coordinates, so a failure scenario replays
+  bit-identically no matter how threads or processes interleave.
+- :mod:`repro.resilience.retry` — :class:`RetryPolicy`: bounded
+  attempts, exponential backoff with deterministic jitter, per-attempt
+  timeouts; shared by the runtime recovery loop and the worker pool.
+- :mod:`repro.resilience.recovery` — residual-graph helpers: after a
+  failed or partial round, rebuild the bipartite graph of *unfinished*
+  traffic and reschedule it with GGP/OGGP, optionally at a reduced
+  ``k`` while the backbone is degraded (graceful degradation).
+
+Everything reports through :mod:`repro.obs` under ``resilience.*``
+(``faults_injected``, ``retries``, ``recovery_rounds``,
+``recovery_steps``, ``recovery_overhead_seconds``).
+
+See ``docs/robustness.md`` for the full fault model and the
+determinism guarantees.
+"""
+
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    count_fault,
+    planned_transfer_faults,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.recovery import (
+    recovery_k,
+    residual_graph_from_amounts,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "RetryPolicy",
+    "planned_transfer_faults",
+    "count_fault",
+    "recovery_k",
+    "residual_graph_from_amounts",
+]

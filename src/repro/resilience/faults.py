@@ -1,0 +1,260 @@
+"""Seeded, order-independent fault injection.
+
+A :class:`FaultSpec` holds the *rates* of a failure scenario; a
+:class:`FaultPlan` turns it into concrete decisions.  The crucial
+property is **coordinate determinism**: every decision is drawn from an
+independent RNG stream derived from ``(seed, category, *coordinates)``
+via :func:`repro.util.rng.derive_rng`, never from shared mutable RNG
+state.  Consequences:
+
+- the same seed reproduces the same fault sequence, run after run;
+- two threads (the runtime's sender and receiver for one edge) or two
+  processes (a pool worker and the parent re-checking after a crash)
+  evaluating the same decision agree without any coordination;
+- decisions in one category (say, worker crashes) do not perturb the
+  draws of another (link degradation).
+
+Decision methods are *pure* — they never touch metrics, because the
+same decision is often evaluated on both sides of a channel.  The
+orchestration layer that acts on a decision records it once through
+:func:`count_fault`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro import obs
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.schedule import Schedule
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "planned_transfer_faults",
+    "count_fault",
+]
+
+#: RNG stream categories (the first path element after the seed).
+_CAT_TRANSFER = 1
+_CAT_CRASH = 2
+_CAT_LINK = 3
+
+#: Keys accepted by :meth:`FaultSpec.parse`, mapped to field names.
+_PARSE_KEYS = {
+    "seed": "seed",
+    "transfer": "transfer_failure_rate",
+    "fail": "transfer_failure_rate",
+    "stall": "transfer_stall_rate",
+    "crash": "worker_crash_rate",
+    "degrade": "link_degradation_rate",
+    "factor": "link_degradation_factor",
+}
+
+
+def count_fault(kind: str, n: int = 1) -> None:
+    """Record ``n`` injected faults of ``kind`` in the metrics registry.
+
+    Increments both the aggregate ``resilience.faults_injected`` and the
+    per-kind ``resilience.faults_injected.<kind>`` counter.
+    """
+    if n <= 0:
+        return
+    metrics = obs.metrics()
+    metrics.counter("resilience.faults_injected").inc(n)
+    metrics.counter(f"resilience.faults_injected.{kind}").inc(n)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates of a reproducible failure scenario.
+
+    All rates are probabilities in ``[0, 1]``; a transfer draw first
+    checks failure, then stall, so ``transfer_failure_rate +
+    transfer_stall_rate`` must not exceed 1.
+    ``link_degradation_factor`` is the bandwidth multiplier applied to
+    the backbone during a degraded step.
+    """
+
+    seed: int = 0
+    transfer_failure_rate: float = 0.0
+    transfer_stall_rate: float = 0.0
+    worker_crash_rate: float = 0.0
+    link_degradation_rate: float = 0.0
+    link_degradation_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "transfer_failure_rate",
+            "transfer_stall_rate",
+            "worker_crash_rate",
+            "link_degradation_rate",
+        ):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.transfer_failure_rate + self.transfer_stall_rate > 1.0:
+            raise ConfigError(
+                "transfer_failure_rate + transfer_stall_rate must not "
+                f"exceed 1, got {self.transfer_failure_rate} + "
+                f"{self.transfer_stall_rate}"
+            )
+        if not (0.0 < self.link_degradation_factor <= 1.0):
+            raise ConfigError(
+                "link_degradation_factor must be in (0, 1], got "
+                f"{self.link_degradation_factor}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Build a spec from a CLI string.
+
+        Accepts either a bare float (transfer failure rate) or a
+        comma-separated ``key=value`` list, e.g.
+        ``"seed=7,transfer=0.1,crash=0.05,degrade=0.2,factor=0.5"``.
+        Keys: ``seed``, ``transfer`` (alias ``fail``), ``stall``,
+        ``crash``, ``degrade``, ``factor``.
+        """
+        text = text.strip()
+        if not text:
+            raise ConfigError("empty --faults spec")
+        try:
+            return cls(transfer_failure_rate=float(text))
+        except ValueError:
+            pass
+        kwargs: dict[str, float | int] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in _PARSE_KEYS:
+                known = ", ".join(sorted(set(_PARSE_KEYS)))
+                raise ConfigError(
+                    f"bad --faults entry {part!r}; want key=value with "
+                    f"keys {known} (or a bare transfer-failure rate)"
+                )
+            field = _PARSE_KEYS[key]
+            try:
+                kwargs[field] = int(value) if field == "seed" else float(value)
+            except ValueError:
+                raise ConfigError(
+                    f"bad --faults value {value!r} for {key!r}"
+                ) from None
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def any_faults(self) -> bool:
+        """True when at least one rate is nonzero."""
+        return (
+            self.transfer_failure_rate > 0
+            or self.transfer_stall_rate > 0
+            or self.worker_crash_rate > 0
+            or self.link_degradation_rate > 0
+        )
+
+    def plan(self) -> "FaultPlan":
+        """Convenience: the plan for this spec."""
+        return FaultPlan(self)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic decision engine over a :class:`FaultSpec`.
+
+    Stateless and picklable (workers carry a copy); every method is a
+    pure function of the spec's seed and its arguments.
+    """
+
+    spec: FaultSpec
+
+    def _draw(self, category: int, *path: int) -> float:
+        return float(derive_rng(self.spec.seed, category, *path).random())
+
+    # -- decisions ----------------------------------------------------
+
+    def transfer_outcome(
+        self, fault_round: int, step: int, edge_id: int
+    ) -> str:
+        """``'ok'``, ``'fail'`` or ``'stall'`` for one transfer attempt.
+
+        ``fault_round`` distinguishes recovery rounds, so a transfer
+        that failed in round ``r`` gets a fresh, independent draw in
+        round ``r + 1``.
+        """
+        spec = self.spec
+        if spec.transfer_failure_rate == 0 and spec.transfer_stall_rate == 0:
+            return "ok"
+        r = self._draw(_CAT_TRANSFER, fault_round, step, edge_id)
+        if r < spec.transfer_failure_rate:
+            return "fail"
+        if r < spec.transfer_failure_rate + spec.transfer_stall_rate:
+            return "stall"
+        return "ok"
+
+    def worker_crashes(self, index: int, attempt: int) -> bool:
+        """Whether the worker processing item ``index`` crashes.
+
+        ``attempt`` is 1-based; a retried item gets an independent draw,
+        so with any rate below 1 a bounded retry loop terminates.
+        """
+        if self.spec.worker_crash_rate == 0:
+            return False
+        return self._draw(_CAT_CRASH, index, attempt) < self.spec.worker_crash_rate
+
+    def link_factor(self, fault_round: int, step: int) -> float:
+        """Backbone bandwidth multiplier for one step (1.0 = healthy)."""
+        spec = self.spec
+        if spec.link_degradation_rate == 0:
+            return 1.0
+        if self._draw(_CAT_LINK, fault_round, step) < spec.link_degradation_rate:
+            return spec.link_degradation_factor
+        return 1.0
+
+    def any_faults(self) -> bool:
+        """True when the underlying spec has any nonzero rate."""
+        return self.spec.any_faults()
+
+
+def planned_transfer_faults(
+    schedule: "Schedule",
+    plan: FaultPlan | None,
+    fault_round: int = 0,
+) -> dict[int, tuple[int, str]]:
+    """First planned failure per edge: ``edge_id -> (step, kind)``.
+
+    Walks the schedule in step order and consults ``plan`` for every
+    transfer *until an edge's first failure* — once a transfer of an
+    edge fails or stalls, the connection is considered lost for the
+    remainder of this schedule (later chunks of the edge are not
+    attempted; the residual is rescheduled by the recovery layer).
+    The result is a pure function of ``(schedule, plan, fault_round)``,
+    so the executor's sender and receiver sides — or a parent process
+    auditing a worker — can each compute it independently and agree.
+    """
+    out: dict[int, tuple[int, str]] = {}
+    if plan is None or (
+        plan.spec.transfer_failure_rate == 0
+        and plan.spec.transfer_stall_rate == 0
+    ):
+        return out
+    for i, step in enumerate(schedule.steps):
+        for t in step.transfers:
+            if t.edge_id in out:
+                continue
+            outcome = plan.transfer_outcome(fault_round, i, t.edge_id)
+            if outcome != "ok":
+                out[t.edge_id] = (i, outcome)
+    return out
+
+
+def count_planned_faults(planned: Mapping[int, tuple[int, str]]) -> None:
+    """Record a ``planned_transfer_faults`` result in the metrics."""
+    fails = sum(1 for _, kind in planned.values() if kind == "fail")
+    stalls = sum(1 for _, kind in planned.values() if kind == "stall")
+    count_fault("transfer_fail", fails)
+    count_fault("transfer_stall", stalls)

@@ -1,0 +1,68 @@
+"""Residual-graph recovery scheduling.
+
+The recovery move after a failed or partial round is the one the
+open-shop rerouting literature and K-PBS's own preemption model both
+suggest: build the bipartite graph of the traffic that is still
+*unfinished* — for every interrupted message, the suffix that was never
+delivered — and hand it back to GGP/OGGP.  Preemption semantics make
+this sound: a schedule of the residual graph composed with the chunks
+already delivered is a valid preemptive schedule of the original graph
+(the per-edge amounts sum to the full weight).
+
+When the backbone is degraded, :func:`recovery_k` lowers the number of
+simultaneous transfers the recovery schedule may use, so the rescheduled
+traffic does not oversubscribe the remaining bandwidth (graceful
+degradation).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.resilience.faults import FaultPlan
+from repro.util.errors import ConfigError
+
+__all__ = ["residual_graph_from_amounts", "recovery_k"]
+
+
+def residual_graph_from_amounts(
+    pending: Mapping[int, tuple[int, int, int | float]],
+) -> tuple[BipartiteGraph, dict[int, int]]:
+    """Bipartite graph of unfinished traffic, plus an edge-id mapping.
+
+    ``pending`` maps an *original* edge id to ``(left, right,
+    remaining)`` where ``remaining`` is the undelivered amount (> 0).
+    Returns ``(graph, mapping)`` with ``mapping[new_edge_id] =
+    original_edge_id``; edges are installed in ascending original-id
+    order, so the residual graph — and everything scheduled from it —
+    is deterministic.
+    """
+    graph = BipartiteGraph()
+    mapping: dict[int, int] = {}
+    for orig_id in sorted(pending):
+        left, right, remaining = pending[orig_id]
+        if remaining <= 0:
+            raise ConfigError(
+                f"edge {orig_id}: residual amount must be positive, "
+                f"got {remaining!r}"
+            )
+        edge = graph.add_edge(left, right, remaining)
+        mapping[edge.id] = orig_id
+    return graph, mapping
+
+
+def recovery_k(k: int, plan: FaultPlan | None, degraded: bool) -> int:
+    """The ``k`` to reschedule with after a failed round.
+
+    While the backbone is healthy the full ``k`` stands.  After a round
+    that saw link degradation, scale ``k`` by the plan's degradation
+    factor (never below 1): the backbone constraint is ``k·t ≤ T``, so
+    a backbone at ``factor·T`` only supports ``factor·k`` simultaneous
+    transfers at full per-flow rate.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if not degraded or plan is None:
+        return k
+    return max(1, int(k * plan.spec.link_degradation_factor))

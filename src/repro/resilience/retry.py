@@ -1,0 +1,118 @@
+"""Bounded retries with deterministic backoff.
+
+One :class:`RetryPolicy` is shared by every layer that re-attempts
+work: the worker pool (task retries, crashed-worker respawn), the
+runtime's resilient executor (recovery rounds) and the network
+simulator's recovery path.  Backoff jitter is derived from the policy's
+seed and the attempt number — never from global RNG state — so a retry
+schedule is as reproducible as the fault sequence that triggered it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro import obs
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_rng
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+#: RNG category for backoff jitter (disjoint from the fault categories).
+_CAT_JITTER = 101
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how often) to re-attempt failed work.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    try plus two retries.  The delay before attempt ``n + 1`` is::
+
+        min(backoff_base * backoff_multiplier**(n - 1), max_backoff)
+          * (1 + jitter * u_n),   u_n ~ U[-1, 1] from (seed, n)
+
+    ``task_timeout`` is a per-attempt wall-clock deadline in seconds;
+    ``None`` disables it.  Layers that have their own timeout parameter
+    (e.g. :meth:`WorkerPool.map`) use this as their default.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.1
+    task_timeout: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.max_backoff < 0:
+            raise ConfigError("backoff_base and max_backoff must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not (0.0 <= self.jitter < 1.0):
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigError(
+                f"task_timeout must be positive, got {self.task_timeout}"
+            )
+
+    def allows_retry(self, attempt: int) -> bool:
+        """Whether another attempt is allowed after 1-based ``attempt``."""
+        return attempt < self.max_attempts
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before the attempt following ``attempt``.
+
+        Deterministic: the jitter for a given ``(seed, attempt)`` pair
+        never changes.
+        """
+        if attempt < 1:
+            raise ConfigError(f"attempt is 1-based, got {attempt}")
+        base = min(
+            self.backoff_base * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff,
+        )
+        if base == 0 or self.jitter == 0:
+            return base
+        u = 2.0 * float(derive_rng(self.seed, _CAT_JITTER, attempt).random()) - 1.0
+        return base * (1.0 + self.jitter * u)
+
+    def run(
+        self,
+        fn: Callable[[int], T],
+        *,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        describe: str = "operation",
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> T:
+        """Call ``fn(attempt)`` until it succeeds or attempts run out.
+
+        ``fn`` receives the 1-based attempt number (so callers can key
+        deterministic fault draws off it).  Exceptions not listed in
+        ``retry_on`` propagate immediately; the final failure propagates
+        unchanged.  Each retry is recorded under ``resilience.retries``.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn(attempt)
+            except retry_on:
+                if not self.allows_retry(attempt):
+                    raise
+                obs.metrics().counter("resilience.retries").inc()
+                obs.metrics().counter("resilience.retries.run").inc()
+                pause = self.delay(attempt)
+                if pause > 0:
+                    sleep(pause)

@@ -22,6 +22,9 @@ from repro.runtime.executor import (
     run_bruteforce,
     schedule_and_run,
     schedule_and_run_batch,
+    schedule_and_run_resilient,
+    ResilientRunReport,
+    RuntimeFailure,
     RuntimeReport,
 )
 
@@ -34,5 +37,8 @@ __all__ = [
     "run_bruteforce",
     "schedule_and_run",
     "schedule_and_run_batch",
+    "schedule_and_run_resilient",
+    "ResilientRunReport",
+    "RuntimeFailure",
     "RuntimeReport",
 ]

@@ -10,18 +10,25 @@ Two engines, mirroring the paper's §5.2 implementations:
 
 :func:`schedule_and_run` bundles scheduling and execution, reusing
 schedules for repeated patterns through the process-wide
-:class:`~repro.core.cache.ScheduleCache`.
+:class:`~repro.core.cache.ScheduleCache`; its fault-tolerant sibling
+:func:`schedule_and_run_resilient` adds deterministic fault injection
+and residual-graph recovery — after a round with failed transfers, the
+unfinished traffic is rebuilt into a bipartite graph and rescheduled
+with the same algorithm until everything lands (or the retry policy
+runs out).
 
 All engines verify payload integrity on arrival and report wall-clock
-timings.
+timings.  Failures are reported as structured
+:class:`RuntimeFailure` records carrying the step index and edge id
+where they occurred.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro import obs
 from repro.core.cache import DEFAULT_SCHEDULE_CACHE, ScheduleCache, cached_schedule
@@ -30,25 +37,61 @@ from repro.graph.bipartite import BipartiteGraph
 from repro.runtime.local import LocalCluster
 from repro.util.errors import SimulationError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
+
 
 class TransferPlanError(SimulationError):
     """Raised when a schedule and its payloads disagree."""
 
 
 @dataclass(frozen=True)
+class RuntimeFailure:
+    """One failure observed during a runtime execution.
+
+    ``kind`` is a short machine-readable tag (``"sender"``,
+    ``"receiver"``, ``"integrity"``, ``"transfer_fail"``,
+    ``"transfer_stall"``, ``"undelivered"``, ...); ``step`` and
+    ``edge_id`` locate the failure when they are known.
+    """
+
+    kind: str
+    detail: str
+    step: int | None = None
+    edge_id: int | None = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.step is not None:
+            where.append(f"step {self.step}")
+        if self.edge_id is not None:
+            where.append(f"edge {self.edge_id}")
+        location = f" @ {', '.join(where)}" if where else ""
+        return f"[{self.kind}{location}] {self.detail}"
+
+
+@dataclass(frozen=True)
 class RuntimeReport:
-    """Wall-clock outcome of a runtime execution."""
+    """Wall-clock outcome of a runtime execution.
+
+    ``delivered`` maps each edge id to the bytes that actually arrived
+    (a prefix of the payload when a transfer failed mid-schedule) — the
+    recovery layer reschedules exactly the missing suffixes.
+    """
 
     total_seconds: float
     bytes_moved: int
     num_steps: int
-    errors: tuple[str, ...] = ()
+    errors: tuple[RuntimeFailure, ...] = ()
+    delivered: Mapping[int, bytes] = field(default_factory=dict)
 
     def raise_on_errors(self) -> None:
         """Raise if any worker thread recorded a failure."""
         if self.errors:
             raise SimulationError(
-                "runtime execution failed: " + "; ".join(self.errors)
+                "runtime execution failed:\n"
+                + "\n".join(f"  - {e}" for e in self.errors)
             )
 
 
@@ -100,6 +143,8 @@ def run_scheduled(
     payloads: dict[int, bytes],
     destinations: dict[int, tuple[int, int]],
     amount_to_bytes: float = 1.0,
+    faults: "FaultPlan | None" = None,
+    fault_round: int = 0,
 ) -> RuntimeReport:
     """Execute ``schedule`` over the cluster, moving ``payloads``.
 
@@ -107,6 +152,14 @@ def run_scheduled(
     ``destinations`` maps edge id to its ``(sender, receiver)`` pair
     (used for integrity checks).  ``amount_to_bytes`` converts schedule
     amounts into byte counts.
+
+    ``faults`` injects deterministic transfer failures: the planned
+    fault set is a pure function of ``(schedule, faults, fault_round)``,
+    so the sender and receiver threads agree on which chunks to skip
+    without coordinating.  Once an edge's transfer fails or stalls at a
+    step, its later chunks are skipped too (the connection is lost for
+    the rest of this schedule); the report's ``delivered`` prefixes and
+    ``errors`` carry everything the recovery layer needs.
     """
     for t_step in schedule.steps:
         for t in t_step.transfers:
@@ -117,9 +170,20 @@ def run_scheduled(
                     f"transfer {t.left}->{t.right} outside cluster "
                     f"({cluster.n1}, {cluster.n2})"
                 )
+    from repro.resilience.faults import count_planned_faults, planned_transfer_faults
+
     plans = _slice_plan(schedule, payloads, amount_to_bytes)
+    # Pure function of (schedule, faults, fault_round): both thread
+    # pools consult the same dict, so no skip-coordination is needed.
+    failed_at = planned_transfer_faults(schedule, faults, fault_round)
+    count_planned_faults(failed_at)
+
+    def dropped(eid: int, step_index: int) -> bool:
+        fault = failed_at.get(eid)
+        return fault is not None and step_index >= fault[0]
+
     received: dict[int, list[bytes]] = {eid: [] for eid in payloads}
-    errors: list[str] = []
+    errors: list[RuntimeFailure] = []
     errors_lock = threading.Lock()
     # Per-sender (transfer, barrier-wait) seconds for every step; each
     # rank owns its row, so no locking inside the worker loop.
@@ -127,45 +191,65 @@ def run_scheduled(
         r: [] for r in range(cluster.n1)
     }
 
-    def fail(msg: str) -> None:
+    def fail(failure: RuntimeFailure) -> None:
         with errors_lock:
-            errors.append(msg)
+            errors.append(failure)
 
     def sender_main(rank: int) -> None:
+        step_index = -1
         try:
             ep = cluster.sender(rank)
             timings = sender_timings[rank]
-            for plan in plans:
+            for step_index, plan in enumerate(plans):
                 t0 = time.perf_counter()
                 item = plan.get(rank)
                 if item is not None:
-                    _eid, dst, chunk = item
-                    if chunk:
+                    eid, dst, chunk = item
+                    if chunk and not dropped(eid, step_index):
                         ep.send(dst, chunk)
                 t1 = time.perf_counter()
                 ep.barrier()
                 timings.append((t1 - t0, time.perf_counter() - t1))
         except Exception as exc:  # propagate through the report
-            fail(f"sender {rank}: {exc!r}")
+            fail(
+                RuntimeFailure(
+                    "sender",
+                    f"rank {rank}: {exc!r}",
+                    step=step_index if step_index >= 0 else None,
+                )
+            )
             raise
 
     def receiver_main(rank: int) -> None:
+        step_index = -1
         try:
             ep = cluster.receiver(rank)
-            for plan in plans:
+            for step_index, plan in enumerate(plans):
                 incoming = [
                     (eid, src_rank, chunk)
                     for src_rank, (eid, dst, chunk) in plan.items()
-                    if dst == rank and chunk
+                    if dst == rank and chunk and not dropped(eid, step_index)
                 ]
                 if len(incoming) > 1:
-                    fail(f"receiver {rank}: step is not a matching")
+                    fail(
+                        RuntimeFailure(
+                            "receiver",
+                            f"rank {rank}: step is not a matching",
+                            step=step_index,
+                        )
+                    )
                 for eid, src_rank, _chunk in incoming:
                     data = ep.recv(src_rank)
                     received[eid].append(data)
                 ep.barrier()
         except Exception as exc:
-            fail(f"receiver {rank}: {exc!r}")
+            fail(
+                RuntimeFailure(
+                    "receiver",
+                    f"rank {rank}: {exc!r}",
+                    step=step_index if step_index >= 0 else None,
+                )
+            )
             raise
 
     threads = [
@@ -175,9 +259,9 @@ def run_scheduled(
         threading.Thread(target=receiver_main, args=(r,), daemon=True)
         for r in range(cluster.n2)
     ]
-    bytes_moved = sum(len(p) for p in payloads.values())
+    total_bytes = sum(len(p) for p in payloads.values())
     with obs.phase(
-        "runtime.run_scheduled", steps=len(plans), bytes=bytes_moved
+        "runtime.run_scheduled", steps=len(plans), bytes=total_bytes
     ):
         start = time.perf_counter()
         for t in threads:
@@ -186,6 +270,39 @@ def run_scheduled(
             t.join()
         elapsed = time.perf_counter() - start
 
+    # Expected delivery: the full payload, or — for a faulted edge —
+    # the prefix its pre-failure chunks cover.
+    expected_len = {eid: len(p) for eid, p in payloads.items()}
+    for eid, (fault_step, _kind) in failed_at.items():
+        expected_len[eid] = sum(
+            len(plans[s][src][2])
+            for s in range(fault_step)
+            for src in (destinations[eid][0],)
+            if src in plans[s] and plans[s][src][0] == eid
+        )
+
+    delivered = {eid: b"".join(parts) for eid, parts in received.items()}
+    for eid, data in delivered.items():
+        if data != payloads[eid][: expected_len[eid]]:
+            errors.append(
+                RuntimeFailure(
+                    "integrity",
+                    "payload corrupted or incomplete",
+                    edge_id=eid,
+                )
+            )
+    for eid, (fault_step, kind) in sorted(failed_at.items()):
+        errors.append(
+            RuntimeFailure(
+                f"transfer_{kind}",
+                f"delivered {len(delivered[eid])} of {len(payloads[eid])} "
+                "bytes before the connection was lost",
+                step=fault_step,
+                edge_id=eid,
+            )
+        )
+
+    bytes_moved = sum(len(d) for d in delivered.values())
     metrics = obs.metrics()
     metrics.counter("runtime.scheduled_runs").inc()
     metrics.counter("runtime.bytes_moved").inc(bytes_moved)
@@ -196,16 +313,12 @@ def run_scheduled(
             transfer_hist.observe(transfer_s)
             barrier_hist.observe(barrier_s)
 
-    for eid, parts in received.items():
-        if b"".join(parts) != payloads[eid]:
-            errors.append(f"edge {eid}: payload corrupted or incomplete")
-        src, dst = destinations[eid]
-        del src, dst  # destinations kept for symmetry with run_bruteforce
     return RuntimeReport(
         total_seconds=elapsed,
         bytes_moved=bytes_moved,
         num_steps=len(plans),
         errors=tuple(errors),
+        delivered=delivered,
     )
 
 
@@ -237,6 +350,179 @@ def schedule_and_run(
         amount_to_bytes=amount_to_bytes,
     )
     return schedule, report
+
+
+@dataclass(frozen=True)
+class ResilientRunReport:
+    """Outcome of :func:`schedule_and_run_resilient`.
+
+    ``reports[0]`` is the initial run; ``reports[1:]`` pair up with
+    ``recovery_schedules``.  ``delivered`` is the merged per-edge
+    delivery; ``complete`` means it is byte-identical to the input
+    payloads.  ``errors`` lists only *unresolved* failures — transfers
+    still undelivered when the retry budget ran out (per-round fault
+    records stay in the individual reports).
+    """
+
+    schedule: Schedule
+    recovery_schedules: tuple[Schedule, ...]
+    reports: tuple[RuntimeReport, ...]
+    rounds: int
+    total_seconds: float
+    bytes_moved: int
+    complete: bool
+    delivered: Mapping[int, bytes] = field(default_factory=dict)
+    errors: tuple[RuntimeFailure, ...] = ()
+
+    def raise_on_errors(self) -> None:
+        """Raise if any traffic was still undelivered at the end."""
+        if self.errors:
+            raise SimulationError(
+                "resilient execution incomplete:\n"
+                + "\n".join(f"  - {e}" for e in self.errors)
+            )
+
+
+def schedule_and_run_resilient(
+    cluster: LocalCluster,
+    graph: BipartiteGraph,
+    k: int,
+    beta: float,
+    payloads: dict[int, bytes],
+    destinations: dict[int, tuple[int, int]],
+    method: str = "oggp",
+    amount_to_bytes: float = 1.0,
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    faults: "FaultPlan | None" = None,
+    retry: "RetryPolicy | None" = None,
+) -> ResilientRunReport:
+    """Schedule, execute, and recover until every byte lands.
+
+    Like :func:`schedule_and_run`, but failures do not end the story:
+    after a round with failed or stalled transfers, the undelivered
+    suffixes are rebuilt into a *residual* bipartite graph (weights =
+    remaining byte counts) and rescheduled with the same algorithm —
+    with a reduced ``k`` when the fault plan degraded the backbone —
+    then executed as the next recovery round.  Rounds continue until
+    everything is delivered or ``retry`` runs out of attempts.
+
+    ``faults`` drives deterministic fault injection (same seed, same
+    fault sequence, same recovery trajectory — run to run).  ``retry``
+    bounds the recovery rounds (attempt 1 is the initial run) and paces
+    them with its backoff; the default allows up to 7 recovery rounds
+    with no pauses.
+    """
+    from repro.resilience.faults import count_fault
+    from repro.resilience.recovery import recovery_k, residual_graph_from_amounts
+    from repro.resilience.retry import RetryPolicy
+
+    if retry is None:
+        retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
+    schedule = cached_schedule(graph, k=k, beta=beta, algorithm=method, cache=cache)
+    with obs.phase("runtime.schedule_and_run_resilient"):
+        first = run_scheduled(
+            cluster,
+            schedule,
+            payloads,
+            destinations,
+            amount_to_bytes=amount_to_bytes,
+            faults=faults,
+            fault_round=0,
+        )
+        reports: list[RuntimeReport] = [first]
+        recovery_schedules: list[Schedule] = []
+        delivered = {eid: first.delivered.get(eid, b"") for eid in payloads}
+
+        def pending_edges() -> dict[int, tuple[int, int, int]]:
+            return {
+                eid: (*destinations[eid], len(payloads[eid]) - len(data))
+                for eid, data in delivered.items()
+                if len(data) < len(payloads[eid])
+            }
+
+        def round_degraded(steps: int, fault_round: int) -> bool:
+            if faults is None or steps == 0:
+                return False
+            hits = sum(
+                1
+                for s in range(steps)
+                if faults.link_factor(fault_round, s) < 1.0
+            )
+            count_fault("link_degradation", hits)
+            return hits > 0
+
+        metrics = obs.metrics()
+        attempt = 1
+        prev_schedule, prev_round = schedule, 0
+        recovery_started = time.perf_counter()
+        while pending_edges() and retry.allows_retry(attempt):
+            degraded = round_degraded(len(prev_schedule.steps), prev_round)
+            pause = retry.delay(attempt)
+            if pause > 0:
+                time.sleep(pause)
+            attempt += 1
+            pending = pending_edges()
+            residual, id_map = residual_graph_from_amounts(pending)
+            rk = recovery_k(k, faults, degraded)
+            recovery_schedule = cached_schedule(
+                residual, k=rk, beta=beta, algorithm=method, cache=cache
+            )
+            recovery_payloads = {
+                new_eid: payloads[orig][len(delivered[orig]) :]
+                for new_eid, orig in id_map.items()
+            }
+            recovery_destinations = {
+                new_eid: destinations[orig] for new_eid, orig in id_map.items()
+            }
+            # Residual weights are byte counts, so the conversion
+            # factor is exactly 1 regardless of the caller's original
+            # amount_to_bytes.
+            report = run_scheduled(
+                cluster,
+                recovery_schedule,
+                recovery_payloads,
+                recovery_destinations,
+                amount_to_bytes=1.0,
+                faults=faults,
+                fault_round=attempt - 1,
+            )
+            for new_eid, orig in id_map.items():
+                delivered[orig] += report.delivered.get(new_eid, b"")
+            reports.append(report)
+            recovery_schedules.append(recovery_schedule)
+            metrics.counter("resilience.recovery_rounds").inc()
+            metrics.counter("resilience.recovery_steps").inc(
+                len(recovery_schedule.steps)
+            )
+            metrics.counter("resilience.retries").inc()
+            metrics.counter("resilience.retries.runtime").inc()
+            prev_schedule, prev_round = recovery_schedule, attempt - 1
+        if recovery_schedules:
+            metrics.counter("resilience.recovery_overhead_seconds").inc(
+                time.perf_counter() - recovery_started
+            )
+
+    errors = tuple(
+        RuntimeFailure(
+            "undelivered",
+            f"{remaining} of {len(payloads[eid])} bytes still missing "
+            f"after {len(recovery_schedules)} recovery round(s)",
+            edge_id=eid,
+        )
+        for eid, (_src, _dst, remaining) in sorted(pending_edges().items())
+    )
+    complete = all(delivered[eid] == payloads[eid] for eid in payloads)
+    return ResilientRunReport(
+        schedule=schedule,
+        recovery_schedules=tuple(recovery_schedules),
+        reports=tuple(reports),
+        rounds=len(recovery_schedules),
+        total_seconds=sum(r.total_seconds for r in reports),
+        bytes_moved=sum(len(d) for d in delivered.values()),
+        complete=complete,
+        delivered=delivered,
+        errors=errors,
+    )
 
 
 def schedule_and_run_batch(
@@ -305,7 +591,7 @@ def run_bruteforce(
             raise TransferPlanError(
                 f"flow {src}->{dst} outside cluster ({cluster.n1}, {cluster.n2})"
             )
-    errors: list[str] = []
+    errors: list[RuntimeFailure] = []
     errors_lock = threading.Lock()
     received: dict[int, bytes] = {}
 
@@ -315,7 +601,9 @@ def run_bruteforce(
             cluster.sender(src).send(dst, payloads[eid])
         except Exception as exc:
             with errors_lock:
-                errors.append(f"flow {eid} send: {exc!r}")
+                errors.append(
+                    RuntimeFailure("sender", f"flow send: {exc!r}", edge_id=eid)
+                )
 
     def recv_flow(eid: int) -> None:
         src, dst = destinations[eid]
@@ -323,7 +611,9 @@ def run_bruteforce(
             received[eid] = cluster.receiver(dst).recv(src)
         except Exception as exc:
             with errors_lock:
-                errors.append(f"flow {eid} recv: {exc!r}")
+                errors.append(
+                    RuntimeFailure("receiver", f"flow recv: {exc!r}", edge_id=eid)
+                )
 
     threads = [
         threading.Thread(target=send_flow, args=(eid,), daemon=True)
@@ -347,10 +637,15 @@ def run_bruteforce(
 
     for eid, payload in payloads.items():
         if received.get(eid) != payload:
-            errors.append(f"edge {eid}: payload corrupted or incomplete")
+            errors.append(
+                RuntimeFailure(
+                    "integrity", "payload corrupted or incomplete", edge_id=eid
+                )
+            )
     return RuntimeReport(
         total_seconds=elapsed,
         bytes_moved=bytes_moved,
         num_steps=1,
         errors=tuple(errors),
+        delivered=dict(received),
     )

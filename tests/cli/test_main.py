@@ -139,6 +139,53 @@ class TestSimulate:
         assert "bruteforce" in out and "oggp" in out and "gain" in out
 
 
+class TestResilienceFlags:
+    def test_simulate_with_faults_recovers(self, capsys):
+        code = main([
+            "simulate", "--k", "3", "--max-mb", "11", "--seed", "1",
+            "--faults", "seed=2,transfer=0.3,degrade=0.2", "--retries", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered in" in out
+        assert "oggp" in out
+
+    def test_simulate_fault_free_spec_prints_no_recovery(self, capsys):
+        code = main([
+            "simulate", "--k", "3", "--max-mb", "11", "--seed", "1",
+            "--faults", "seed=2,transfer=0,stall=0",
+        ])
+        assert code == 0
+        assert "recovered in" not in capsys.readouterr().out
+
+    def test_bad_faults_spec_fails_cleanly(self, capsys):
+        code = main([
+            "simulate", "--k", "3", "--max-mb", "11",
+            "--faults", "bogus=1",
+        ])
+        assert code == 2
+        assert "bad --faults entry" in capsys.readouterr().err
+
+    def test_run_recovery_overhead(self, capsys):
+        code = main(["run", "recovery_overhead", "--retries", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overhead %" in out
+        assert "recovery rounds" in out
+
+    def test_run_rejects_flags_the_experiment_cannot_take(self, capsys):
+        code = main(["run", "fig7", "--faults", "0.2"])
+        assert code == 2
+        assert "does not support --faults" in capsys.readouterr().err
+
+    def test_parser_accepts_task_timeout(self):
+        args = build_parser().parse_args([
+            "simulate", "--task-timeout", "30", "--retries", "2",
+        ])
+        assert args.task_timeout == 30.0
+        assert args.retries == 2
+
+
 class TestObservabilityFlags:
     def _matrix(self, tmp_path):
         src = tmp_path / "m.json"

@@ -1,0 +1,68 @@
+"""The recovery_overhead experiment and its registry wiring."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.resilience import run_recovery_overhead
+from repro.resilience import FaultSpec
+from repro.util.errors import ConfigError
+
+
+class TestRegistryWiring:
+    def test_registered(self):
+        assert "recovery_overhead" in EXPERIMENTS
+        assert get_experiment("recovery_overhead") is run_recovery_overhead
+
+    def test_run_experiment_forwards_resilience_kwargs(self):
+        result = run_experiment(
+            "recovery_overhead",
+            fault_rates=(0.0, 0.2),
+            num_patterns=2,
+            retries=6,
+        )
+        assert result.experiment_id == "recovery_overhead"
+
+    def test_run_experiment_rejects_unsupported_kwargs(self):
+        with pytest.raises(ConfigError, match="does not support --retries"):
+            run_experiment("fig7", retries=3)
+
+
+class TestRecoveryOverhead:
+    def _small(self, **kwargs):
+        return run_recovery_overhead(
+            fault_rates=(0.0, 0.2), num_patterns=2, **kwargs
+        )
+
+    def test_zero_rate_has_zero_overhead(self):
+        result = self._small()
+        by_rate = {row[0]: row for row in result.rows}
+        assert by_rate[0.0][3] == pytest.approx(0.0)  # overhead %
+        assert by_rate[0.0][4] == 0.0  # recovery rounds
+
+    def test_faults_cost_time_but_deliver_everything(self):
+        result = self._small()
+        by_rate = {row[0]: row for row in result.rows}
+        rate, time_s, base_s, overhead, rounds, _steps, undelivered = by_rate[0.2]
+        assert overhead > 0.0
+        assert rounds > 0.0
+        assert undelivered == 0.0
+        assert time_s > base_s
+
+    def test_reproducible(self):
+        assert self._small().rows == self._small().rows
+
+    def test_template_spec_and_retries_accepted(self):
+        result = self._small(
+            faults=FaultSpec(seed=5, transfer_stall_rate=0.05), retries=6
+        )
+        assert result.series["overhead %"]
+
+    def test_bad_num_patterns_rejected(self):
+        with pytest.raises(ConfigError, match="num_patterns"):
+            run_recovery_overhead(num_patterns=0)
+
+    def test_renders(self):
+        result = self._small()
+        rendered = result.render()
+        assert "Recovery overhead" in rendered
+        assert "overhead %" in rendered

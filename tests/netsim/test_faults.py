@@ -1,0 +1,164 @@
+"""Fault injection in the network simulator: stepwise + recovery loop."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.netsim.runner import build_schedule, run_redistribution, uniform_traffic
+from repro.netsim.stepwise import simulate_schedule
+from repro.netsim.topology import NetworkSpec
+from repro.resilience import FaultSpec, RetryPolicy
+from repro.util.errors import ConfigError
+
+SPEC = NetworkSpec.paper_testbed(3, step_setup=0.01)
+
+FAULTS = FaultSpec(
+    seed=31,
+    transfer_failure_rate=0.15,
+    transfer_stall_rate=0.05,
+    link_degradation_rate=0.2,
+    link_degradation_factor=0.5,
+)
+
+RETRY = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
+
+
+def traffic_case(seed=0, n=4):
+    return uniform_traffic(seed, n, n, 8.0, 40.0)
+
+
+class TestSimulateScheduleFaults:
+    def _run(self, faults=None):
+        traffic = traffic_case()
+        schedule = build_schedule(SPEC, traffic, "oggp", cache=None)
+        plan = faults.plan() if faults else None
+        return schedule, simulate_schedule(
+            SPEC, schedule, volume_scale=SPEC.flow_rate, faults=plan
+        )
+
+    def test_fault_free_run_has_no_fault_fields(self):
+        _, result = self._run()
+        assert result.failed == {}
+        assert result.degraded_steps == ()
+
+    def test_faulted_edges_deliver_a_prefix(self):
+        schedule, result = self._run(FAULTS)
+        assert result.failed, "expected faults at these rates"
+        totals: dict[int, float] = {}
+        before_fault: dict[int, float] = {}
+        for i, step in enumerate(schedule.steps):
+            for t in step.transfers:
+                totals[t.edge_id] = totals.get(t.edge_id, 0.0) + t.amount
+                fault = result.failed.get(t.edge_id)
+                if fault is None or i < fault[0]:
+                    before_fault[t.edge_id] = (
+                        before_fault.get(t.edge_id, 0.0) + t.amount
+                    )
+        for eid, (step, kind) in result.failed.items():
+            assert kind in ("fail", "stall")
+            # delivered = exactly the chunks scheduled before the fault
+            assert result.delivered[eid] == pytest.approx(
+                before_fault.get(eid, 0.0)
+            )
+            assert result.delivered[eid] < totals[eid]
+        for eid, total in totals.items():
+            if eid not in result.failed:
+                assert result.delivered[eid] == pytest.approx(total)
+
+    def test_degraded_steps_slow_the_run(self):
+        traffic = traffic_case()
+        schedule = build_schedule(SPEC, traffic, "oggp", cache=None)
+        degrade_only = FaultSpec(
+            seed=31, link_degradation_rate=0.4, link_degradation_factor=0.25
+        )
+        healthy = simulate_schedule(SPEC, schedule, volume_scale=SPEC.flow_rate)
+        degraded = simulate_schedule(
+            SPEC, schedule, volume_scale=SPEC.flow_rate,
+            faults=degrade_only.plan(),
+        )
+        assert degraded.degraded_steps, "expected degraded steps at this rate"
+        assert degraded.total_time > healthy.total_time
+        assert degraded.failed == {}
+
+    def test_deterministic_per_seed(self):
+        _, a = self._run(FAULTS)
+        _, b = self._run(FAULTS)
+        assert a.failed == b.failed
+        assert a.degraded_steps == b.degraded_steps
+        assert a.total_time == b.total_time
+
+
+class TestRunRedistributionRecovery:
+    def test_recovers_until_everything_lands(self):
+        out = run_redistribution(
+            SPEC, traffic_case(), "oggp", faults=FAULTS.plan(), retry=RETRY,
+            cache=None,
+        )
+        assert out.rounds > 0
+        assert out.undelivered_mbit == 0.0
+        assert out.recovery_time > 0.0
+        assert out.recovery_time < out.total_time
+
+    def test_fault_free_run_reports_zero_rounds(self):
+        out = run_redistribution(SPEC, traffic_case(), "oggp", cache=None)
+        assert out.rounds == 0
+        assert out.recovery_time == 0.0
+        assert out.undelivered_mbit == 0.0
+
+    def test_reproducible(self):
+        a = run_redistribution(
+            SPEC, traffic_case(), "oggp", faults=FAULTS.plan(), retry=RETRY,
+            cache=None,
+        )
+        b = run_redistribution(
+            SPEC, traffic_case(), "oggp", faults=FAULTS.plan(), retry=RETRY,
+            cache=None,
+        )
+        assert (a.rounds, a.total_time, a.num_steps) == (
+            b.rounds, b.total_time, b.num_steps
+        )
+
+    def test_counters_populated(self):
+        with obs.observed() as (registry, _):
+            run_redistribution(
+                SPEC, traffic_case(), "oggp", faults=FAULTS.plan(),
+                retry=RETRY, cache=None,
+            )
+            snap = registry.snapshot()
+        for name in (
+            "resilience.faults_injected",
+            "resilience.retries.netsim",
+            "resilience.recovery_rounds",
+            "resilience.recovery_steps",
+            "resilience.recovery_overhead_seconds",
+        ):
+            assert snap.get(name, {}).get("value", 0) > 0, name
+
+    def test_exhausted_budget_reports_undelivered(self):
+        out = run_redistribution(
+            SPEC,
+            traffic_case(),
+            "oggp",
+            faults=FaultSpec(seed=31, transfer_failure_rate=0.9).plan(),
+            retry=RetryPolicy(max_attempts=1),
+            cache=None,
+        )
+        assert out.rounds == 0
+        assert out.undelivered_mbit > 0.0
+
+    def test_bruteforce_rejects_faults(self):
+        with pytest.raises(ConfigError, match="bruteforce"):
+            run_redistribution(
+                SPEC, traffic_case(), "bruteforce", rng=0,
+                faults=FAULTS.plan(),
+            )
+
+    def test_bruteforce_allows_inert_plan(self):
+        out = run_redistribution(
+            SPEC,
+            np.full((10, 10), 40.0),
+            "bruteforce",
+            rng=0,
+            faults=FaultSpec(seed=1).plan(),
+        )
+        assert out.total_time > 0

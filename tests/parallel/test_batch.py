@@ -145,3 +145,32 @@ class TestFailureSurfacing:
             )
         assert exc.value.index == 1
         assert "wrgp" in str(exc.value)
+
+
+class TestFaultTolerance:
+    def test_bit_identical_under_injected_crashes(self):
+        """Crashed workers are respawned and retried; the output must
+        still match the serial path exactly."""
+        from repro.graph.generators import random_bipartite
+        from repro.resilience import FaultSpec, RetryPolicy
+
+        graphs = [random_bipartite(s, max_side=5, max_edges=15) for s in range(8)]
+        plan = FaultSpec(seed=13, worker_crash_rate=0.35).plan()
+        retry = RetryPolicy(max_attempts=6, backoff_base=0.0, jitter=0.0)
+        faulted = schedule_batch(
+            graphs, "oggp", k=3, beta=1.0, jobs=2, cache=None,
+            retry=retry, fault_plan=plan,
+        )
+        serial = schedule_batch(graphs, "oggp", k=3, beta=1.0, jobs=1, cache=None)
+        assert [flat(s) for s in faulted] == [flat(s) for s in serial]
+
+    def test_crashes_without_retry_fail_loudly(self):
+        from repro.parallel.pool import WorkerCrashError
+        from repro.resilience import FaultSpec
+
+        g = BipartiteGraph.from_edges([(0, 0, 2)])
+        plan = FaultSpec(seed=1, worker_crash_rate=1.0).plan()
+        with pytest.raises(WorkerCrashError):
+            schedule_batch(
+                [g], "oggp", k=1, beta=0.0, jobs=2, cache=None, fault_plan=plan
+            )

@@ -1,7 +1,9 @@
 """WorkerPool: ordering, reuse, failure surfacing, telemetry merge."""
 
 import os
+import pathlib
 import signal
+import time
 
 import pytest
 
@@ -9,16 +11,33 @@ from repro import obs
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel.pool import (
     ParallelError,
+    PoolReport,
+    TaskTimeoutError,
     WorkerCrashError,
     WorkerPool,
     WorkerTaskError,
     resolve_jobs,
 )
+from repro.resilience import FaultSpec, RetryPolicy
 from repro.util.errors import ConfigError
 
 
 def square(x):
     return x * x
+
+
+def sleepy(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def sleep_until_retried(path_str):
+    """Deadlock on the first attempt, succeed on any later one."""
+    flag = pathlib.Path(path_str)
+    if not flag.exists():
+        flag.write_text("first attempt")
+        time.sleep(60)
+    return "ok"
 
 
 def fail_on_negative(x):
@@ -96,6 +115,138 @@ class TestMap:
                 pool.map(["ok", "die", "never"])
         finally:
             pool.shutdown()
+
+
+class TestTaskTimeout:
+    def test_deadlocked_worker_raises_timeout_not_hang(self):
+        """Regression: map() used to hang forever on a deadlocked worker."""
+        pool = WorkerPool(1, sleepy, task_timeout=0.3)
+        try:
+            start = time.monotonic()
+            with pytest.raises(TaskTimeoutError, match="task deadline"):
+                pool.map([60.0])
+            assert time.monotonic() - start < 10.0
+        finally:
+            pool.shutdown()
+
+    def test_per_call_timeout_overrides_pool_default(self):
+        pool = WorkerPool(1, sleepy, task_timeout=120.0)
+        try:
+            with pytest.raises(TaskTimeoutError, match="0.3"):
+                pool.map([60.0], timeout=0.3)
+        finally:
+            pool.shutdown()
+
+    def test_pool_usable_after_timeout(self):
+        """The stuck worker is killed and respawned, not leaked."""
+        pool = WorkerPool(1, sleepy, task_timeout=0.3)
+        try:
+            with pytest.raises(TaskTimeoutError):
+                pool.map([60.0])
+            assert pool.map([0.0]) == [0.0]
+        finally:
+            pool.shutdown()
+
+    def test_timeout_retried_when_policy_allows(self, tmp_path):
+        flag = tmp_path / "attempted"
+        retry = RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        with obs.observed() as (registry, _):
+            pool = WorkerPool(1, sleep_until_retried, retry=retry,
+                              task_timeout=0.5)
+            try:
+                assert pool.map([str(flag)]) == ["ok"]
+            finally:
+                pool.shutdown()
+            snap = registry.snapshot()
+            assert snap["resilience.retries.pool"]["value"] >= 1
+            assert snap["resilience.worker_respawns"]["value"] >= 1
+
+    def test_retry_task_timeout_is_the_default(self):
+        retry = RetryPolicy(max_attempts=1, task_timeout=0.3)
+        pool = WorkerPool(1, sleepy, retry=retry)
+        try:
+            with pytest.raises(TaskTimeoutError):
+                pool.map([60.0])
+        finally:
+            pool.shutdown()
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ConfigError, match="task_timeout"):
+            WorkerPool(1, square, task_timeout=-1.0)
+
+
+class TestCrashInjection:
+    def test_injected_crashes_retried_to_completion(self):
+        plan = FaultSpec(seed=4, worker_crash_rate=0.4).plan()
+        retry = RetryPolicy(max_attempts=6, backoff_base=0.0, jitter=0.0)
+        with obs.observed() as (registry, _):
+            with WorkerPool(2, square, retry=retry, fault_plan=plan) as pool:
+                assert pool.map(list(range(20))) == [x * x for x in range(20)]
+            snap = registry.snapshot()
+            assert snap["resilience.worker_respawns"]["value"] > 0
+            assert snap["resilience.retries.pool"]["value"] > 0
+            assert snap["resilience.faults_injected.worker_crash"]["value"] > 0
+
+    def test_injected_crash_sequence_reproducible(self):
+        plan = FaultSpec(seed=4, worker_crash_rate=0.4).plan()
+        retry = RetryPolicy(max_attempts=6, backoff_base=0.0, jitter=0.0)
+
+        def respawns():
+            with obs.observed() as (registry, _):
+                with WorkerPool(2, square, retry=retry, fault_plan=plan) as p:
+                    p.map(list(range(20)))
+                return registry.snapshot()["resilience.worker_respawns"]["value"]
+
+        assert respawns() == respawns()
+
+    def test_crash_without_retry_raises(self):
+        plan = FaultSpec(seed=1, worker_crash_rate=1.0).plan()
+        pool = WorkerPool(1, square, fault_plan=plan)
+        try:
+            with pytest.raises(WorkerCrashError, match="died mid-batch"):
+                pool.map([1, 2, 3])
+        finally:
+            pool.shutdown()
+
+    def test_crash_exhausting_retries_raises(self):
+        plan = FaultSpec(seed=1, worker_crash_rate=1.0).plan()
+        retry = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+        pool = WorkerPool(1, square, retry=retry, fault_plan=plan)
+        try:
+            with pytest.raises(WorkerCrashError, match="retries exhausted"):
+                pool.map([1])
+        finally:
+            pool.shutdown()
+
+
+class TestShutdownWithDeadWorkers:
+    def test_shutdown_prompt_when_workers_already_died(self):
+        """Regression: shutdown used to wait out the full deadline when a
+        SIGKILL'd worker died holding the task queue's lock."""
+        pool = WorkerPool(4, square)
+        pool.map(list(range(8)))
+        victims = pool._workers[:3]
+        for proc in victims:
+            os.kill(proc.pid, signal.SIGKILL)
+        for proc in victims:
+            proc.join(timeout=5.0)
+        start = time.monotonic()
+        report = pool.shutdown()
+        elapsed = time.monotonic() - start
+        assert isinstance(report, PoolReport)
+        assert elapsed < 5.0, f"shutdown stalled for {elapsed:.2f}s"
+
+    def test_shutdown_all_workers_dead(self):
+        pool = WorkerPool(2, square)
+        pool.map([1, 2])
+        for proc in pool._workers:
+            os.kill(proc.pid, signal.SIGKILL)
+        for proc in pool._workers:
+            proc.join(timeout=5.0)
+        start = time.monotonic()
+        report = pool.shutdown()
+        assert time.monotonic() - start < 5.0
+        assert isinstance(report, PoolReport)
 
 
 class TestTelemetry:

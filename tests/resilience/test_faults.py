@@ -1,0 +1,278 @@
+"""FaultSpec/FaultPlan: validation, parsing, coordinate determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core import oggp
+from repro.graph.bipartite import BipartiteGraph
+from repro.resilience import FaultPlan, FaultSpec, planned_transfer_faults
+from repro.resilience.faults import count_fault, count_planned_faults
+from repro.util.errors import ConfigError, ReproError
+from tests.conftest import bipartite_graphs
+
+
+class TestFaultSpecValidation:
+    def test_defaults_are_fault_free(self):
+        spec = FaultSpec()
+        assert not spec.any_faults()
+        assert not spec.plan().any_faults()
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "transfer_failure_rate",
+            "transfer_stall_rate",
+            "worker_crash_rate",
+            "link_degradation_rate",
+        ],
+    )
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, bad):
+        with pytest.raises(ConfigError, match=field):
+            FaultSpec(**{field: bad})
+
+    def test_fail_plus_stall_bounded_by_one(self):
+        FaultSpec(transfer_failure_rate=0.6, transfer_stall_rate=0.4)
+        with pytest.raises(ConfigError, match="must not exceed 1"):
+            FaultSpec(transfer_failure_rate=0.7, transfer_stall_rate=0.4)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.1])
+    def test_degradation_factor_in_unit_interval(self, bad):
+        with pytest.raises(ConfigError, match="link_degradation_factor"):
+            FaultSpec(link_degradation_factor=bad)
+
+    def test_errors_are_repro_errors(self):
+        with pytest.raises(ReproError):
+            FaultSpec(worker_crash_rate=2.0)
+
+    def test_any_faults_per_field(self):
+        for kwargs in (
+            {"transfer_failure_rate": 0.1},
+            {"transfer_stall_rate": 0.1},
+            {"worker_crash_rate": 0.1},
+            {"link_degradation_rate": 0.1},
+        ):
+            assert FaultSpec(**kwargs).any_faults()
+
+
+class TestFaultSpecParse:
+    def test_bare_float_is_transfer_failure_rate(self):
+        spec = FaultSpec.parse("0.25")
+        assert spec == FaultSpec(transfer_failure_rate=0.25)
+
+    def test_key_value_list(self):
+        spec = FaultSpec.parse(
+            "seed=7, transfer=0.1, stall=0.05, crash=0.02, "
+            "degrade=0.2, factor=0.5"
+        )
+        assert spec == FaultSpec(
+            seed=7,
+            transfer_failure_rate=0.1,
+            transfer_stall_rate=0.05,
+            worker_crash_rate=0.02,
+            link_degradation_rate=0.2,
+            link_degradation_factor=0.5,
+        )
+
+    def test_fail_is_an_alias_for_transfer(self):
+        assert FaultSpec.parse("fail=0.3") == FaultSpec.parse("transfer=0.3")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            FaultSpec.parse("   ")
+
+    def test_unknown_key_rejected_with_key_list(self):
+        with pytest.raises(ConfigError, match="bad --faults entry"):
+            FaultSpec.parse("bogus=1")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigError, match="bad --faults entry"):
+            FaultSpec.parse("transfer")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ConfigError, match="bad --faults value"):
+            FaultSpec.parse("transfer=lots")
+
+    def test_parsed_spec_still_validated(self):
+        with pytest.raises(ConfigError, match="worker_crash_rate"):
+            FaultSpec.parse("crash=2")
+
+
+HEAVY = FaultSpec(
+    seed=11,
+    transfer_failure_rate=0.3,
+    transfer_stall_rate=0.2,
+    worker_crash_rate=0.4,
+    link_degradation_rate=0.5,
+    link_degradation_factor=0.25,
+)
+
+
+class TestCoordinateDeterminism:
+    def test_same_seed_same_decisions(self):
+        a, b = FaultPlan(HEAVY), FaultPlan(HEAVY)
+        for step in range(20):
+            for eid in range(10):
+                assert a.transfer_outcome(0, step, eid) == b.transfer_outcome(
+                    0, step, eid
+                )
+            assert a.link_factor(0, step) == b.link_factor(0, step)
+        for index in range(20):
+            assert a.worker_crashes(index, 1) == b.worker_crashes(index, 1)
+
+    def test_order_independence(self):
+        plan = FaultPlan(HEAVY)
+        forward = [
+            plan.transfer_outcome(0, s, e) for s in range(8) for e in range(8)
+        ]
+        backward = [
+            plan.transfer_outcome(0, s, e)
+            for s in reversed(range(8))
+            for e in reversed(range(8))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_categories_independent(self):
+        """Crash draws don't perturb transfer draws: same transfer
+        decisions with and without a crash rate."""
+        with_crash = FaultPlan(HEAVY)
+        without = FaultPlan(
+            FaultSpec(
+                seed=HEAVY.seed,
+                transfer_failure_rate=HEAVY.transfer_failure_rate,
+                transfer_stall_rate=HEAVY.transfer_stall_rate,
+                link_degradation_rate=HEAVY.link_degradation_rate,
+                link_degradation_factor=HEAVY.link_degradation_factor,
+            )
+        )
+        for step in range(10):
+            for eid in range(10):
+                assert with_crash.transfer_outcome(
+                    0, step, eid
+                ) == without.transfer_outcome(0, step, eid)
+
+    def test_rounds_get_independent_draws(self):
+        plan = FaultPlan(FaultSpec(seed=3, transfer_failure_rate=0.5))
+        rounds = [
+            tuple(plan.transfer_outcome(r, s, 0) for s in range(40))
+            for r in range(3)
+        ]
+        assert len(set(rounds)) > 1
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(FaultSpec(seed=1, transfer_failure_rate=0.5))
+        b = FaultPlan(FaultSpec(seed=2, transfer_failure_rate=0.5))
+        draws_a = [a.transfer_outcome(0, s, 0) for s in range(64)]
+        draws_b = [b.transfer_outcome(0, s, 0) for s in range(64)]
+        assert draws_a != draws_b
+
+    def test_decisions_are_pure_no_metrics(self):
+        with obs.observed() as (registry, _):
+            plan = FaultPlan(HEAVY)
+            plan.transfer_outcome(0, 0, 0)
+            plan.worker_crashes(0, 1)
+            plan.link_factor(0, 0)
+            assert not [
+                n for n in registry.names() if n.startswith("resilience.")
+            ]
+
+    def test_zero_rates_short_circuit(self):
+        plan = FaultPlan(FaultSpec(seed=9))
+        assert plan.transfer_outcome(0, 0, 0) == "ok"
+        assert plan.worker_crashes(0, 1) is False
+        assert plan.link_factor(0, 0) == 1.0
+
+    def test_link_factor_values(self):
+        plan = FaultPlan(HEAVY)
+        factors = {plan.link_factor(0, s) for s in range(64)}
+        assert factors == {1.0, HEAVY.link_degradation_factor}
+
+    @given(rate=st.floats(0.2, 0.8))
+    @settings(max_examples=10, deadline=None)
+    def test_rates_roughly_respected(self, rate):
+        plan = FaultPlan(FaultSpec(seed=5, worker_crash_rate=rate))
+        crashes = sum(plan.worker_crashes(i, 1) for i in range(500))
+        assert abs(crashes / 500 - rate) < 0.15
+
+
+class TestPlannedTransferFaults:
+    def _schedule(self, seed=0):
+        g = BipartiteGraph.from_edges(
+            [(0, 0, 5.0), (1, 1, 4.0), (0, 1, 3.0), (1, 0, 2.0), (2, 2, 6.0)]
+        )
+        return g, oggp(g, k=3, beta=1.0)
+
+    def test_none_plan_is_empty(self):
+        _, schedule = self._schedule()
+        assert planned_transfer_faults(schedule, None) == {}
+
+    def test_fault_free_plan_is_empty(self):
+        _, schedule = self._schedule()
+        plan = FaultPlan(FaultSpec(seed=1, worker_crash_rate=0.5))
+        assert planned_transfer_faults(schedule, plan) == {}
+
+    def test_first_failure_only(self):
+        """Each edge appears at most once, at its *first* faulted step."""
+        _, schedule = self._schedule()
+        plan = FaultPlan(
+            FaultSpec(seed=2, transfer_failure_rate=0.4, transfer_stall_rate=0.3)
+        )
+        planned = planned_transfer_faults(schedule, plan)
+        assert planned, "expected faults at these rates"
+        for eid, (step, kind) in planned.items():
+            assert kind in ("fail", "stall")
+            # The recorded step is the edge's first non-ok draw.
+            first = next(
+                i
+                for i, s in enumerate(schedule.steps)
+                if any(t.edge_id == eid for t in s.transfers)
+                and plan.transfer_outcome(0, i, eid) != "ok"
+            )
+            assert step == first
+
+    def test_pure_function_of_inputs(self):
+        _, schedule = self._schedule()
+        plan = FaultPlan(FaultSpec(seed=2, transfer_failure_rate=0.4))
+        assert planned_transfer_faults(schedule, plan) == planned_transfer_faults(
+            schedule, plan
+        )
+        r0 = planned_transfer_faults(schedule, plan, fault_round=0)
+        r1 = planned_transfer_faults(schedule, plan, fault_round=1)
+        assert r0 != r1 or not r0  # independent draws per round
+
+    @given(graph=bipartite_graphs(), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_faulted_step_always_schedules_the_edge(self, graph, seed):
+        schedule = oggp(graph, k=2, beta=1.0)
+        plan = FaultPlan(
+            FaultSpec(seed=seed, transfer_failure_rate=0.3, transfer_stall_rate=0.2)
+        )
+        for eid, (step, _) in planned_transfer_faults(schedule, plan).items():
+            assert any(
+                t.edge_id == eid for t in schedule.steps[step].transfers
+            )
+
+
+class TestCounters:
+    def test_count_fault_aggregate_and_per_kind(self):
+        with obs.observed() as (registry, _):
+            count_fault("transfer_fail", 2)
+            count_fault("worker_crash")
+            count_fault("ignored", 0)
+            snap = registry.snapshot()
+            assert snap["resilience.faults_injected"]["value"] == 3
+            assert snap["resilience.faults_injected.transfer_fail"]["value"] == 2
+            assert snap["resilience.faults_injected.worker_crash"]["value"] == 1
+            assert "resilience.faults_injected.ignored" not in snap
+
+    def test_count_planned_faults(self):
+        with obs.observed() as (registry, _):
+            count_planned_faults(
+                {1: (0, "fail"), 2: (3, "stall"), 5: (1, "fail")}
+            )
+            snap = registry.snapshot()
+            assert snap["resilience.faults_injected"]["value"] == 3
+            assert snap["resilience.faults_injected.transfer_fail"]["value"] == 2
+            assert snap["resilience.faults_injected.transfer_stall"]["value"] == 1

@@ -1,0 +1,101 @@
+"""Residual-graph construction and degraded-backbone k reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import oggp
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    recovery_k,
+    residual_graph_from_amounts,
+)
+from repro.util.errors import ConfigError
+
+
+class TestResidualGraph:
+    def test_builds_edges_in_ascending_orig_id_order(self):
+        pending = {7: (0, 1, 3.0), 2: (1, 0, 5.0), 4: (0, 0, 1.0)}
+        graph, mapping = residual_graph_from_amounts(pending)
+        assert graph.num_edges == 3
+        # new ids assigned in ascending original-id order
+        ordered = [mapping[e.id] for e in graph.edges()]
+        assert sorted(mapping.values()) == [2, 4, 7]
+        assert ordered == sorted(ordered)
+        for edge in graph.edges():
+            left, right, remaining = pending[mapping[edge.id]]
+            assert (edge.left, edge.right) == (left, right)
+            assert edge.weight == remaining
+
+    def test_deterministic_regardless_of_dict_order(self):
+        a = {1: (0, 0, 2.0), 9: (1, 1, 4.0), 5: (0, 1, 3.0)}
+        b = dict(reversed(list(a.items())))
+        ga, ma = residual_graph_from_amounts(a)
+        gb, mb = residual_graph_from_amounts(b)
+        assert ma == mb
+        assert [
+            (e.left, e.right, e.weight) for e in ga.edges()
+        ] == [(e.left, e.right, e.weight) for e in gb.edges()]
+
+    def test_empty_pending_gives_empty_graph(self):
+        graph, mapping = residual_graph_from_amounts({})
+        assert graph.num_edges == 0
+        assert mapping == {}
+
+    @pytest.mark.parametrize("bad", [0, -1.5])
+    def test_nonpositive_residual_rejected(self, bad):
+        with pytest.raises(ConfigError, match="must be positive"):
+            residual_graph_from_amounts({3: (0, 0, bad)})
+
+    def test_residual_is_schedulable(self):
+        pending = {10: (0, 0, 4.0), 11: (0, 1, 2.0), 12: (1, 0, 3.0)}
+        graph, _ = residual_graph_from_amounts(pending)
+        schedule = oggp(graph, k=2, beta=1.0)
+        schedule.validate(graph)
+
+    @given(
+        amounts=st.dictionaries(
+            st.integers(0, 100),
+            st.tuples(
+                st.integers(0, 4),
+                st.integers(0, 4),
+                st.floats(0.1, 50.0),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_total_residual_weight_preserved(self, amounts):
+        graph, mapping = residual_graph_from_amounts(amounts)
+        assert graph.num_edges == len(amounts)
+        assert sum(e.weight for e in graph.edges()) == pytest.approx(
+            sum(v[2] for v in amounts.values())
+        )
+        assert set(mapping.values()) == set(amounts)
+
+
+class TestRecoveryK:
+    def _plan(self, factor):
+        return FaultPlan(
+            FaultSpec(link_degradation_rate=0.5, link_degradation_factor=factor)
+        )
+
+    def test_healthy_backbone_keeps_k(self):
+        assert recovery_k(6, self._plan(0.5), degraded=False) == 6
+
+    def test_no_plan_keeps_k(self):
+        assert recovery_k(6, None, degraded=True) == 6
+
+    def test_degraded_scales_by_factor(self):
+        assert recovery_k(6, self._plan(0.5), degraded=True) == 3
+        assert recovery_k(10, self._plan(0.25), degraded=True) == 2
+
+    def test_never_below_one(self):
+        assert recovery_k(1, self._plan(0.1), degraded=True) == 1
+        assert recovery_k(3, self._plan(0.1), degraded=True) == 1
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigError, match="k must be >= 1"):
+            recovery_k(0, None, degraded=False)

@@ -1,0 +1,146 @@
+"""RetryPolicy: validation, deterministic backoff, the run() loop."""
+
+import pytest
+
+from repro import obs
+from repro.resilience import RetryPolicy
+from repro.util.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"max_attempts": 0}, "max_attempts"),
+            ({"backoff_base": -1.0}, "backoff_base"),
+            ({"max_backoff": -0.1}, "backoff_base and max_backoff"),
+            ({"backoff_multiplier": 0.5}, "backoff_multiplier"),
+            ({"jitter": 1.0}, "jitter"),
+            ({"jitter": -0.1}, "jitter"),
+            ({"task_timeout": 0.0}, "task_timeout"),
+            ({"task_timeout": -5.0}, "task_timeout"),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs, match):
+        with pytest.raises(ConfigError, match=match):
+            RetryPolicy(**kwargs)
+
+
+class TestAllowsRetry:
+    def test_counts_the_first_try(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows_retry(1)
+        assert policy.allows_retry(2)
+        assert not policy.allows_retry(3)
+
+    def test_single_attempt_never_retries(self):
+        assert not RetryPolicy(max_attempts=1).allows_retry(1)
+
+
+class TestDelay:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_multiplier=2.0, max_backoff=100.0, jitter=0.0
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_capped_at_max_backoff(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_multiplier=10.0, max_backoff=2.5, jitter=0.0
+        )
+        assert policy.delay(5) == 2.5
+
+    def test_zero_base_means_zero_delay(self):
+        policy = RetryPolicy(backoff_base=0.0, jitter=0.5)
+        assert policy.delay(1) == 0.0
+
+    def test_jitter_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.2, max_backoff=100.0)
+        for attempt in range(1, 6):
+            d1 = policy.delay(attempt)
+            d2 = RetryPolicy(
+                backoff_base=1.0, jitter=0.2, max_backoff=100.0
+            ).delay(attempt)
+            assert d1 == d2, "jitter must be a pure function of (seed, attempt)"
+            base = min(1.0 * 2.0 ** (attempt - 1), 100.0)
+            assert base * 0.8 <= d1 <= base * 1.2
+
+    def test_jitter_varies_by_seed(self):
+        a = RetryPolicy(backoff_base=1.0, jitter=0.5, seed=1)
+        b = RetryPolicy(backoff_base=1.0, jitter=0.5, seed=2)
+        assert [a.delay(n) for n in range(1, 8)] != [
+            b.delay(n) for n in range(1, 8)
+        ]
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ConfigError, match="1-based"):
+            RetryPolicy().delay(0)
+
+
+class TestRun:
+    def test_success_first_try(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+        calls = []
+        assert policy.run(lambda n: calls.append(n) or "ok") == "ok"
+        assert calls == [1]
+
+    def test_retries_until_success(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.0, jitter=0.0)
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 3:
+                raise ValueError("boom")
+            return attempt
+
+        assert policy.run(flaky) == 3
+        assert calls == [1, 2, 3]
+
+    def test_final_failure_propagates_unchanged(self):
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+
+        def always(attempt):
+            raise ValueError(f"attempt {attempt}")
+
+        with pytest.raises(ValueError, match="attempt 2"):
+            policy.run(always)
+
+    def test_non_listed_exceptions_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.0, jitter=0.0)
+        calls = []
+
+        def wrong_kind(attempt):
+            calls.append(attempt)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            policy.run(wrong_kind, retry_on=(ValueError,))
+        assert calls == [1]
+
+    def test_sleeps_the_deterministic_delays(self):
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base=0.1, backoff_multiplier=2.0, jitter=0.0
+        )
+        slept = []
+
+        def fail_twice(attempt):
+            if attempt < 3:
+                raise ValueError
+            return "done"
+
+        assert policy.run(fail_twice, sleep=slept.append) == "done"
+        assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_retries_counted(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.0, jitter=0.0)
+        with obs.observed() as (registry, _):
+            policy.run(lambda n: n if n == 3 else (_ for _ in ()).throw(ValueError()))
+            snap = registry.snapshot()
+            assert snap["resilience.retries"]["value"] == 2
+            assert snap["resilience.retries.run"]["value"] == 2

@@ -130,11 +130,40 @@ class TestRoutingValidation:
 
 class TestReport:
     def test_raise_on_errors(self):
-        from repro.runtime.executor import RuntimeReport
+        from repro.runtime.executor import RuntimeFailure, RuntimeReport
         from repro.util.errors import SimulationError
 
         clean = RuntimeReport(1.0, 10, 1)
         clean.raise_on_errors()
-        bad = RuntimeReport(1.0, 10, 1, errors=("oops",))
+        bad = RuntimeReport(
+            1.0, 10, 1, errors=(RuntimeFailure("test", "oops"),)
+        )
         with pytest.raises(SimulationError, match="oops"):
             bad.raise_on_errors()
+
+    def test_failure_str_carries_step_and_edge(self):
+        from repro.runtime.executor import RuntimeFailure
+
+        full = RuntimeFailure("transfer_fail", "lost", step=3, edge_id=7)
+        assert str(full) == "[transfer_fail @ step 3, edge 7] lost"
+        assert str(RuntimeFailure("sender", "boom")) == "[sender] boom"
+        assert str(RuntimeFailure("x", "d", step=0)) == "[x @ step 0] d"
+        assert str(RuntimeFailure("x", "d", edge_id=2)) == "[x @ edge 2] d"
+
+    def test_raise_on_errors_one_per_line(self):
+        from repro.runtime.executor import RuntimeFailure, RuntimeReport
+        from repro.util.errors import SimulationError
+
+        bad = RuntimeReport(
+            1.0,
+            10,
+            1,
+            errors=(
+                RuntimeFailure("a", "first", step=1),
+                RuntimeFailure("b", "second", edge_id=4),
+            ),
+        )
+        with pytest.raises(SimulationError) as exc:
+            bad.raise_on_errors()
+        lines = str(exc.value).splitlines()
+        assert lines[1:] == ["  - [a @ step 1] first", "  - [b @ edge 4] second"]

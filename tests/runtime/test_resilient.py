@@ -1,0 +1,165 @@
+"""Resilient runtime execution: fault injection, recovery, determinism."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.oggp import oggp
+from repro.graph.bipartite import BipartiteGraph
+from repro.resilience import FaultSpec, RetryPolicy
+from repro.runtime import (
+    LocalCluster,
+    run_scheduled,
+    schedule_and_run,
+    schedule_and_run_resilient,
+)
+from repro.util.errors import SimulationError
+
+FAST = dict(nic_rate1=1e9, nic_rate2=1e9, backbone_rate=1e9)
+
+FAULTS = FaultSpec(
+    seed=21,
+    transfer_failure_rate=0.25,
+    transfer_stall_rate=0.1,
+    link_degradation_rate=0.3,
+    link_degradation_factor=0.5,
+)
+
+RETRY = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
+
+
+def build_case(n1=2, n2=2, size=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    g = BipartiteGraph()
+    payloads = {}
+    destinations = {}
+    for i in range(n1):
+        for j in range(n2):
+            length = int(rng.integers(size // 2, size))
+            e = g.add_edge(i, j, length)
+            payloads[e.id] = rng.integers(0, 256, length, dtype=np.uint8).tobytes()
+            destinations[e.id] = (i, j)
+    return g, payloads, destinations
+
+
+class TestFaultFreeEquivalence:
+    def test_no_faults_matches_plain_run(self):
+        g, payloads, destinations = build_case()
+        cluster = LocalCluster(2, 2, **FAST)
+        resilient = schedule_and_run_resilient(
+            cluster, g, 2, 1.0, payloads, destinations, cache=None
+        )
+        _, plain = schedule_and_run(
+            cluster, g, 2, 1.0, payloads, destinations, cache=None
+        )
+        assert resilient.rounds == 0
+        assert resilient.recovery_schedules == ()
+        assert resilient.complete
+        assert resilient.errors == ()
+        assert resilient.bytes_moved == plain.bytes_moved
+        assert dict(resilient.delivered) == payloads
+        resilient.raise_on_errors()
+
+    def test_fault_free_plan_is_inert(self):
+        g, payloads, destinations = build_case(seed=3)
+        cluster = LocalCluster(2, 2, **FAST)
+        report = schedule_and_run_resilient(
+            cluster, g, 2, 1.0, payloads, destinations, cache=None,
+            faults=FaultSpec(seed=5).plan(),
+        )
+        assert report.rounds == 0
+        assert report.complete
+
+
+class TestFaultedRecovery:
+    def test_completes_under_faults(self):
+        g, payloads, destinations = build_case(seed=1)
+        cluster = LocalCluster(2, 2, **FAST)
+        report = schedule_and_run_resilient(
+            cluster, g, 2, 1.0, payloads, destinations, cache=None,
+            faults=FAULTS.plan(), retry=RETRY,
+        )
+        assert report.rounds > 0, "expected faults at these rates"
+        assert report.complete
+        assert dict(report.delivered) == payloads
+        assert report.bytes_moved == sum(len(p) for p in payloads.values())
+        assert len(report.reports) == report.rounds + 1
+        assert len(report.recovery_schedules) == report.rounds
+
+    def test_same_seed_same_trajectory(self):
+        def trajectory():
+            g, payloads, destinations = build_case(seed=1)
+            cluster = LocalCluster(2, 2, **FAST)
+            report = schedule_and_run_resilient(
+                cluster, g, 2, 1.0, payloads, destinations, cache=None,
+                faults=FAULTS.plan(), retry=RETRY,
+            )
+            return (
+                report.rounds,
+                [len(s.steps) for s in report.recovery_schedules],
+                [r.bytes_moved for r in report.reports],
+            )
+
+        assert trajectory() == trajectory()
+
+    def test_counters_populated(self):
+        g, payloads, destinations = build_case(seed=1)
+        cluster = LocalCluster(2, 2, **FAST)
+        with obs.observed() as (registry, _):
+            schedule_and_run_resilient(
+                cluster, g, 2, 1.0, payloads, destinations, cache=None,
+                faults=FAULTS.plan(), retry=RETRY,
+            )
+            snap = registry.snapshot()
+        for name in (
+            "resilience.faults_injected",
+            "resilience.retries",
+            "resilience.retries.runtime",
+            "resilience.recovery_rounds",
+            "resilience.recovery_steps",
+            "resilience.recovery_overhead_seconds",
+        ):
+            assert snap.get(name, {}).get("value", 0) > 0, name
+
+    def test_exhausted_budget_reports_undelivered(self):
+        g, payloads, destinations = build_case(seed=1)
+        cluster = LocalCluster(2, 2, **FAST)
+        report = schedule_and_run_resilient(
+            cluster, g, 2, 1.0, payloads, destinations, cache=None,
+            faults=FaultSpec(seed=21, transfer_failure_rate=0.9).plan(),
+            retry=RetryPolicy(max_attempts=1),
+        )
+        assert not report.complete
+        assert report.rounds == 0
+        assert report.errors
+        assert all(e.kind == "undelivered" for e in report.errors)
+        with pytest.raises(SimulationError, match="incomplete"):
+            report.raise_on_errors()
+
+    def test_delivered_is_a_prefix(self):
+        """Contiguous-prefix fault model: whatever arrived is a prefix
+        of the payload, never a scrambled or torn subset."""
+        g, payloads, destinations = build_case(seed=1)
+        cluster = LocalCluster(2, 2, **FAST)
+        schedule = oggp(g, k=2, beta=1.0)
+        report = run_scheduled(
+            cluster, schedule, payloads, destinations,
+            faults=FAULTS.plan(), fault_round=0,
+        )
+        assert report.errors, "expected transfer faults at these rates"
+        for eid, data in report.delivered.items():
+            assert payloads[eid].startswith(data)
+
+    def test_structured_failures_carry_step_and_edge(self):
+        g, payloads, destinations = build_case(seed=1)
+        cluster = LocalCluster(2, 2, **FAST)
+        schedule = oggp(g, k=2, beta=1.0)
+        report = run_scheduled(
+            cluster, schedule, payloads, destinations,
+            faults=FAULTS.plan(), fault_round=0,
+        )
+        assert report.errors
+        for failure in report.errors:
+            assert failure.kind in ("transfer_fail", "transfer_stall")
+            assert failure.step is not None
+            assert failure.edge_id is not None

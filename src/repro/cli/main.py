@@ -9,6 +9,11 @@ Subcommands::
                                       schedule a traffic matrix
     kpbs simulate --k 3 --max-mb 60 [--seed 7]
                                       one-shot testbed comparison
+    kpbs transfer --checkpoint-dir d [--seed 7] [--nic-mbit 10]
+                                      move real bytes through the in-process
+                                      runtime, journaling progress durably
+    kpbs resume --checkpoint-dir d    finish a killed ``transfer`` run from
+                                      its checkpoint
     kpbs demo                         the paper's Figure 2 worked example
     kpbs stats profile.json [--trace t.json]
                                       pretty-print a saved metrics/trace file
@@ -255,6 +260,164 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: 1 Mbit/s in bytes/s — ``kpbs transfer`` rate flags are in Mbit/s to
+#: match the paper's testbed units; :class:`LocalCluster` wants bytes/s.
+_MBIT_BYTES = 1e6 / 8
+
+#: Name of the sidecar config ``kpbs transfer`` drops next to the
+#: journal so ``kpbs resume`` can rebuild the same cluster and payloads.
+_RUN_CONFIG = "run.json"
+
+
+def _transfer_case(seed: int, n1: int, n2: int, payload_bytes: int) -> tuple:
+    """Deterministic (graph, payloads, destinations) for ``kpbs transfer``.
+
+    A pure function of its arguments: ``kpbs resume`` regenerates the
+    exact same payload bytes from the seed recorded in ``run.json``
+    instead of persisting them in the journal.
+    """
+    from repro.graph.bipartite import BipartiteGraph
+
+    rng = np.random.default_rng(seed)
+    graph = BipartiteGraph()
+    payloads: dict[int, bytes] = {}
+    destinations: dict[int, tuple[int, int]] = {}
+    low = max(1, payload_bytes // 2)
+    for i in range(n1):
+        for j in range(n2):
+            length = int(rng.integers(low, max(low + 1, payload_bytes + 1)))
+            edge = graph.add_edge(i, j, length)
+            payloads[edge.id] = rng.integers(
+                0, 256, length, dtype=np.uint8
+            ).tobytes()
+            destinations[edge.id] = (i, j)
+    return graph, payloads, destinations
+
+
+def _delivered_digest(delivered) -> str:
+    """Order-independent SHA-256 over the delivered per-edge bytes."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for eid in sorted(delivered):
+        digest.update(f"{eid}:".encode())
+        digest.update(delivered[eid])
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _print_transfer_report(report) -> int:
+    delivered_bytes = sum(len(p) for p in report.delivered.values())
+    print(f"rounds:    {report.rounds}")
+    print(f"seconds:   {report.total_seconds:.3f}")
+    print(f"moved:     {report.bytes_moved} bytes")
+    print(f"delivered: {delivered_bytes} bytes")
+    print(f"complete:  {report.complete}")
+    print(f"digest:    {_delivered_digest(report.delivered)}")
+    for failure in report.errors:
+        print(f"  unresolved: {failure}")
+    return 0 if report.complete else 1
+
+
+def _transfer_cluster(config: dict):
+    from repro.runtime import LocalCluster
+
+    return LocalCluster(
+        config["n1"],
+        config["n2"],
+        nic_rate1=config["nic_mbit"] * _MBIT_BYTES,
+        nic_rate2=config["nic_mbit"] * _MBIT_BYTES,
+        backbone_rate=config["backbone_mbit"] * _MBIT_BYTES,
+    )
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    """Move real (seeded) bytes through the runtime, checkpointed."""
+    from repro.resilience import CheckpointStore
+    from repro.runtime import schedule_and_run_resilient
+
+    faults, retry = _resilience_options(args)
+    config = {
+        "seed": args.seed,
+        "n1": args.n1,
+        "n2": args.n2,
+        "payload_kb": args.payload_kb,
+        "k": args.k,
+        "beta": args.beta,
+        "method": args.algorithm,
+        "nic_mbit": args.nic_mbit,
+        "backbone_mbit": args.backbone_mbit,
+        "faults": args.faults,
+        "retries": args.retries,
+    }
+    graph, payloads, destinations = _transfer_case(
+        args.seed, args.n1, args.n2, int(args.payload_kb * 1024)
+    )
+    cluster = _transfer_cluster(config)
+    checkpoint = None
+    if args.checkpoint_dir:
+        ckdir = Path(args.checkpoint_dir)
+        ckdir.mkdir(parents=True, exist_ok=True)
+        # The sidecar config lands (durably) before the first byte
+        # moves, so a run killed at any point is resumable.
+        config_path = ckdir / _RUN_CONFIG
+        config_path.write_text(json.dumps(config, indent=2))
+        checkpoint = CheckpointStore(
+            ckdir, fsync=args.fsync, snapshot_every=args.snapshot_every
+        )
+    try:
+        report = schedule_and_run_resilient(
+            cluster, graph, args.k, args.beta, payloads, destinations,
+            method=args.algorithm, cache=None,
+            faults=faults, retry=retry, checkpoint=checkpoint,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    return _print_transfer_report(report)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Finish a killed ``kpbs transfer`` run from its checkpoint."""
+    from repro.resilience import CheckpointStore
+    from repro.runtime import resume_and_run_resilient
+
+    ckdir = Path(args.checkpoint_dir)
+    config_path = ckdir / _RUN_CONFIG
+    if not config_path.is_file():
+        raise ReproError(
+            f"no {_RUN_CONFIG} in {ckdir}; start the run with "
+            "'kpbs transfer --checkpoint-dir' first"
+        )
+    config = json.loads(config_path.read_text())
+    # Same spec the original process recorded → same payload bytes and
+    # the same deterministic fault trajectory; CLI flags override.
+    faults_spec = args.faults if args.faults else config.get("faults")
+    faults = FaultSpec.parse(faults_spec).plan() if faults_spec else None
+    retries = args.retries if args.retries is not None else config.get("retries")
+    retry = None
+    if retries is not None or args.task_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=retries if retries is not None else 3,
+            task_timeout=args.task_timeout,
+        )
+    _graph, payloads, _destinations = _transfer_case(
+        config["seed"], config["n1"], config["n2"],
+        int(config["payload_kb"] * 1024),
+    )
+    store = CheckpointStore.resume(
+        ckdir, fsync=args.fsync, snapshot_every=args.snapshot_every
+    )
+    try:
+        report = resume_and_run_resilient(
+            _transfer_cluster(config), store, payloads,
+            faults=faults, retry=retry,
+        )
+    finally:
+        store.close()
+    return _print_transfer_report(report)
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     graph = paper_figure2_graph()
     print("paper Figure 2 example graph (k=3, beta=1):")
@@ -353,6 +516,22 @@ def _add_resilience_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_checkpoint_args(p: argparse.ArgumentParser, required: bool) -> None:
+    p.add_argument(
+        "--checkpoint-dir", required=required, default=None, metavar="DIR",
+        help="durable checkpoint directory (journal + snapshots); "
+        "resumable with 'kpbs resume' after a crash",
+    )
+    p.add_argument(
+        "--fsync", choices=("always", "round", "never"), default="round",
+        help="journal fsync policy (default: once per round)",
+    )
+    p.add_argument(
+        "--snapshot-every", type=int, default=8, metavar="N",
+        help="compact the journal into a snapshot every N rounds",
+    )
+
+
 def _add_observability_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--profile", dest="profile_out", metavar="FILE",
@@ -447,6 +626,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_args(p)
     _add_observability_args(p)
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "transfer",
+        help="move real bytes through the in-process runtime, checkpointed",
+    )
+    p.add_argument("--seed", type=int, default=0, help="payload/run seed")
+    p.add_argument("--n1", type=int, default=3, help="sender cluster size")
+    p.add_argument("--n2", type=int, default=3, help="receiver cluster size")
+    p.add_argument(
+        "--payload-kb", type=float, default=256.0,
+        help="max payload size per sender/receiver pair (KiB)",
+    )
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--beta", type=float, default=0.0)
+    p.add_argument("--algorithm", choices=("ggp", "oggp"), default="oggp")
+    p.add_argument(
+        "--nic-mbit", type=float, default=1000.0,
+        help="per-NIC token-bucket rate (Mbit/s); low values slow the "
+        "run down enough to kill and resume it",
+    )
+    p.add_argument(
+        "--backbone-mbit", type=float, default=1000.0,
+        help="backbone token-bucket rate (Mbit/s)",
+    )
+    _add_checkpoint_args(p, required=False)
+    _add_resilience_args(p)
+    _add_observability_args(p)
+    p.set_defaults(fn=_cmd_transfer)
+
+    p = sub.add_parser(
+        "resume", help="finish a killed 'kpbs transfer' run from its checkpoint"
+    )
+    _add_checkpoint_args(p, required=True)
+    _add_resilience_args(p)
+    _add_observability_args(p)
+    p.set_defaults(fn=_cmd_resume)
 
     p = sub.add_parser("demo", help="the paper's Figure 2 worked example")
     _add_observability_args(p)

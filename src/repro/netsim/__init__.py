@@ -23,7 +23,11 @@ from repro.netsim.topology import NetworkSpec
 from repro.netsim.fairshare import max_min_fair_rates, FlowDemand
 from repro.netsim.tcp import TcpParams, TcpResult, simulate_bruteforce
 from repro.netsim.stepwise import StepwiseResult, simulate_schedule
-from repro.netsim.runner import RedistributionOutcome, run_redistribution
+from repro.netsim.runner import (
+    RedistributionOutcome,
+    resume_redistribution,
+    run_redistribution,
+)
 from repro.netsim.trace import (
     BandwidthTrace,
     TraceRunResult,
@@ -56,4 +60,5 @@ __all__ = [
     "simulate_schedule",
     "RedistributionOutcome",
     "run_redistribution",
+    "resume_redistribution",
 ]

@@ -8,6 +8,7 @@ step by step.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Literal, Sequence
 
@@ -21,9 +22,10 @@ from repro.netsim.stepwise import StepwiseResult, simulate_schedule
 from repro.netsim.tcp import TcpParams, simulate_bruteforce
 from repro.netsim.topology import NetworkSpec
 from repro.resilience.faults import FaultPlan
-from repro.resilience.recovery import recovery_k
+from repro.resilience.journal import CheckpointStore, RunMeta
+from repro.resilience.recovery import recovery_k, verify_recovery_schedule
 from repro.resilience.retry import RetryPolicy
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, GraphError
 from repro.util.rng import RngStream, derive_rng
 
 Method = Literal["bruteforce", "ggp", "oggp"]
@@ -113,6 +115,129 @@ def build_schedule_batch(
     )
 
 
+def _cell_edges(traffic: np.ndarray) -> dict[int, tuple[int, int, float]]:
+    """Stable edge labelling of a traffic matrix's positive cells.
+
+    Row-major enumeration, so the same matrix always yields the same
+    edge ids — the ids the checkpoint journal is keyed by.
+    """
+    edges: dict[int, tuple[int, int, float]] = {}
+    eid = 0
+    n1, n2 = traffic.shape
+    for i in range(n1):
+        for j in range(n2):
+            if traffic[i, j] > 0:
+                edges[eid] = (i, j, float(traffic[i, j]))
+                eid += 1
+    return edges
+
+
+def _journal_round(
+    store: CheckpointStore | None,
+    cell_eid: dict[tuple[int, int], int],
+    before: np.ndarray,
+    after: np.ndarray,
+    round_index: int,
+) -> None:
+    """Record one simulated round's delivered Mbit per original cell."""
+    if store is None:
+        return
+    deltas: dict[int, float] = {}
+    for (i, j), eid in cell_eid.items():
+        moved = float(before[i, j] - after[i, j])
+        if moved > 0:
+            deltas[eid] = moved
+    store.record_round(deltas, round_index)
+
+
+def _scheduled_redistribution(
+    spec: NetworkSpec,
+    traffic: np.ndarray,
+    method: Literal["ggp", "oggp"],
+    rng: RngStream | int | None,
+    rate_jitter: float,
+    cache: ScheduleCache | None,
+    faults: FaultPlan | None,
+    retry: RetryPolicy,
+    store: CheckpointStore | None,
+    cell_eid: dict[tuple[int, int], int],
+    first_round: int,
+) -> tuple[Schedule, float, int, float, int, np.ndarray]:
+    """Initial scheduled run + recovery rounds over ``traffic``.
+
+    Returns ``(schedule, total_time, num_steps, recovery_time, rounds,
+    residual)``.  Rounds are numbered from ``first_round`` (continuing
+    a resumed run's fault-round sequence) and journaled to ``store``.
+    """
+    metrics = obs.metrics()
+    with obs.phase("netsim.build_schedule"):
+        schedule = build_schedule(spec, traffic, method, cache=cache)
+    # Schedule amounts are seconds at flow_rate; convert back to Mbit.
+    result = simulate_schedule(
+        spec,
+        schedule,
+        volume_scale=spec.flow_rate,
+        rng=derive_rng(rng),
+        rate_jitter=rate_jitter,
+        faults=faults,
+        fault_round=first_round,
+    )
+    total_time = result.total_time
+    num_steps = result.num_steps
+    recovery_time = 0.0
+    rounds = 0
+    residual = _residual_traffic(spec, schedule, result, traffic.shape)
+    _journal_round(store, cell_eid, traffic, residual, first_round)
+    attempt = 1
+    round_index = first_round
+    degraded = bool(result.degraded_steps)
+    while residual.sum() > 0 and retry.allows_retry(attempt):
+        attempt += 1
+        rounds += 1
+        round_index += 1
+        rk = recovery_k(spec.k, faults, degraded)
+        recovery_graph = from_traffic_matrix(residual, speed=spec.flow_rate)
+        recovery_schedule = cached_schedule(
+            recovery_graph,
+            k=rk,
+            beta=spec.step_setup,
+            algorithm=method,
+            cache=cache,
+        )
+        verify_recovery_schedule(recovery_graph, recovery_schedule)
+        recovery_result = simulate_schedule(
+            spec,
+            recovery_schedule,
+            volume_scale=spec.flow_rate,
+            rng=derive_rng(rng),
+            rate_jitter=rate_jitter,
+            faults=faults,
+            fault_round=round_index,
+        )
+        total_time += recovery_result.total_time
+        recovery_time += recovery_result.total_time
+        num_steps += recovery_result.num_steps
+        metrics.counter("resilience.recovery_rounds").inc()
+        metrics.counter("resilience.recovery_steps").inc(
+            recovery_result.num_steps
+        )
+        metrics.counter("resilience.retries").inc()
+        metrics.counter("resilience.retries.netsim").inc()
+        next_residual = _residual_traffic(
+            spec, recovery_schedule, recovery_result, traffic.shape
+        )
+        _journal_round(store, cell_eid, residual, next_residual, round_index)
+        residual = next_residual
+        degraded = bool(recovery_result.degraded_steps)
+    if recovery_time > 0:
+        metrics.counter("resilience.recovery_overhead_seconds").inc(
+            recovery_time
+        )
+    if store is not None and residual.sum() == 0:
+        store.mark_complete()
+    return schedule, total_time, num_steps, recovery_time, rounds, residual
+
+
 def run_redistribution(
     spec: NetworkSpec,
     traffic_mbit: np.ndarray,
@@ -123,6 +248,7 @@ def run_redistribution(
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    checkpoint: CheckpointStore | str | os.PathLike | None = None,
 ) -> RedistributionOutcome:
     """Run one redistribution with the chosen method and measure time.
 
@@ -133,6 +259,13 @@ def run_redistribution(
     rescheduled — with a reduced ``k`` when the backbone was degraded —
     until everything lands or ``retry`` (default: up to 7 recovery
     rounds) runs out; the extra simulated time is the recovery overhead.
+    Every recovery schedule is verified against its residual graph
+    before it is simulated.
+
+    ``checkpoint`` — a :class:`~repro.resilience.CheckpointStore` or a
+    directory path — journals each round's delivered Mbit per traffic
+    cell (GGP/OGGP only), so a killed process's run can be finished
+    with :func:`resume_redistribution`.
     """
     traffic = np.asarray(traffic_mbit, dtype=float)
     volume = float(traffic.sum())
@@ -142,6 +275,11 @@ def run_redistribution(
             raise ConfigError(
                 "fault injection needs a schedule to fault; "
                 "method 'bruteforce' does not support faults"
+            )
+        if checkpoint is not None:
+            raise ConfigError(
+                "checkpointing needs per-round delivery accounting; "
+                "method 'bruteforce' does not support checkpoint="
             )
         with obs.phase("netsim.run", method=method, volume_mbit=volume):
             result = simulate_bruteforce(spec, traffic, rng=rng, params=tcp_params)
@@ -156,65 +294,41 @@ def run_redistribution(
         raise ConfigError(f"unknown method {method!r}")
     if retry is None:
         retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
-    with obs.phase("netsim.run", method=method, volume_mbit=volume) as root:
-        with obs.phase("netsim.build_schedule"):
-            schedule = build_schedule(spec, traffic, method, cache=cache)
-        # Schedule amounts are seconds at flow_rate; convert back to Mbit.
-        result = simulate_schedule(
-            spec,
-            schedule,
-            volume_scale=spec.flow_rate,
-            rng=derive_rng(rng),
-            rate_jitter=rate_jitter,
-            faults=faults,
-            fault_round=0,
-        )
-        total_time = result.total_time
-        num_steps = result.num_steps
-        recovery_time = 0.0
-        rounds = 0
-        residual = _residual_traffic(spec, schedule, result, traffic.shape)
-        attempt = 1
-        degraded = bool(result.degraded_steps)
-        while residual.sum() > 0 and retry.allows_retry(attempt):
-            attempt += 1
-            rounds += 1
-            rk = recovery_k(spec.k, faults, degraded)
-            recovery_graph = from_traffic_matrix(residual, speed=spec.flow_rate)
-            recovery_schedule = cached_schedule(
-                recovery_graph,
-                k=rk,
+    store: CheckpointStore | None = None
+    owned = False
+    cell_eid: dict[tuple[int, int], int] = {}
+    if checkpoint is not None:
+        if isinstance(checkpoint, CheckpointStore):
+            store = checkpoint
+        else:
+            store, owned = CheckpointStore(checkpoint), True
+        edges = _cell_edges(traffic)
+        cell_eid = {(i, j): eid for eid, (i, j, _total) in edges.items()}
+        store.begin(
+            RunMeta(
+                edges=edges,
+                k=spec.k,
                 beta=spec.step_setup,
-                algorithm=method,
-                cache=cache,
+                method=method,
+                amount_kind="float",
+                extra={
+                    "engine": "netsim",
+                    "shape": [int(traffic.shape[0]), int(traffic.shape[1])],
+                },
             )
-            recovery_result = simulate_schedule(
-                spec,
-                recovery_schedule,
-                volume_scale=spec.flow_rate,
-                rng=derive_rng(rng),
-                rate_jitter=rate_jitter,
-                faults=faults,
-                fault_round=attempt - 1,
+        )
+    try:
+        with obs.phase("netsim.run", method=method, volume_mbit=volume) as root:
+            schedule, total_time, num_steps, recovery_time, rounds, residual = (
+                _scheduled_redistribution(
+                    spec, traffic, method, rng, rate_jitter, cache,
+                    faults, retry, store, cell_eid, first_round=0,
+                )
             )
-            total_time += recovery_result.total_time
-            recovery_time += recovery_result.total_time
-            num_steps += recovery_result.num_steps
-            metrics.counter("resilience.recovery_rounds").inc()
-            metrics.counter("resilience.recovery_steps").inc(
-                recovery_result.num_steps
-            )
-            metrics.counter("resilience.retries").inc()
-            metrics.counter("resilience.retries.netsim").inc()
-            residual = _residual_traffic(
-                spec, recovery_schedule, recovery_result, traffic.shape
-            )
-            degraded = bool(recovery_result.degraded_steps)
-        if recovery_time > 0:
-            metrics.counter("resilience.recovery_overhead_seconds").inc(
-                recovery_time
-            )
-        root.set(steps=num_steps, total_time=total_time, rounds=rounds)
+            root.set(steps=num_steps, total_time=total_time, rounds=rounds)
+    finally:
+        if owned and store is not None:
+            store.close()
     return RedistributionOutcome(
         method=method,
         total_time=total_time,
@@ -225,6 +339,102 @@ def run_redistribution(
         recovery_time=recovery_time,
         undelivered_mbit=float(residual.sum()),
     )
+
+
+def resume_redistribution(
+    spec: NetworkSpec,
+    checkpoint: CheckpointStore | str | os.PathLike,
+    method: Literal["ggp", "oggp"] | None = None,
+    rng: RngStream | int | None = None,
+    rate_jitter: float = 0.0,
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+) -> RedistributionOutcome:
+    """Finish a checkpointed redistribution a previous process started.
+
+    Rebuilds the undelivered traffic matrix from the checkpoint's
+    snapshot + journal and schedules it like a recovery round — with
+    round numbering continuing where the dead process stopped, so a
+    deterministic fault plan replays the same trajectory.  ``spec``
+    must describe the same platform (``k`` and ``step_setup`` are
+    cross-checked against the recorded metadata).  The outcome's
+    ``total_time``/``num_steps`` cover only the resumed rounds;
+    ``volume_mbit`` is the original run's full volume.
+    """
+    if retry is None:
+        retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
+    if isinstance(checkpoint, CheckpointStore):
+        store, owned = checkpoint, False
+    else:
+        store, owned = CheckpointStore.resume(checkpoint), True
+    try:
+        state = store.state
+        meta = state.meta
+        if meta.extra.get("engine") != "netsim":
+            raise ConfigError(
+                "checkpoint was not written by run_redistribution "
+                f"(engine={meta.extra.get('engine')!r})"
+            )
+        if meta.k != spec.k or meta.beta != spec.step_setup:
+            raise ConfigError(
+                f"platform mismatch: checkpoint recorded k={meta.k}, "
+                f"beta={meta.beta}; spec has k={spec.k}, "
+                f"beta={spec.step_setup}"
+            )
+        method = meta.method if method is None else method  # type: ignore[assignment]
+        shape = meta.extra.get("shape")
+        if (
+            not isinstance(shape, list)
+            or len(shape) != 2
+            or not all(isinstance(n, int) and n > 0 for n in shape)
+        ):
+            raise GraphError(f"checkpoint metadata has no valid shape: {shape!r}")
+        volume = float(sum(total for _l, _r, total in meta.edges.values()))
+        pending = state.pending()
+        residual = np.zeros((shape[0], shape[1]), dtype=float)
+        cell_eid: dict[tuple[int, int], int] = {}
+        for eid, (left, right, remaining) in pending.items():
+            if not (0 <= left < shape[0] and 0 <= right < shape[1]):
+                raise GraphError(
+                    f"checkpoint edge {eid} endpoint ({left}, {right}) "
+                    f"outside the recorded {shape[0]}x{shape[1]} matrix"
+                )
+            residual[left, right] = remaining
+            cell_eid[(left, right)] = eid
+        if not pending:
+            if not state.complete:
+                store.mark_complete()
+            return RedistributionOutcome(
+                method=method,
+                total_time=0.0,
+                num_steps=0,
+                volume_mbit=volume,
+            )
+        with obs.phase(
+            "netsim.resume", method=method, volume_mbit=float(residual.sum())
+        ) as root:
+            schedule, total_time, num_steps, recovery_time, rounds, remaining = (
+                _scheduled_redistribution(
+                    spec, residual, method, rng, rate_jitter, cache,
+                    faults, retry, store, cell_eid,
+                    first_round=state.next_round,
+                )
+            )
+            root.set(steps=num_steps, total_time=total_time, rounds=rounds)
+        return RedistributionOutcome(
+            method=method,
+            total_time=total_time,
+            num_steps=num_steps,
+            volume_mbit=volume,
+            schedule=schedule,
+            rounds=rounds,
+            recovery_time=recovery_time,
+            undelivered_mbit=float(remaining.sum()),
+        )
+    finally:
+        if owned:
+            store.close()
 
 
 def _residual_traffic(

@@ -238,6 +238,13 @@ class WorkerPool:
     ``task_timeout`` when set — disables it); :meth:`map` can override
     it per call.  ``fault_plan`` enables deterministic worker-crash
     injection (see :mod:`repro.resilience.faults`).
+
+    ``stall_grace`` is how long (seconds) the queues must stay silent
+    before the watchdog re-dispatches pre-pickup orphaned chunks, and
+    before a shutdown with a known-dead worker gives the survivors up
+    for termination.  ``join_timeout`` bounds each ``Process.join`` when
+    shutdown reaps workers.  Both default to the historical 1.0s; tests
+    shrink them to keep crash scenarios fast.
     """
 
     def __init__(
@@ -249,6 +256,8 @@ class WorkerPool:
         retry: "RetryPolicy | None" = None,
         task_timeout: float | None = None,
         fault_plan: "FaultPlan | None" = None,
+        stall_grace: float = 1.0,
+        join_timeout: float = 1.0,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.task = task
@@ -260,7 +269,17 @@ class WorkerPool:
             raise ConfigError(
                 f"task_timeout must be positive, got {task_timeout}"
             )
+        if stall_grace <= 0:
+            raise ConfigError(
+                f"stall_grace must be positive, got {stall_grace}"
+            )
+        if join_timeout <= 0:
+            raise ConfigError(
+                f"join_timeout must be positive, got {join_timeout}"
+            )
         self._task_timeout = task_timeout
+        self._stall_grace = stall_grace
+        self._join_timeout = join_timeout
         self._fault_plan = fault_plan
         self._cache_size = cache_size
         self._closed = False
@@ -466,7 +485,7 @@ class WorkerPool:
             """
             if self._retry is None or state.taken or not state.outstanding:
                 return False
-            if now - last_event < 1.0:
+            if now - last_event < self._stall_grace:
                 return False
             stale = [cid for cid in state.outstanding if cid not in state.taken]
             requeued = 0
@@ -578,7 +597,7 @@ class WorkerPool:
                     p is not None and p.exitcode is not None
                     for p in self._workers
                 )
-                if any_dead and time.monotonic() - last_message > 1.0:
+                if any_dead and time.monotonic() - last_message > self._stall_grace:
                     break
                 continue
             last_message = time.monotonic()
@@ -589,10 +608,10 @@ class WorkerPool:
             report.cache_stats.append(cache_stats)
             remaining.discard(worker_id)
         for proc in self._workers:
-            proc.join(timeout=1.0)
+            proc.join(timeout=self._join_timeout)
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=1.0)
+                proc.join(timeout=self._join_timeout)
         registry = obs.metrics()
         if isinstance(registry, MetricsRegistry):
             for snapshot in report.worker_metrics:

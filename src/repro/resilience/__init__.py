@@ -19,10 +19,18 @@ failures:
   failed or partial round, rebuild the bipartite graph of *unfinished*
   traffic and reschedule it with GGP/OGGP, optionally at a reduced
   ``k`` while the backbone is degraded (graceful degradation).
+- :mod:`repro.resilience.journal` — durable checkpointing:
+  a crash-safe append-only journal of per-edge delivered amounts plus
+  atomic snapshots (:class:`CheckpointStore`), and
+  :func:`resume_run`, which rebuilds a SIGKILL'd run's residual graph
+  from the surviving files so the run can be finished by a fresh
+  process.
 
 Everything reports through :mod:`repro.obs` under ``resilience.*``
 (``faults_injected``, ``retries``, ``recovery_rounds``,
-``recovery_steps``, ``recovery_overhead_seconds``).
+``recovery_steps``, ``recovery_overhead_seconds``) and
+``checkpoint.*`` (``records_written``, ``fsyncs``, ``snapshots``,
+``snapshot_bytes``, ``resume``).
 
 See ``docs/robustness.md`` for the full fault model and the
 determinism guarantees.
@@ -36,8 +44,17 @@ from repro.resilience.faults import (
 )
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.recovery import (
+    ResumeState,
     recovery_k,
     residual_graph_from_amounts,
+    resume_run,
+    verify_recovery_schedule,
+)
+from repro.resilience.journal import (
+    CheckpointState,
+    CheckpointStore,
+    RunMeta,
+    load_checkpoint,
 )
 
 __all__ = [
@@ -48,4 +65,11 @@ __all__ = [
     "count_fault",
     "recovery_k",
     "residual_graph_from_amounts",
+    "resume_run",
+    "verify_recovery_schedule",
+    "ResumeState",
+    "CheckpointState",
+    "CheckpointStore",
+    "RunMeta",
+    "load_checkpoint",
 ]

@@ -17,13 +17,26 @@ degradation).
 
 from __future__ import annotations
 
-from typing import Mapping
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
+from repro import obs
 from repro.graph.bipartite import BipartiteGraph
 from repro.resilience.faults import FaultPlan
 from repro.util.errors import ConfigError
 
-__all__ = ["residual_graph_from_amounts", "recovery_k"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schedule import Schedule
+    from repro.resilience.journal import CheckpointState
+
+__all__ = [
+    "residual_graph_from_amounts",
+    "recovery_k",
+    "ResumeState",
+    "resume_run",
+    "verify_recovery_schedule",
+]
 
 
 def residual_graph_from_amounts(
@@ -66,3 +79,71 @@ def recovery_k(k: int, plan: FaultPlan | None, degraded: bool) -> int:
     if not degraded or plan is None:
         return k
     return max(1, int(k * plan.spec.link_degradation_factor))
+
+
+@dataclass(frozen=True)
+class ResumeState:
+    """A crashed run's durable state, ready to reschedule.
+
+    ``checkpoint`` is everything the journal + snapshot recovered;
+    ``residual`` is the bipartite graph of the still-undelivered
+    traffic (empty when ``complete``), with ``id_map`` mapping its
+    edge ids back to the original run's.
+    """
+
+    checkpoint: "CheckpointState"
+    residual: BipartiteGraph
+    id_map: Mapping[int, int]
+
+    @property
+    def complete(self) -> bool:
+        return self.checkpoint.complete or not self.id_map
+
+    @property
+    def delivered(self) -> Mapping[int, int | float]:
+        return self.checkpoint.delivered
+
+
+def resume_run(checkpoint_dir: str | os.PathLike) -> ResumeState:
+    """Rebuild a crashed run's schedulable state from its checkpoint.
+
+    Loads the snapshot + journal (tolerating a torn journal tail),
+    derives the per-edge delivered amounts, and rebuilds the residual
+    graph of undelivered traffic via
+    :func:`residual_graph_from_amounts` — the same primitive the
+    in-process recovery loop uses, so a resumed run schedules exactly
+    like a recovery round would have.  The ``checkpoint.resume`` timer
+    records how long state recovery took.
+    """
+    from repro.resilience.journal import load_checkpoint
+
+    with obs.phase("checkpoint.resume"):
+        state = load_checkpoint(checkpoint_dir)
+        pending = state.pending()
+        if pending:
+            residual, id_map = residual_graph_from_amounts(pending)
+        else:
+            residual, id_map = BipartiteGraph(), {}
+    return ResumeState(checkpoint=state, residual=residual, id_map=id_map)
+
+
+def verify_recovery_schedule(
+    graph: BipartiteGraph, schedule: "Schedule"
+) -> None:
+    """Validate a rescheduled residual graph's schedule before running it.
+
+    Runs :func:`repro.core.verify.verify_solution` — per-step matching
+    property, the ``<= k`` limit, and exact coverage of the residual
+    weights — and raises :class:`ConfigError` carrying the
+    :meth:`~repro.core.verify.VerificationReport.summary` when any
+    constraint is violated.  Executing an invalid recovery schedule
+    could deadlock the runtime's barrier or silently under-deliver, so
+    every recovery loop calls this first.
+    """
+    from repro.core.verify import verify_solution
+
+    report = verify_solution(graph, schedule)
+    if not report.ok:
+        raise ConfigError(
+            f"recovery schedule failed verification: {report.summary()}"
+        )

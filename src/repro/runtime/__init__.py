@@ -23,6 +23,7 @@ from repro.runtime.executor import (
     schedule_and_run,
     schedule_and_run_batch,
     schedule_and_run_resilient,
+    resume_and_run_resilient,
     ResilientRunReport,
     RuntimeFailure,
     RuntimeReport,
@@ -38,6 +39,7 @@ __all__ = [
     "schedule_and_run",
     "schedule_and_run_batch",
     "schedule_and_run_resilient",
+    "resume_and_run_resilient",
     "ResilientRunReport",
     "RuntimeFailure",
     "RuntimeReport",

@@ -15,7 +15,17 @@ schedules for repeated patterns through the process-wide
 and residual-graph recovery — after a round with failed transfers, the
 unfinished traffic is rebuilt into a bipartite graph and rescheduled
 with the same algorithm until everything lands (or the retry policy
-runs out).
+runs out).  Every recovery schedule is verified
+(:func:`~repro.resilience.recovery.verify_recovery_schedule`) before a
+single byte moves.
+
+With ``checkpoint=`` the resilient run is also **durable**: each
+completed round's per-edge delivered byte counts are appended to a
+crash-safe journal (:mod:`repro.resilience.journal`), and
+:func:`resume_and_run_resilient` finishes a SIGKILL'd run from
+another process — bit-identical to the uninterrupted run, because
+delivered bytes are exact prefixes and the residual suffixes are
+rescheduled with the same deterministic algorithms.
 
 All engines verify payload integrity on arrival and report wall-clock
 timings.  Failures are reported as structured
@@ -38,7 +48,10 @@ from repro.runtime.local import LocalCluster
 from repro.util.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import os
+
     from repro.resilience.faults import FaultPlan
+    from repro.resilience.journal import CheckpointStore
     from repro.resilience.retry import RetryPolicy
 
 
@@ -383,6 +396,175 @@ class ResilientRunReport:
             )
 
 
+def _pending_bytes(
+    payloads: dict[int, bytes],
+    destinations: dict[int, tuple[int, int]],
+    delivered: dict[int, bytes],
+) -> dict[int, tuple[int, int, int]]:
+    """Undelivered suffix sizes, keyed for residual-graph building."""
+    return {
+        eid: (*destinations[eid], len(payloads[eid]) - len(data))
+        for eid, data in delivered.items()
+        if len(data) < len(payloads[eid])
+    }
+
+
+def _recovery_rounds(
+    cluster: LocalCluster,
+    payloads: dict[int, bytes],
+    destinations: dict[int, tuple[int, int]],
+    delivered: dict[int, bytes],
+    *,
+    k: int,
+    beta: float,
+    method: str,
+    cache: ScheduleCache | None,
+    faults: "FaultPlan | None",
+    retry: "RetryPolicy",
+    checkpoint: "CheckpointStore | None",
+    prev_schedule: Schedule,
+    prev_round: int,
+) -> tuple[list[RuntimeReport], list[Schedule]]:
+    """Reschedule and run residual graphs until delivered or retries out.
+
+    Mutates ``delivered`` in place.  ``prev_schedule``/``prev_round``
+    identify the round that just ran (for backbone-degradation
+    detection and fault-round continuity).  Each recovery schedule is
+    verified before execution; each completed round is journaled to
+    ``checkpoint`` when one is given.
+    """
+    from repro.resilience.faults import count_fault
+    from repro.resilience.recovery import (
+        recovery_k,
+        residual_graph_from_amounts,
+        verify_recovery_schedule,
+    )
+
+    def round_degraded(steps: int, fault_round: int) -> bool:
+        if faults is None or steps == 0:
+            return False
+        hits = sum(
+            1 for s in range(steps) if faults.link_factor(fault_round, s) < 1.0
+        )
+        count_fault("link_degradation", hits)
+        return hits > 0
+
+    reports: list[RuntimeReport] = []
+    recovery_schedules: list[Schedule] = []
+    metrics = obs.metrics()
+    attempt = 1
+    recovery_started = time.perf_counter()
+    while (
+        _pending_bytes(payloads, destinations, delivered)
+        and retry.allows_retry(attempt)
+    ):
+        degraded = round_degraded(len(prev_schedule.steps), prev_round)
+        pause = retry.delay(attempt)
+        if pause > 0:
+            time.sleep(pause)
+        attempt += 1
+        round_index = prev_round + 1
+        pending = _pending_bytes(payloads, destinations, delivered)
+        residual, id_map = residual_graph_from_amounts(pending)
+        rk = recovery_k(k, faults, degraded)
+        recovery_schedule = cached_schedule(
+            residual, k=rk, beta=beta, algorithm=method, cache=cache
+        )
+        verify_recovery_schedule(residual, recovery_schedule)
+        recovery_payloads = {
+            new_eid: payloads[orig][len(delivered[orig]) :]
+            for new_eid, orig in id_map.items()
+        }
+        recovery_destinations = {
+            new_eid: destinations[orig] for new_eid, orig in id_map.items()
+        }
+        # Residual weights are byte counts, so the conversion
+        # factor is exactly 1 regardless of the caller's original
+        # amount_to_bytes.
+        report = run_scheduled(
+            cluster,
+            recovery_schedule,
+            recovery_payloads,
+            recovery_destinations,
+            amount_to_bytes=1.0,
+            faults=faults,
+            fault_round=round_index,
+        )
+        deltas: dict[int, int] = {}
+        for new_eid, orig in id_map.items():
+            chunk = report.delivered.get(new_eid, b"")
+            delivered[orig] += chunk
+            deltas[orig] = len(chunk)
+        if checkpoint is not None:
+            checkpoint.record_round(deltas, round_index)
+        reports.append(report)
+        recovery_schedules.append(recovery_schedule)
+        metrics.counter("resilience.recovery_rounds").inc()
+        metrics.counter("resilience.recovery_steps").inc(
+            len(recovery_schedule.steps)
+        )
+        metrics.counter("resilience.retries").inc()
+        metrics.counter("resilience.retries.runtime").inc()
+        prev_schedule, prev_round = recovery_schedule, round_index
+    if recovery_schedules:
+        metrics.counter("resilience.recovery_overhead_seconds").inc(
+            time.perf_counter() - recovery_started
+        )
+    return reports, recovery_schedules
+
+
+def _resilient_report(
+    schedule: Schedule,
+    recovery_schedules: list[Schedule],
+    reports: list[RuntimeReport],
+    payloads: dict[int, bytes],
+    destinations: dict[int, tuple[int, int]],
+    delivered: dict[int, bytes],
+    checkpoint: "CheckpointStore | None",
+) -> ResilientRunReport:
+    errors = tuple(
+        RuntimeFailure(
+            "undelivered",
+            f"{remaining} of {len(payloads[eid])} bytes still missing "
+            f"after {len(recovery_schedules)} recovery round(s)",
+            edge_id=eid,
+        )
+        for eid, (_src, _dst, remaining) in sorted(
+            _pending_bytes(payloads, destinations, delivered).items()
+        )
+    )
+    complete = all(delivered[eid] == payloads[eid] for eid in payloads)
+    if complete and checkpoint is not None:
+        checkpoint.mark_complete()
+    return ResilientRunReport(
+        schedule=schedule,
+        recovery_schedules=tuple(recovery_schedules),
+        reports=tuple(reports),
+        rounds=len(recovery_schedules),
+        total_seconds=sum(r.total_seconds for r in reports),
+        bytes_moved=sum(len(d) for d in delivered.values()),
+        complete=complete,
+        delivered=delivered,
+        errors=errors,
+    )
+
+
+def _as_checkpoint_store(
+    checkpoint: "CheckpointStore | str | os.PathLike | None",
+    resuming: bool,
+) -> tuple["CheckpointStore | None", bool]:
+    """Normalise a checkpoint argument; returns (store, we_own_it)."""
+    if checkpoint is None:
+        return None, False
+    from repro.resilience.journal import CheckpointStore
+
+    if isinstance(checkpoint, CheckpointStore):
+        return checkpoint, False
+    if resuming:
+        return CheckpointStore.resume(checkpoint), True
+    return CheckpointStore(checkpoint), True
+
+
 def schedule_and_run_resilient(
     cluster: LocalCluster,
     graph: BipartiteGraph,
@@ -395,134 +577,222 @@ def schedule_and_run_resilient(
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
     faults: "FaultPlan | None" = None,
     retry: "RetryPolicy | None" = None,
+    checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
 ) -> ResilientRunReport:
     """Schedule, execute, and recover until every byte lands.
 
     Like :func:`schedule_and_run`, but failures do not end the story:
     after a round with failed or stalled transfers, the undelivered
     suffixes are rebuilt into a *residual* bipartite graph (weights =
-    remaining byte counts) and rescheduled with the same algorithm —
-    with a reduced ``k`` when the fault plan degraded the backbone —
-    then executed as the next recovery round.  Rounds continue until
-    everything is delivered or ``retry`` runs out of attempts.
+    remaining byte counts), rescheduled with the same algorithm — with
+    a reduced ``k`` when the fault plan degraded the backbone —
+    verified against the residual graph, then executed as the next
+    recovery round.  Rounds continue until everything is delivered or
+    ``retry`` runs out of attempts.
 
     ``faults`` drives deterministic fault injection (same seed, same
     fault sequence, same recovery trajectory — run to run).  ``retry``
     bounds the recovery rounds (attempt 1 is the initial run) and paces
     them with its backoff; the default allows up to 7 recovery rounds
     with no pauses.
+
+    ``checkpoint`` — a :class:`~repro.resilience.CheckpointStore` or a
+    directory path — makes the run durable: the run's metadata and each
+    completed round's per-edge delivered byte counts are journaled, so
+    a process killed mid-run can be finished with
+    :func:`resume_and_run_resilient` and the same payloads.
     """
-    from repro.resilience.faults import count_fault
-    from repro.resilience.recovery import recovery_k, residual_graph_from_amounts
+    from repro.resilience.journal import RunMeta
     from repro.resilience.retry import RetryPolicy
 
     if retry is None:
         retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
-    schedule = cached_schedule(graph, k=k, beta=beta, algorithm=method, cache=cache)
-    with obs.phase("runtime.schedule_and_run_resilient"):
-        first = run_scheduled(
-            cluster,
+    store, owned = _as_checkpoint_store(checkpoint, resuming=False)
+    try:
+        if store is not None:
+            store.begin(
+                RunMeta(
+                    edges={
+                        eid: (*destinations[eid], len(payloads[eid]))
+                        for eid in payloads
+                    },
+                    k=k,
+                    beta=beta,
+                    method=method,
+                    amount_kind="int",
+                    extra={"engine": "runtime"},
+                )
+            )
+        schedule = cached_schedule(
+            graph, k=k, beta=beta, algorithm=method, cache=cache
+        )
+        with obs.phase("runtime.schedule_and_run_resilient"):
+            first = run_scheduled(
+                cluster,
+                schedule,
+                payloads,
+                destinations,
+                amount_to_bytes=amount_to_bytes,
+                faults=faults,
+                fault_round=0,
+            )
+            delivered = {eid: first.delivered.get(eid, b"") for eid in payloads}
+            if store is not None:
+                store.record_round(
+                    {eid: len(data) for eid, data in delivered.items()}, 0
+                )
+            reports, recovery_schedules = _recovery_rounds(
+                cluster,
+                payloads,
+                destinations,
+                delivered,
+                k=k,
+                beta=beta,
+                method=method,
+                cache=cache,
+                faults=faults,
+                retry=retry,
+                checkpoint=store,
+                prev_schedule=schedule,
+                prev_round=0,
+            )
+        return _resilient_report(
             schedule,
+            recovery_schedules,
+            [first, *reports],
             payloads,
             destinations,
-            amount_to_bytes=amount_to_bytes,
-            faults=faults,
-            fault_round=0,
+            delivered,
+            store,
         )
-        reports: list[RuntimeReport] = [first]
-        recovery_schedules: list[Schedule] = []
-        delivered = {eid: first.delivered.get(eid, b"") for eid in payloads}
+    finally:
+        if owned and store is not None:
+            store.close()
 
-        def pending_edges() -> dict[int, tuple[int, int, int]]:
-            return {
-                eid: (*destinations[eid], len(payloads[eid]) - len(data))
-                for eid, data in delivered.items()
-                if len(data) < len(payloads[eid])
+
+def resume_and_run_resilient(
+    cluster: LocalCluster,
+    checkpoint: "CheckpointStore | str | os.PathLike",
+    payloads: dict[int, bytes],
+    destinations: dict[int, tuple[int, int]] | None = None,
+    method: str | None = None,
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    faults: "FaultPlan | None" = None,
+    retry: "RetryPolicy | None" = None,
+) -> ResilientRunReport:
+    """Finish a checkpointed run that a previous process did not.
+
+    ``checkpoint`` is the killed run's directory (or an already-resumed
+    :class:`~repro.resilience.CheckpointStore`); ``payloads`` must be
+    the *same* payload bytes the original run was moving (they are not
+    stored in the journal — regenerate them from the same seed, or
+    reread the same files), validated against the checkpoint metadata.
+    The delivered prefixes are rebuilt from the journal, the missing
+    suffixes are rescheduled as a residual graph, and the recovery loop
+    continues exactly where the dead process stopped — journaling into
+    the same checkpoint, with fault rounds numbered continuously, so
+    the final delivered matrix is bit-identical to an uninterrupted
+    run.  ``method`` defaults to the one recorded in the metadata.
+    """
+    from repro.resilience.recovery import (
+        residual_graph_from_amounts,
+        verify_recovery_schedule,
+    )
+    from repro.resilience.retry import RetryPolicy
+
+    if retry is None:
+        retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
+    store, owned = _as_checkpoint_store(checkpoint, resuming=True)
+    assert store is not None
+    try:
+        state = store.state
+        meta = state.meta
+        k, beta = meta.k, meta.beta
+        method = meta.method if method is None else method
+        if destinations is None:
+            destinations = {
+                eid: (left, right)
+                for eid, (left, right, _total) in meta.edges.items()
             }
-
-        def round_degraded(steps: int, fault_round: int) -> bool:
-            if faults is None or steps == 0:
-                return False
-            hits = sum(
-                1
-                for s in range(steps)
-                if faults.link_factor(fault_round, s) < 1.0
+        if set(payloads) != set(meta.edges):
+            raise SimulationError(
+                "resume payloads do not match the checkpoint's edge set"
             )
-            count_fault("link_degradation", hits)
-            return hits > 0
-
-        metrics = obs.metrics()
-        attempt = 1
-        prev_schedule, prev_round = schedule, 0
-        recovery_started = time.perf_counter()
-        while pending_edges() and retry.allows_retry(attempt):
-            degraded = round_degraded(len(prev_schedule.steps), prev_round)
-            pause = retry.delay(attempt)
-            if pause > 0:
-                time.sleep(pause)
-            attempt += 1
-            pending = pending_edges()
+        for eid, payload in payloads.items():
+            total = meta.edges[eid][2]
+            if len(payload) != total:
+                raise SimulationError(
+                    f"edge {eid}: resume payload is {len(payload)} bytes, "
+                    f"checkpoint metadata says {total}"
+                )
+        delivered = {
+            eid: payloads[eid][: int(state.delivered.get(eid, 0))]
+            for eid in payloads
+        }
+        if not _pending_bytes(payloads, destinations, delivered):
+            # Everything had landed before the crash; nothing to run.
+            return _resilient_report(
+                Schedule([], k=k, beta=beta),
+                [],
+                [],
+                payloads,
+                destinations,
+                delivered,
+                store,
+            )
+        with obs.phase("runtime.resume_and_run_resilient"):
+            round_index = state.next_round
+            pending = _pending_bytes(payloads, destinations, delivered)
             residual, id_map = residual_graph_from_amounts(pending)
-            rk = recovery_k(k, faults, degraded)
-            recovery_schedule = cached_schedule(
-                residual, k=rk, beta=beta, algorithm=method, cache=cache
+            schedule = cached_schedule(
+                residual, k=k, beta=beta, algorithm=method, cache=cache
             )
-            recovery_payloads = {
-                new_eid: payloads[orig][len(delivered[orig]) :]
-                for new_eid, orig in id_map.items()
-            }
-            recovery_destinations = {
-                new_eid: destinations[orig] for new_eid, orig in id_map.items()
-            }
-            # Residual weights are byte counts, so the conversion
-            # factor is exactly 1 regardless of the caller's original
-            # amount_to_bytes.
-            report = run_scheduled(
+            verify_recovery_schedule(residual, schedule)
+            first = run_scheduled(
                 cluster,
-                recovery_schedule,
-                recovery_payloads,
-                recovery_destinations,
+                schedule,
+                {
+                    new_eid: payloads[orig][len(delivered[orig]) :]
+                    for new_eid, orig in id_map.items()
+                },
+                {new_eid: destinations[orig] for new_eid, orig in id_map.items()},
                 amount_to_bytes=1.0,
                 faults=faults,
-                fault_round=attempt - 1,
+                fault_round=round_index,
             )
+            deltas: dict[int, int] = {}
             for new_eid, orig in id_map.items():
-                delivered[orig] += report.delivered.get(new_eid, b"")
-            reports.append(report)
-            recovery_schedules.append(recovery_schedule)
-            metrics.counter("resilience.recovery_rounds").inc()
-            metrics.counter("resilience.recovery_steps").inc(
-                len(recovery_schedule.steps)
+                chunk = first.delivered.get(new_eid, b"")
+                delivered[orig] += chunk
+                deltas[orig] = len(chunk)
+            store.record_round(deltas, round_index)
+            reports, recovery_schedules = _recovery_rounds(
+                cluster,
+                payloads,
+                destinations,
+                delivered,
+                k=k,
+                beta=beta,
+                method=method,
+                cache=cache,
+                faults=faults,
+                retry=retry,
+                checkpoint=store,
+                prev_schedule=schedule,
+                prev_round=round_index,
             )
-            metrics.counter("resilience.retries").inc()
-            metrics.counter("resilience.retries.runtime").inc()
-            prev_schedule, prev_round = recovery_schedule, attempt - 1
-        if recovery_schedules:
-            metrics.counter("resilience.recovery_overhead_seconds").inc(
-                time.perf_counter() - recovery_started
-            )
-
-    errors = tuple(
-        RuntimeFailure(
-            "undelivered",
-            f"{remaining} of {len(payloads[eid])} bytes still missing "
-            f"after {len(recovery_schedules)} recovery round(s)",
-            edge_id=eid,
+        return _resilient_report(
+            schedule,
+            recovery_schedules,
+            [first, *reports],
+            payloads,
+            destinations,
+            delivered,
+            store,
         )
-        for eid, (_src, _dst, remaining) in sorted(pending_edges().items())
-    )
-    complete = all(delivered[eid] == payloads[eid] for eid in payloads)
-    return ResilientRunReport(
-        schedule=schedule,
-        recovery_schedules=tuple(recovery_schedules),
-        reports=tuple(reports),
-        rounds=len(recovery_schedules),
-        total_seconds=sum(r.total_seconds for r in reports),
-        bytes_moved=sum(len(d) for d in delivered.values()),
-        complete=complete,
-        delivered=delivered,
-        errors=errors,
-    )
+    finally:
+        if owned:
+            store.close()
 
 
 def schedule_and_run_batch(

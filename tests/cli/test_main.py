@@ -262,3 +262,69 @@ class TestStats:
     def test_stats_missing_file_fails_cleanly(self, capsys):
         assert main(["stats", "nope.json"]) == 2
         assert "not found" in capsys.readouterr().err
+
+
+class TestTransfer:
+    FAST = ["--nic-mbit", "100000", "--backbone-mbit", "100000",
+            "--payload-kb", "16", "--n1", "2", "--n2", "2", "--k", "2"]
+
+    def digest(self, out):
+        for line in out.splitlines():
+            if line.startswith("digest:"):
+                return line.split()[-1]
+        raise AssertionError(f"no digest line in {out!r}")
+
+    def test_transfer_without_checkpoint(self, capsys):
+        assert main(["transfer", "--seed", "3", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "complete:  True" in out
+        assert len(self.digest(out)) == 64
+
+    def test_transfer_writes_resumable_checkpoint(self, tmp_path, capsys):
+        from repro.resilience import load_checkpoint
+
+        ckdir = tmp_path / "ck"
+        assert main(["transfer", "--seed", "3", "--checkpoint-dir",
+                     str(ckdir), *self.FAST]) == 0
+        capsys.readouterr()
+        assert (ckdir / "run.json").is_file()
+        state = load_checkpoint(ckdir)
+        assert state.complete
+        config = json.loads((ckdir / "run.json").read_text())
+        assert config["seed"] == 3
+
+    def test_digest_is_deterministic(self, capsys):
+        main(["transfer", "--seed", "3", *self.FAST])
+        first = self.digest(capsys.readouterr().out)
+        main(["transfer", "--seed", "3", *self.FAST])
+        assert self.digest(capsys.readouterr().out) == first
+        main(["transfer", "--seed", "4", *self.FAST])
+        assert self.digest(capsys.readouterr().out) != first
+
+
+class TestResume:
+    FAST = TestTransfer.FAST
+    FAULTS = ["--faults", "seed=9,transfer=0.35"]
+
+    def test_resume_completes_partial_run(self, tmp_path, capsys):
+        ckdir = str(tmp_path / "ck")
+        # Uninterrupted reference digest.
+        assert main(["transfer", "--seed", "5", *self.FAST, *self.FAULTS,
+                     "--retries", "8"]) == 0
+        reference = TestTransfer.digest(self, capsys.readouterr().out)
+        # "Crashed" run: retry budget starved, checkpoint left behind.
+        code = main(["transfer", "--seed", "5", "--checkpoint-dir", ckdir,
+                     *self.FAST, *self.FAULTS, "--retries", "1"])
+        partial_out = capsys.readouterr().out
+        assert code == 1
+        assert "complete:  False" in partial_out
+        # Resume re-reads faults/retries from run.json (overridable).
+        assert main(["resume", "--checkpoint-dir", ckdir,
+                     "--retries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "complete:  True" in out
+        assert TestTransfer.digest(self, out) == reference
+
+    def test_resume_without_run_config_fails_cleanly(self, tmp_path, capsys):
+        assert main(["resume", "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "run.json" in capsys.readouterr().err

@@ -1,0 +1,128 @@
+"""Crash-kill harness: SIGKILL a checkpointed run, resume, compare bytes.
+
+The acceptance test for durable checkpointing (docs/robustness.md):
+a ``kpbs transfer`` process is SIGKILLed at randomized points mid-run
+— no atexit handler, no flush, the kernel just takes it — then ``kpbs
+resume`` finishes the run in a fresh process.  The final delivered
+matrix (summarized by the CLI's SHA-256 over every edge's delivered
+bytes) must be bit-identical to an uninterrupted run's, for every kill
+point.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+#: Big enough that the token-bucket shaped NICs stretch the run to
+#: several wall-clock seconds (the 256 KiB burst allowance makes small
+#: payloads finish instantly), faulty enough that it takes multiple
+#: recovery rounds — so kill points land mid-flight, both inside the
+#: first round and after journaled recovery rounds.
+TRANSFER_ARGS = [
+    "--seed", "11", "--n1", "2", "--n2", "2", "--k", "2",
+    "--payload-kb", "512", "--nic-mbit", "1.5", "--backbone-mbit", "4",
+    "--faults", "seed=9,transfer=0.6", "--retries", "10",
+    "--fsync", "round", "--snapshot-every", "2",
+]
+
+
+def kpbs(*args: str, timeout: float = 300.0) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def digest_of(stdout: str) -> str:
+    for line in stdout.splitlines():
+        if line.startswith("digest:"):
+            return line.split()[-1]
+    raise AssertionError(f"no digest line in output:\n{stdout}")
+
+
+def finish(ckdir: str) -> subprocess.CompletedProcess:
+    """Drive a (possibly) killed run to completion, as an operator would.
+
+    A non-empty journal on disk means durable state survived: resume
+    it.  Otherwise the kill landed before the first durable byte
+    (interpreter startup, scheduling) — nothing to resume, start the
+    transfer over in the same directory.
+    """
+    journal = os.path.join(ckdir, "journal.kpbj")
+    if os.path.exists(journal) and os.path.getsize(journal) > 0:
+        return kpbs("resume", "--checkpoint-dir", ckdir)
+    return kpbs("transfer", "--checkpoint-dir", ckdir, *TRANSFER_ARGS)
+
+
+@pytest.fixture(scope="module")
+def reference_digest():
+    """Digest of the uninterrupted run (same seed, faults, rates)."""
+    result = kpbs("transfer", *TRANSFER_ARGS)
+    assert result.returncode == 0, result.stderr
+    return digest_of(result.stdout)
+
+
+@pytest.mark.slow
+class TestCrashResume:
+    #: Seconds into the run at which the kernel pulls the plug.  The
+    #: points are spread across the run's phases: scheduling/first
+    #: round, mid-round, and deep into recovery rounds.
+    @pytest.mark.parametrize("kill_after", [0.5, 2.0, 4.2])
+    def test_sigkill_then_resume_is_bit_identical(
+        self, kill_after, tmp_path, reference_digest
+    ):
+        ckdir = str(tmp_path / "ck")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "transfer",
+             "--checkpoint-dir", ckdir, *TRANSFER_ARGS],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        time.sleep(kill_after)
+        if proc.poll() is None:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=60)
+        killed = proc.returncode == -signal.SIGKILL
+        # Whether we caught it mid-flight or it finished first, driving
+        # the run on must converge on the uninterrupted run's bytes.
+        result = finish(ckdir)
+        assert result.returncode == 0, result.stderr
+        assert "complete:  True" in result.stdout
+        assert digest_of(result.stdout) == reference_digest, (
+            f"kill at {kill_after}s (killed={killed}) diverged from the "
+            "uninterrupted run"
+        )
+        # Resume of the now-complete checkpoint stays stable.
+        again = kpbs("resume", "--checkpoint-dir", ckdir)
+        assert again.returncode == 0, again.stderr
+        assert digest_of(again.stdout) == reference_digest
+
+    def test_kill_during_resume_then_resume_again(
+        self, tmp_path, reference_digest
+    ):
+        """Crashing the *resume* process is just another crash."""
+        ckdir = str(tmp_path / "ck")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "transfer",
+             "--checkpoint-dir", ckdir, *TRANSFER_ARGS],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        time.sleep(4.0)
+        if proc.poll() is None:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=60)
+        resume = subprocess.Popen(
+            [sys.executable, "-m", "repro", "resume",
+             "--checkpoint-dir", ckdir],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        time.sleep(1.0)
+        if resume.poll() is None:
+            os.kill(resume.pid, signal.SIGKILL)
+        resume.wait(timeout=60)
+        final = finish(ckdir)
+        assert final.returncode == 0, final.stderr
+        assert digest_of(final.stdout) == reference_digest

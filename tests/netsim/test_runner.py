@@ -81,3 +81,96 @@ class TestRunRedistribution:
         spec = NetworkSpec.paper_testbed(3)
         with pytest.raises(ConfigError):
             run_redistribution(spec, np.ones((10, 10)), "magic")  # type: ignore[arg-type]
+
+
+class TestCheckpointedRedistribution:
+    spec = NetworkSpec(n1=4, n2=4, nic_rate1=100.0, nic_rate2=100.0,
+                       backbone_rate=100.0)
+
+    def traffic(self):
+        rng = np.random.default_rng(7)
+        return rng.uniform(1, 50, size=(4, 4)) * (rng.random((4, 4)) < 0.8)
+
+    def faults(self):
+        from repro.resilience import FaultSpec
+
+        return FaultSpec(seed=3, transfer_failure_rate=0.3).plan()
+
+    def test_checkpoint_records_delivered_mbit(self, tmp_path):
+        from repro.resilience import load_checkpoint
+
+        traffic = self.traffic()
+        out = run_redistribution(
+            self.spec, traffic, "oggp", rng=1, faults=self.faults(),
+            checkpoint=tmp_path,
+        )
+        assert out.undelivered_mbit == 0.0
+        state = load_checkpoint(tmp_path)
+        assert state.complete
+        assert state.meta.amount_kind == "float"
+        assert state.meta.extra["engine"] == "netsim"
+        assert state.meta.extra["shape"] == [4, 4]
+        assert sum(state.delivered.values()) == pytest.approx(traffic.sum())
+
+    def test_resume_finishes_partial_run(self, tmp_path):
+        from repro.netsim.runner import resume_redistribution
+        from repro.resilience import RetryPolicy, load_checkpoint
+
+        traffic = self.traffic()
+        short = RetryPolicy(max_attempts=1, backoff_base=0.0, jitter=0.0)
+        partial = run_redistribution(
+            self.spec, traffic, "oggp", rng=1, faults=self.faults(),
+            retry=short, checkpoint=tmp_path,
+        )
+        assert partial.undelivered_mbit > 0
+        assert load_checkpoint(tmp_path).next_round == 1
+        out = resume_redistribution(
+            self.spec, tmp_path, rng=1, faults=self.faults()
+        )
+        assert out.undelivered_mbit == 0.0
+        assert out.volume_mbit == pytest.approx(traffic.sum())
+        state = load_checkpoint(tmp_path)
+        assert state.complete
+        assert sum(state.delivered.values()) == pytest.approx(traffic.sum())
+
+    def test_resume_of_complete_run_is_a_noop(self, tmp_path):
+        from repro.netsim.runner import resume_redistribution
+
+        run_redistribution(
+            self.spec, self.traffic(), "oggp", rng=1, checkpoint=tmp_path
+        )
+        out = resume_redistribution(self.spec, tmp_path)
+        assert out.num_steps == 0
+        assert out.total_time == 0.0
+        assert out.undelivered_mbit == 0.0
+
+    def test_bruteforce_rejects_checkpoint(self, tmp_path):
+        with pytest.raises(ConfigError, match="bruteforce"):
+            run_redistribution(
+                self.spec, self.traffic(), "bruteforce", checkpoint=tmp_path
+            )
+
+    def test_resume_rejects_platform_mismatch(self, tmp_path):
+        from repro.netsim.runner import resume_redistribution
+
+        run_redistribution(
+            self.spec, self.traffic(), "oggp", rng=1, checkpoint=tmp_path
+        )
+        other = NetworkSpec(n1=4, n2=4, nic_rate1=100.0, nic_rate2=100.0,
+                            backbone_rate=100.0, step_setup=0.5)
+        assert other.step_setup != self.spec.step_setup
+        with pytest.raises(ConfigError, match="mismatch"):
+            resume_redistribution(other, tmp_path)
+
+    def test_resume_rejects_foreign_checkpoint(self, tmp_path):
+        from repro.netsim.runner import resume_redistribution
+        from repro.resilience import CheckpointStore, RunMeta
+
+        with CheckpointStore(tmp_path) as store:
+            store.begin(RunMeta(
+                edges={0: (0, 0, 100)}, k=self.spec.k,
+                beta=self.spec.step_setup, method="oggp",
+                extra={"engine": "runtime"},
+            ))
+        with pytest.raises(ConfigError, match="engine"):
+            resume_redistribution(self.spec, tmp_path)

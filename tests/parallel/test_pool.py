@@ -293,3 +293,42 @@ class TestTelemetry:
             finally:
                 obs.disable()
         assert registry.counter("pooltest.calls").value == 1
+
+
+class TestTimingKnobs:
+    """stall_grace / join_timeout: constructor parameters since PR 5."""
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"stall_grace": 0.0}, {"stall_grace": -1.0},
+                   {"join_timeout": 0.0}, {"join_timeout": -0.5}]
+    )
+    def test_non_positive_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            WorkerPool(1, square, **kwargs)
+
+    def test_defaults_keep_historical_values(self):
+        pool = WorkerPool(1, square)
+        try:
+            assert pool._stall_grace == 1.0
+            assert pool._join_timeout == 1.0
+        finally:
+            pool.shutdown()
+
+    def test_custom_values_still_compute(self):
+        with WorkerPool(2, square, stall_grace=0.2, join_timeout=0.3) as pool:
+            assert pool.map(range(8)) == [x * x for x in range(8)]
+
+    def test_short_stall_grace_speeds_dead_worker_shutdown(self):
+        pool = WorkerPool(
+            2, square,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0),
+            stall_grace=0.25, join_timeout=0.25,
+        )
+        pool.map(range(4))
+        os.kill(pool._workers[0].pid, signal.SIGKILL)
+        pool._workers[0].join(timeout=5.0)
+        start = time.monotonic()
+        pool.shutdown(timeout=10.0)
+        # Historical constants gave up after >1s of silence; the 0.25s
+        # grace must come in well under that plus join overhead.
+        assert time.monotonic() - start < 5.0

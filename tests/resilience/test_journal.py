@@ -1,0 +1,304 @@
+"""Durable checkpointing: journal framing, snapshots, crash recovery."""
+
+import pytest
+
+from repro import obs
+from repro.resilience.journal import (
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    CheckpointStore,
+    RunMeta,
+    load_checkpoint,
+)
+from repro.util.errors import ConfigError, GraphError
+
+EDGES = {0: (0, 0, 100), 1: (0, 1, 50), 2: (1, 0, 75)}
+
+
+def make_meta(**overrides):
+    base = dict(edges=EDGES, k=2, beta=1.0, method="oggp")
+    base.update(overrides)
+    return RunMeta(**base)
+
+
+class TestRunMeta:
+    def test_payload_round_trip(self):
+        meta = make_meta(extra={"seed": 7, "shape": [2, 2]})
+        again = RunMeta.from_payload(meta.to_payload())
+        assert again == meta
+
+    def test_float_kind_round_trip(self):
+        meta = make_meta(
+            edges={0: (0, 0, 12.5), 1: (1, 1, 0.25)}, amount_kind="float"
+        )
+        again = RunMeta.from_payload(meta.to_payload())
+        assert again.edges[1] == (1, 1, 0.25)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigError, match="amount_kind"):
+            make_meta(amount_kind="bytes")
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ConfigError, match="at least one edge"):
+            make_meta(edges={})
+
+    def test_non_positive_total_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            make_meta(edges={0: (0, 0, 0)})
+
+    def test_garbage_payload_raises_graph_error(self):
+        with pytest.raises(GraphError):
+            RunMeta.from_payload(b"not json at all")
+
+
+class TestJournalRoundTrip:
+    def test_deltas_accumulate(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 60, 1: 50}, round_index=0)
+            store.record_round({0: 40, 2: 75}, round_index=1)
+            store.mark_complete()
+        state = load_checkpoint(tmp_path)
+        assert state.delivered == {0: 100, 1: 50, 2: 75}
+        assert state.seq == 2
+        assert state.next_round == 2
+        assert state.complete
+        assert state.pending() == {}
+
+    def test_partial_run_pending(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 30}, round_index=0)
+        state = load_checkpoint(tmp_path)
+        assert not state.complete
+        assert state.pending() == {0: (0, 0, 70), 1: (0, 1, 50), 2: (1, 0, 75)}
+        assert state.next_round == 1
+
+    def test_float_amounts_round_trip_exactly(self, tmp_path):
+        amount = 12.781232135412414  # must survive as an f64, not text
+        with CheckpointStore(tmp_path) as store:
+            store.begin(
+                make_meta(edges={0: (0, 0, 100.0)}, amount_kind="float")
+            )
+            store.record_round({0: amount}, round_index=0)
+        state = load_checkpoint(tmp_path)
+        assert state.delivered[0] == amount
+
+    def test_zero_and_negative_deltas_dropped(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 10, 1: 0, 2: -5}, round_index=0)
+        state = load_checkpoint(tmp_path)
+        assert state.delivered == {0: 10, 1: 0, 2: 0}
+
+    @pytest.mark.parametrize("policy", ["always", "round", "never"])
+    def test_fsync_policies_all_durable_after_close(self, policy, tmp_path):
+        with CheckpointStore(tmp_path, fsync=policy) as store:
+            store.begin(make_meta())
+            store.record_round({0: 100}, round_index=0)
+        assert load_checkpoint(tmp_path).delivered[0] == 100
+
+    def test_metrics_recorded(self, tmp_path):
+        with obs.observed() as (registry, _):
+            with CheckpointStore(tmp_path) as store:
+                store.begin(make_meta())
+                store.record_round({0: 10}, round_index=0)
+                store.snapshot()
+            load_checkpoint(tmp_path)
+            snap = registry.snapshot()
+        assert snap["checkpoint.records_written"]["value"] >= 2
+        assert snap["checkpoint.fsyncs"]["value"] >= 2
+        assert snap["checkpoint.snapshots"]["value"] == 1
+        assert snap["checkpoint.snapshot_bytes"]["value"] > 0
+        assert "checkpoint.load" in snap
+        assert "checkpoint.append" in snap
+
+
+class TestValidation:
+    def test_bad_fsync_policy(self, tmp_path):
+        with pytest.raises(ConfigError, match="fsync"):
+            CheckpointStore(tmp_path, fsync="sometimes")
+
+    def test_negative_snapshot_every(self, tmp_path):
+        with pytest.raises(ConfigError, match="snapshot_every"):
+            CheckpointStore(tmp_path, snapshot_every=-1)
+
+    def test_state_before_begin(self, tmp_path):
+        with pytest.raises(ConfigError, match="not started"):
+            CheckpointStore(tmp_path).state
+
+    def test_begin_refuses_existing_run(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+        with pytest.raises(ConfigError, match="already holds a run"):
+            CheckpointStore(tmp_path).begin(make_meta())
+
+    def test_append_after_close(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.begin(make_meta())
+        store.close()
+        with pytest.raises(ConfigError, match="closed"):
+            store.record_round({0: 1}, round_index=0)
+
+    def test_load_empty_directory(self, tmp_path):
+        with pytest.raises(GraphError, match="no checkpoint"):
+            load_checkpoint(tmp_path)
+
+    def test_unknown_edge_rejected(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            with pytest.raises(GraphError, match="unknown edge"):
+                store.record_round({99: 10}, round_index=0)
+
+    def test_over_delivery_rejected(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            with pytest.raises(GraphError, match="delivers"):
+                store.record_round({1: 51}, round_index=0)
+
+
+class TestTornTail:
+    def test_partial_record_truncated_on_load(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 60}, round_index=0)
+        # Simulate a crash mid-append: garbage after the valid records.
+        with open(tmp_path / JOURNAL_NAME, "ab") as handle:
+            handle.write(b"KPBJ\x01\x02\x00\x00GARBAGE-TORN-TAIL")
+        state = load_checkpoint(tmp_path)
+        assert state.delivered[0] == 60
+
+    def test_resume_truncates_and_continues(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 60}, round_index=0)
+        journal = tmp_path / JOURNAL_NAME
+        clean_size = journal.stat().st_size
+        with open(journal, "ab") as handle:
+            handle.write(b"\xff" * 13)
+        with CheckpointStore.resume(tmp_path) as store:
+            assert store.state.delivered[0] == 60
+            store.record_round({0: 40, 1: 50, 2: 75}, round_index=1)
+            store.mark_complete()
+        assert journal.stat().st_size > clean_size  # garbage gone, appends valid
+        state = load_checkpoint(tmp_path)
+        assert state.complete
+        assert state.delivered == {0: 100, 1: 50, 2: 75}
+
+    def test_resume_of_fully_torn_journal_reanchors_meta(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 60}, round_index=0)
+            store.snapshot()
+        # Crash tore the whole (post-compaction) journal away.
+        (tmp_path / JOURNAL_NAME).write_bytes(b"")
+        with CheckpointStore.resume(tmp_path) as store:
+            assert store.state.delivered[0] == 60
+        # The journal alone must be interpretable again (meta re-anchor).
+        (tmp_path / SNAPSHOT_NAME).unlink()
+        assert load_checkpoint(tmp_path).meta == make_meta()
+
+
+class TestSnapshots:
+    def test_snapshot_compacts_journal(self, tmp_path):
+        with CheckpointStore(tmp_path, snapshot_every=0) as store:
+            store.begin(make_meta())
+            for r in range(6):
+                store.record_round({0: 10}, round_index=r)
+            before = store.journal_path.stat().st_size
+            store.snapshot()
+            after = store.journal_path.stat().st_size
+        assert after < before
+        state = load_checkpoint(tmp_path)
+        assert state.delivered[0] == 60
+        assert state.next_round == 6
+
+    def test_periodic_snapshot_triggers(self, tmp_path):
+        with CheckpointStore(tmp_path, snapshot_every=2) as store:
+            store.begin(make_meta())
+            store.record_round({0: 10}, round_index=0)
+            assert not store.snapshot_path.exists()
+            store.record_round({0: 10}, round_index=1)
+            assert store.snapshot_path.exists()
+
+    def test_snapshot_alone_recovers_state(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 60, 1: 25}, round_index=0)
+            store.snapshot()
+        (tmp_path / JOURNAL_NAME).unlink()
+        state = load_checkpoint(tmp_path)
+        assert state.delivered == {0: 60, 1: 25, 2: 0}
+        assert state.next_round == 1
+
+    def test_crash_between_rename_and_truncate_does_not_double_apply(
+        self, tmp_path
+    ):
+        """Stale journal deltas carry seq <= the snapshot's: skipped."""
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 60}, round_index=0)
+            pre_truncate = store.journal_path.read_bytes()
+            store.snapshot()
+        # Resurrect the journal as it was the instant before the
+        # truncate: snapshot present AND the old delta still on disk.
+        (tmp_path / JOURNAL_NAME).write_bytes(pre_truncate)
+        state = load_checkpoint(tmp_path)
+        assert state.delivered[0] == 60  # not 120
+        with CheckpointStore.resume(tmp_path) as store:
+            store.record_round({0: 40}, round_index=1)
+        assert load_checkpoint(tmp_path).delivered[0] == 100
+
+    def test_corrupt_snapshot_is_strict(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 60}, round_index=0)
+            store.snapshot()
+        path = tmp_path / SNAPSHOT_NAME
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(GraphError):
+            load_checkpoint(tmp_path)
+
+    def test_truncated_snapshot_is_strict(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 60}, round_index=0)
+            store.snapshot()
+        path = tmp_path / SNAPSHOT_NAME
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 7])
+        with pytest.raises(GraphError):
+            load_checkpoint(tmp_path)
+
+    def test_complete_survives_compaction(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 100, 1: 50, 2: 75}, round_index=0)
+            store.mark_complete()
+            store.snapshot()
+        (tmp_path / JOURNAL_NAME).unlink()
+        assert load_checkpoint(tmp_path).complete
+
+
+class TestSeqReplay:
+    def test_journal_restart_after_many_compactions(self, tmp_path):
+        with CheckpointStore(tmp_path, snapshot_every=1) as store:
+            store.begin(make_meta())
+            for r in range(5):
+                store.record_round({0: 20}, round_index=r)
+        state = load_checkpoint(tmp_path)
+        assert state.delivered[0] == 100
+        assert state.seq == 5
+        assert state.next_round == 5
+
+    def test_resume_continues_sequence(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 10}, round_index=0)
+        with CheckpointStore.resume(tmp_path) as store:
+            assert store.state.seq == 1
+            store.record_round({0: 10}, round_index=1)
+            assert store.state.seq == 2
+        assert load_checkpoint(tmp_path).delivered[0] == 20

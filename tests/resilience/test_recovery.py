@@ -99,3 +99,91 @@ class TestRecoveryK:
     def test_invalid_k_rejected(self):
         with pytest.raises(ConfigError, match="k must be >= 1"):
             recovery_k(0, None, degraded=False)
+
+
+class TestResumeRun:
+    def make_checkpoint(self, tmp_path, *, complete=False):
+        from repro.resilience import CheckpointStore, RunMeta
+
+        meta = RunMeta(
+            edges={0: (0, 0, 100), 1: (0, 1, 50), 2: (1, 0, 75)},
+            k=2, beta=1.0, method="oggp",
+        )
+        with CheckpointStore(tmp_path) as store:
+            store.begin(meta)
+            if complete:
+                store.record_round({0: 100, 1: 50, 2: 75}, round_index=0)
+                store.mark_complete()
+            else:
+                store.record_round({0: 60, 1: 50}, round_index=0)
+        return meta
+
+    def test_rebuilds_residual_of_undelivered(self, tmp_path):
+        from repro.resilience import resume_run
+
+        self.make_checkpoint(tmp_path)
+        state = resume_run(tmp_path)
+        assert not state.complete
+        assert state.delivered == {0: 60, 1: 50, 2: 0}
+        assert state.checkpoint.next_round == 1
+        residual = {
+            state.id_map[e.id]: (e.left, e.right, e.weight)
+            for e in state.residual.edges()
+        }
+        assert residual == {0: (0, 0, 40), 2: (1, 0, 75)}
+
+    def test_complete_run_has_empty_residual(self, tmp_path):
+        from repro.resilience import resume_run
+
+        self.make_checkpoint(tmp_path, complete=True)
+        state = resume_run(tmp_path)
+        assert state.complete
+        assert state.residual.num_edges == 0
+        assert state.id_map == {}
+
+    def test_residual_schedules_like_a_recovery_round(self, tmp_path):
+        from repro.resilience import resume_run, verify_recovery_schedule
+
+        self.make_checkpoint(tmp_path)
+        state = resume_run(tmp_path)
+        schedule = oggp(state.residual, k=2, beta=1.0)
+        verify_recovery_schedule(state.residual, schedule)
+
+    def test_records_resume_timer(self, tmp_path):
+        from repro import obs
+        from repro.resilience import resume_run
+
+        self.make_checkpoint(tmp_path)
+        with obs.observed() as (registry, _):
+            resume_run(tmp_path)
+            snap = registry.snapshot()
+        assert "checkpoint.resume" in snap
+        assert "checkpoint.load" in snap
+
+
+class TestVerifyRecoverySchedule:
+    def test_valid_schedule_passes(self):
+        from repro.resilience import verify_recovery_schedule
+
+        pending = {3: (0, 0, 4.0), 8: (1, 1, 2.0)}
+        graph, _ = residual_graph_from_amounts(pending)
+        verify_recovery_schedule(graph, oggp(graph, k=2, beta=1.0))
+
+    def test_under_coverage_rejected_with_summary(self):
+        from repro.core.schedule import Schedule
+        from repro.resilience import verify_recovery_schedule
+
+        pending = {3: (0, 0, 4.0), 8: (1, 1, 2.0)}
+        graph, _ = residual_graph_from_amounts(pending)
+        empty = Schedule([], k=2, beta=1.0)
+        with pytest.raises(ConfigError, match="failed verification"):
+            verify_recovery_schedule(graph, empty)
+
+    def test_wrong_graph_rejected(self):
+        from repro.resilience import verify_recovery_schedule
+
+        graph_a, _ = residual_graph_from_amounts({0: (0, 0, 4.0)})
+        graph_b, _ = residual_graph_from_amounts({0: (0, 0, 9.0)})
+        schedule = oggp(graph_a, k=2, beta=1.0)
+        with pytest.raises(ConfigError, match="failed verification"):
+            verify_recovery_schedule(graph_b, schedule)

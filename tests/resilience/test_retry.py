@@ -1,6 +1,12 @@
 """RetryPolicy: validation, deterministic backoff, the run() loop."""
 
+import json
+import subprocess
+import sys
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import obs
 from repro.resilience import RetryPolicy
@@ -144,3 +150,51 @@ class TestRun:
             snap = registry.snapshot()
             assert snap["resilience.retries"]["value"] == 2
             assert snap["resilience.retries.run"]["value"] == 2
+
+
+#: Run in a child interpreter: print the policy's full delay sequence.
+_CHILD_DELAYS = """\
+import json, sys
+from repro.resilience import RetryPolicy
+
+seed, attempts = json.loads(sys.argv[1])
+policy = RetryPolicy(
+    max_attempts=attempts, backoff_base=0.05, jitter=0.5, seed=seed
+)
+print(json.dumps([policy.delay(n) for n in range(1, attempts)]))
+"""
+
+
+class TestCrossProcessDeterminism:
+    """The jitter contract: a pure function of ``(seed, attempt)``.
+
+    The worker pool re-creates RetryPolicy objects inside spawned
+    worker processes; if the jitter draw leaned on any per-process
+    state (hash randomisation, global RNG, ...) retry pacing would
+    diverge between parent and workers.  The property is checked
+    against a *separate interpreter*, not just another object.
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_delay_sequence_identical_in_subprocess(self, seed):
+        attempts = 8
+        policy = RetryPolicy(
+            max_attempts=attempts, backoff_base=0.05, jitter=0.5, seed=seed
+        )
+        local = [policy.delay(n) for n in range(1, attempts)]
+        out = subprocess.run(
+            [sys.executable, "-c", _CHILD_DELAYS, json.dumps([seed, attempts])],
+            capture_output=True, text=True, check=True,
+        )
+        assert json.loads(out.stdout) == local
+
+    def test_delay_depends_on_seed_and_attempt_only(self):
+        a = RetryPolicy(max_attempts=5, backoff_base=0.05, jitter=0.5, seed=9)
+        b = RetryPolicy(
+            max_attempts=5, backoff_base=0.05, jitter=0.5, seed=9,
+            task_timeout=30.0,  # unrelated field must not shift the draw
+        )
+        assert [a.delay(n) for n in range(1, 5)] == [
+            b.delay(n) for n in range(1, 5)
+        ]

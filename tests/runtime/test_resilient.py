@@ -163,3 +163,108 @@ class TestFaultedRecovery:
             assert failure.kind in ("transfer_fail", "transfer_stall")
             assert failure.step is not None
             assert failure.edge_id is not None
+
+
+class TestCheckpointedExecution:
+    def test_checkpoint_records_complete_run(self, tmp_path):
+        from repro.resilience import load_checkpoint
+
+        g, payloads, destinations = build_case(seed=1)
+        cluster = LocalCluster(2, 2, **FAST)
+        report = schedule_and_run_resilient(
+            cluster, g, 2, 1.0, payloads, destinations, cache=None,
+            faults=FAULTS.plan(), retry=RETRY, checkpoint=tmp_path,
+        )
+        assert report.complete
+        state = load_checkpoint(tmp_path)
+        assert state.complete
+        assert state.delivered == {
+            eid: len(p) for eid, p in payloads.items()
+        }
+        assert state.meta.extra["engine"] == "runtime"
+        assert state.next_round == report.rounds + 1
+
+    def test_resume_completes_partial_run_bit_identically(self, tmp_path):
+        from repro.runtime import resume_and_run_resilient
+
+        g, payloads, destinations = build_case(seed=1)
+        cluster = LocalCluster(2, 2, **FAST)
+        # Starve the retry budget so the first process "dies" partial.
+        partial = schedule_and_run_resilient(
+            cluster, g, 2, 1.0, payloads, destinations, cache=None,
+            faults=FAULTS.plan(),
+            retry=RetryPolicy(max_attempts=1, backoff_base=0.0, jitter=0.0),
+            checkpoint=tmp_path,
+        )
+        assert not partial.complete, "expected faults to leave a residue"
+        resumed = resume_and_run_resilient(
+            LocalCluster(2, 2, **FAST), tmp_path, payloads,
+            faults=FAULTS.plan(), retry=RETRY,
+        )
+        assert resumed.complete
+        assert dict(resumed.delivered) == payloads
+
+    def test_resume_matches_uninterrupted_trajectory(self, tmp_path):
+        """Killed-and-resumed == never-killed, byte for byte."""
+        from repro.runtime import resume_and_run_resilient
+
+        g, payloads, destinations = build_case(seed=1)
+        uninterrupted = schedule_and_run_resilient(
+            LocalCluster(2, 2, **FAST), g, 2, 1.0, payloads, destinations,
+            cache=None, faults=FAULTS.plan(), retry=RETRY,
+        )
+        partial = schedule_and_run_resilient(
+            LocalCluster(2, 2, **FAST), g, 2, 1.0, payloads, destinations,
+            cache=None, faults=FAULTS.plan(),
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0),
+            checkpoint=tmp_path,
+        )
+        resumed = resume_and_run_resilient(
+            LocalCluster(2, 2, **FAST), tmp_path, payloads,
+            faults=FAULTS.plan(), retry=RETRY,
+        )
+        assert dict(resumed.delivered) == dict(uninterrupted.delivered)
+        assert partial.rounds + resumed.rounds + 1 >= uninterrupted.rounds
+
+    def test_resume_of_complete_run_is_a_noop(self, tmp_path):
+        from repro.runtime import resume_and_run_resilient
+
+        g, payloads, destinations = build_case(seed=3)
+        schedule_and_run_resilient(
+            LocalCluster(2, 2, **FAST), g, 2, 1.0, payloads, destinations,
+            cache=None, checkpoint=tmp_path,
+        )
+        resumed = resume_and_run_resilient(
+            LocalCluster(2, 2, **FAST), tmp_path, payloads,
+        )
+        assert resumed.complete
+        assert resumed.rounds == 0
+        assert resumed.reports == ()  # nothing pending: no round executed
+        assert dict(resumed.delivered) == payloads
+
+    def test_resume_rejects_wrong_payloads(self, tmp_path):
+        from repro.runtime import resume_and_run_resilient
+
+        g, payloads, destinations = build_case(seed=1)
+        schedule_and_run_resilient(
+            LocalCluster(2, 2, **FAST), g, 2, 1.0, payloads, destinations,
+            cache=None, checkpoint=tmp_path,
+        )
+        wrong = dict(payloads)
+        wrong[0] = wrong[0] + b"extra"
+        with pytest.raises(SimulationError, match="payload"):
+            resume_and_run_resilient(
+                LocalCluster(2, 2, **FAST), tmp_path, wrong,
+            )
+
+    def test_checkpoint_counters_populated(self, tmp_path):
+        g, payloads, destinations = build_case(seed=1)
+        with obs.observed() as (registry, _):
+            schedule_and_run_resilient(
+                LocalCluster(2, 2, **FAST), g, 2, 1.0, payloads,
+                destinations, cache=None, faults=FAULTS.plan(),
+                retry=RETRY, checkpoint=tmp_path,
+            )
+            snap = registry.snapshot()
+        assert snap["checkpoint.records_written"]["value"] >= 2
+        assert snap["checkpoint.fsyncs"]["value"] >= 1

@@ -469,19 +469,77 @@ def _load_json(path: str, what: str) -> object:
         raise ReproError(f"{path} is not valid JSON: {exc}") from exc
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    """Pretty-print saved --profile / --trace files."""
-    if not args.profile and not args.trace:
-        raise ReproError("nothing to show: pass a profile JSON and/or --trace")
-    if args.profile:
-        snapshot = _load_json(args.profile, "profile")
-        if not isinstance(snapshot, dict) or not all(
-            isinstance(v, dict) and "type" in v for v in snapshot.values()
-        ):
-            raise ReproError(
-                f"{args.profile} is not a metrics snapshot "
-                "(expected the JSON written by --profile)"
+#: Fields compared per metric type by ``kpbs stats --diff``.
+_DIFF_FIELDS = {
+    "counter": ("value",),
+    "gauge": ("value",),
+    "histogram": ("count", "total"),
+    "timer": ("laps", "elapsed"),
+}
+
+
+def _load_snapshot(source: str, what: str) -> dict:
+    """A metrics snapshot from a file path or a live endpoint URL."""
+    if source.startswith(("http://", "https://")):
+        from repro.cli.top import endpoint_urls, fetch_json
+
+        snapshot = fetch_json(endpoint_urls(source)[0])
+    else:
+        snapshot = _load_json(source, what)
+    if not isinstance(snapshot, dict) or not all(
+        isinstance(v, dict) and "type" in v for v in snapshot.values()
+    ):
+        raise ReproError(
+            f"{source} is not a metrics snapshot "
+            "(expected the JSON written by --profile or served "
+            "at /snapshot.json)"
+        )
+    return snapshot
+
+
+def _diff_table(before: dict, after: dict) -> str:
+    """Per-metric deltas between two snapshots (after minus before)."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for name in sorted(set(before) | set(after)):
+        a, b = before.get(name, {}), after.get(name, {})
+        kind = b.get("type") or a.get("type") or "?"
+        for field in _DIFF_FIELDS.get(kind, ("value",)):
+            old, new = a.get(field), b.get(field)
+            if old is None and new is None:
+                continue
+            delta = (new or 0) - (old or 0)
+            if not delta and old is not None and new is not None:
+                continue
+            rows.append(
+                (name, kind, field,
+                 "" if old is None else old,
+                 "" if new is None else new,
+                 delta)
             )
+    if not rows:
+        return "(no differences)"
+    return format_table(
+        ("metric", "type", "field", "before", "after", "delta"),
+        rows, floatfmt=".6g",
+    )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print saved --profile / --trace files, or diff two."""
+    if args.diff:
+        before = _load_snapshot(args.diff[0], "profile")
+        after = _load_snapshot(args.diff[1], "profile")
+        print(_diff_table(before, after))
+        return 0
+    if not args.profile and not args.trace:
+        raise ReproError(
+            "nothing to show: pass a profile JSON / endpoint URL, "
+            "--trace, or --diff"
+        )
+    if args.profile:
+        snapshot = _load_snapshot(args.profile, "profile")
         if snapshot:
             print(_stats_table(snapshot))
         else:
@@ -540,6 +598,18 @@ def _add_observability_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--trace", dest="trace_out", metavar="FILE",
         help="write Chrome trace-event JSON here (chrome://tracing, Perfetto)",
+    )
+    p.add_argument(
+        "--metrics-port", dest="metrics_port", type=int, default=None,
+        metavar="PORT",
+        help="serve /metrics, /snapshot.json and /events.json on this "
+        "port for the duration of the command (0 = pick a free port; "
+        "watch it with 'kpbs top')",
+    )
+    p.add_argument(
+        "--events", dest="events_out", metavar="FILE",
+        help="append structured run events (JSONL) here; "
+        "see docs/observability.md",
     )
 
 
@@ -672,14 +742,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "profile", nargs="?",
-        help="metrics snapshot JSON written by --profile",
+        help="metrics snapshot JSON written by --profile, or a live "
+        "--metrics-port endpoint URL (http://...)",
     )
     p.add_argument(
         "--trace", help="Chrome trace JSON written by --trace (flame summary)"
     )
+    p.add_argument(
+        "--diff", nargs=2, metavar=("BEFORE", "AFTER"), default=None,
+        help="print per-metric deltas between two snapshots "
+        "(files or endpoint URLs)",
+    )
     p.set_defaults(fn=_cmd_stats)
 
+    p = sub.add_parser(
+        "top", help="live dashboard over a --metrics-port endpoint"
+    )
+    p.add_argument(
+        "url", help="metrics endpoint URL (printed by --metrics-port runs)"
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls (default 2)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: until interrupted)",
+    )
+    p.add_argument(
+        "--events", type=int, default=8, metavar="K",
+        help="show the last K run events (default 8)",
+    )
+    p.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (for logs/tests)",
+    )
+    p.set_defaults(fn=_cmd_top)
+
     return parser
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a running --metrics-port endpoint."""
+    from repro.cli.top import run_top
+
+    try:
+        return run_top(
+            args.url,
+            interval=args.interval,
+            iterations=args.iterations,
+            max_events=args.events,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print()
+        return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -688,11 +805,32 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     profile_out = getattr(args, "profile_out", None)
     trace_out = getattr(args, "trace_out", None)
+    metrics_port = getattr(args, "metrics_port", None)
+    events_out = getattr(args, "events_out", None)
     try:
-        if not (profile_out or trace_out):
+        if (
+            profile_out is None and trace_out is None
+            and metrics_port is None and events_out is None
+        ):
             return args.fn(args)
-        with obs.observed() as (registry, tracer):
-            code = args.fn(args)
+        from repro.obs.events import EventLog
+        from repro.obs.server import MetricsServer
+
+        event_log = EventLog(path=events_out) if events_out else None
+        server = None
+        try:
+            with obs.observed(events=event_log) as (registry, tracer):
+                if metrics_port is not None:
+                    server = MetricsServer(port=metrics_port).start()
+                    # Parseable by scripts (and the CI smoke job):
+                    # the ephemeral port is only known once bound.
+                    print(f"serving metrics on {server.url}", flush=True)
+                code = args.fn(args)
+        finally:
+            if server is not None:
+                server.stop()
+            if event_log is not None:
+                event_log.close()
         if profile_out:
             path = Path(profile_out)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -702,6 +840,8 @@ def main(argv: list[str] | None = None) -> int:
             Path(trace_out).parent.mkdir(parents=True, exist_ok=True)
             obs.write_chrome_trace(trace_out, tracer)
             print(f"wrote {trace_out}")
+        if events_out:
+            print(f"wrote {events_out}")
         return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -111,6 +111,7 @@ def _peel_weight_regular(
     metrics = obs.metrics()
     peel_counter = metrics.counter("wrgp.peels")
     peel_sizes = metrics.histogram("wrgp.peel_size")
+    peels_here = 0
     while not graph.is_empty():
         if bottleneck_peeler is not None:
             m = bottleneck_peeler.next_matching()
@@ -132,6 +133,15 @@ def _peel_weight_regular(
             raise GraphError(f"non-positive peel amount {peel!r}")
         peel_counter.inc()
         peel_sizes.observe(float(peel))
+        peels_here += 1
+        if peels_here % 64 == 0:
+            # Coarse progress beacon for long peeling loops; the event
+            # ring is bounded, so a fixed stride keeps the volume sane.
+            obs.emit(
+                "peel.progress",
+                peels=peels_here,
+                remaining_edges=graph.num_edges,
+            )
         yield m, peel
         for edge in m.edges():
             graph.peel_weight(edge.id, peel)

@@ -170,6 +170,15 @@ def _scheduled_redistribution(
     a resumed run's fault-round sequence) and journaled to ``store``.
     """
     metrics = obs.metrics()
+    obs.emit(
+        "run.start",
+        engine="netsim",
+        method=method,
+        k=spec.k,
+        beta=spec.step_setup,
+        volume_mbit=float(traffic.sum()),
+        checkpointed=store is not None,
+    )
     with obs.phase("netsim.build_schedule"):
         schedule = build_schedule(spec, traffic, method, cache=cache)
     # Schedule amounts are seconds at flow_rate; convert back to Mbit.
@@ -188,6 +197,13 @@ def _scheduled_redistribution(
     rounds = 0
     residual = _residual_traffic(spec, schedule, result, traffic.shape)
     _journal_round(store, cell_eid, traffic, residual, first_round)
+    obs.emit(
+        "round.result",
+        round=first_round,
+        steps=result.num_steps,
+        sim_seconds=result.total_time,
+        undelivered_mbit=float(residual.sum()),
+    )
     attempt = 1
     round_index = first_round
     degraded = bool(result.degraded_steps)
@@ -196,6 +212,13 @@ def _scheduled_redistribution(
         rounds += 1
         round_index += 1
         rk = recovery_k(spec.k, faults, degraded)
+        obs.emit(
+            "recovery.start",
+            round=round_index,
+            pending_mbit=float(residual.sum()),
+            k=rk,
+            degraded=degraded,
+        )
         recovery_graph = from_traffic_matrix(residual, speed=spec.flow_rate)
         recovery_schedule = cached_schedule(
             recovery_graph,
@@ -229,12 +252,27 @@ def _scheduled_redistribution(
         _journal_round(store, cell_eid, residual, next_residual, round_index)
         residual = next_residual
         degraded = bool(recovery_result.degraded_steps)
+        obs.emit(
+            "recovery.result",
+            round=round_index,
+            steps=recovery_result.num_steps,
+            sim_seconds=recovery_result.total_time,
+            undelivered_mbit=float(residual.sum()),
+        )
     if recovery_time > 0:
         metrics.counter("resilience.recovery_overhead_seconds").inc(
             recovery_time
         )
     if store is not None and residual.sum() == 0:
         store.mark_complete()
+    obs.emit(
+        "run.complete",
+        engine="netsim",
+        rounds=rounds,
+        sim_seconds=total_time,
+        undelivered_mbit=float(residual.sum()),
+        complete=float(residual.sum()) == 0.0,
+    )
     return schedule, total_time, num_steps, recovery_time, rounds, residual
 
 
@@ -249,6 +287,7 @@ def run_redistribution(
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     checkpoint: CheckpointStore | str | os.PathLike | None = None,
+    metrics_port: int | None = None,
 ) -> RedistributionOutcome:
     """Run one redistribution with the chosen method and measure time.
 
@@ -266,7 +305,27 @@ def run_redistribution(
     directory path — journals each round's delivered Mbit per traffic
     cell (GGP/OGGP only), so a killed process's run can be finished
     with :func:`resume_redistribution`.
+
+    ``metrics_port`` serves live telemetry for the duration of the call
+    (a :class:`~repro.obs.server.MetricsServer` on that port; ``0``
+    picks an ephemeral one).
     """
+    if metrics_port is not None:
+        from repro.obs.server import MetricsServer
+
+        with MetricsServer(port=metrics_port):
+            return run_redistribution(
+                spec,
+                traffic_mbit,
+                method,
+                rng=rng,
+                tcp_params=tcp_params,
+                rate_jitter=rate_jitter,
+                cache=cache,
+                faults=faults,
+                retry=retry,
+                checkpoint=checkpoint,
+            )
     traffic = np.asarray(traffic_mbit, dtype=float)
     volume = float(traffic.sum())
     metrics = obs.metrics()

@@ -37,8 +37,16 @@ flags toggle; library embedders can also pass explicit instances to
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 
+from repro.obs.events import (
+    NULL_EVENT_LOG,
+    Event,
+    EventLog,
+    NullEventLog,
+    load_events,
+)
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -59,9 +67,11 @@ __all__ = [
     "observed",
     "metrics",
     "tracer",
+    "events",
     # instrumentation primitives
     "span",
     "phase",
+    "emit",
     # classes
     "MetricsRegistry",
     "NullRegistry",
@@ -72,14 +82,25 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "SpanRecord",
+    "Event",
+    "EventLog",
+    "NullEventLog",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NULL_EVENT_LOG",
+    # event log I/O
+    "load_events",
     # exporters
     "chrome_trace",
     "write_chrome_trace",
     "records_from_chrome",
     "flame_summary",
 ]
+
+#: Number of per-phase duration samples retained by the bounded
+#: ``<phase>.seconds`` histograms (enough for stable p50/p95 without
+#: unbounded growth in long-lived processes).
+PHASE_SECONDS_SAMPLES = 2048
 
 #: Exporter names resolved lazily from :mod:`repro.obs.export` — that
 #: module pulls in the analysis layer (and transitively the schedule
@@ -101,6 +122,7 @@ def __getattr__(name: str):
 _lock = threading.Lock()
 _metrics: MetricsRegistry | None = None
 _tracer: Tracer | None = None
+_events: EventLog | None = None
 
 
 def metrics() -> MetricsRegistry | NullRegistry:
@@ -115,6 +137,17 @@ def tracer() -> Tracer | NullTracer:
     return active if active is not None else NULL_TRACER
 
 
+def events() -> EventLog | NullEventLog:
+    """The active event log, or the shared null log when disabled."""
+    active = _events
+    return active if active is not None else NULL_EVENT_LOG
+
+
+def emit(kind: str, **fields: object):
+    """Record one structured run event (no-op when events are off)."""
+    return events().emit(kind, **fields)
+
+
 def enabled() -> bool:
     """True when any observability (metrics or tracing) is active."""
     return _metrics is not None or _tracer is not None
@@ -123,53 +156,61 @@ def enabled() -> bool:
 def enable(
     registry: MetricsRegistry | None = None,
     trace: Tracer | None = None,
+    events: EventLog | None = None,
 ) -> tuple[MetricsRegistry, Tracer]:
     """Install process-global observability; returns the live pair.
 
-    Fresh instances are created when not supplied.  Prefer the scoped
+    Fresh instances are created when not supplied (``enable()`` also
+    activates a fresh in-memory :class:`EventLog`; pass one explicitly
+    to mirror events to a JSONL file).  Prefer the scoped
     :func:`observed` in tests and harnesses — ``enable`` suits
     long-lived processes (a service turning telemetry on at startup).
     """
-    global _metrics, _tracer
+    global _metrics, _tracer, _events
     with _lock:
         _metrics = registry if registry is not None else MetricsRegistry()
         _tracer = trace if trace is not None else Tracer()
+        _events = events if events is not None else EventLog()
         return _metrics, _tracer
 
 
 def disable() -> None:
     """Turn all observability off (null objects take over)."""
-    global _metrics, _tracer
+    global _metrics, _tracer, _events
     with _lock:
         _metrics = None
         _tracer = None
+        _events = None
 
 
 @contextmanager
 def observed(
     registry: MetricsRegistry | None = None,
     trace: Tracer | None = None,
+    events: EventLog | None = None,
 ):
     """Enable observability for a ``with`` block; restores prior state.
 
     Yields ``(registry, tracer)`` — fresh instances unless supplied —
-    so callers can export after the block::
+    so callers can export after the block (a fresh in-memory event log
+    is activated too; reach it via ``obs.events()`` inside the block)::
 
         with obs.observed() as (reg, tr):
             run_everything()
         Path("p.json").write_text(reg.to_json())
     """
-    global _metrics, _tracer
+    global _metrics, _tracer, _events
     with _lock:
-        previous = (_metrics, _tracer)
+        previous = (_metrics, _tracer, _events)
         _metrics = registry if registry is not None else MetricsRegistry()
         _tracer = trace if trace is not None else Tracer()
+        _events = events if events is not None else EventLog()
         current = (_metrics, _tracer)
     try:
         yield current
     finally:
         with _lock:
-            _metrics, _tracer = previous
+            _metrics, _tracer, _events = previous
 
 
 def span(name: str, **attrs: object):
@@ -181,15 +222,27 @@ def span(name: str, **attrs: object):
 
 
 class _Phase:
-    """Span + same-named accumulating timer, opened and closed together."""
+    """Span + same-named accumulating timer, opened and closed together.
 
-    __slots__ = ("_span", "_timer")
+    Each invocation's wall-clock duration is also observed into a
+    bounded ``<name>.seconds`` histogram so live dashboards can show
+    per-phase p50/p95 — something the accumulating timer (sum + laps)
+    cannot answer on its own.
+    """
+
+    __slots__ = ("_span", "_timer", "_seconds", "_t0")
 
     def __init__(self, name: str, attrs: dict) -> None:
         tr = _tracer
         reg = _metrics
         self._span = tr.span(name, **attrs) if tr is not None else _null_span
         self._timer = reg.timer(name) if reg is not None else None
+        self._seconds = (
+            reg.histogram(name + ".seconds", max_samples=PHASE_SECONDS_SAMPLES)
+            if reg is not None
+            else None
+        )
+        self._t0 = 0.0
 
     def set(self, **attrs: object) -> None:
         """Attach attributes to the underlying span."""
@@ -199,9 +252,12 @@ class _Phase:
         self._span.__enter__()
         if self._timer is not None:
             self._timer.__enter__()
+        self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
+        if self._seconds is not None:
+            self._seconds.observe(time.perf_counter() - self._t0)
         if self._timer is not None:
             self._timer.__exit__(*exc)
         self._span.__exit__(*exc)

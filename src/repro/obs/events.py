@@ -1,0 +1,246 @@
+"""Structured run events: a schema-versioned JSONL event log.
+
+Metrics answer "how much"; the event log answers "what happened, in
+what order".  Long-running entry points — the resilient runtime, the
+netsim recovery loop, the worker pool, the checkpoint journal — emit
+discrete lifecycle records (phase start/end, peel progress, recovery
+round start/result, checkpoint snapshots, worker crash/respawn, cache
+hit-rate ticks) into the process-wide :class:`EventLog` reachable as
+``obs.events()``.
+
+Each record carries a schema version, a process-monotonic sequence
+number, a wall-clock timestamp, a ``kind`` tag, and a free-form (but
+JSON-safe) ``fields`` mapping::
+
+    {"v": 1, "seq": 7, "ts": 1722945600.123, "kind": "recovery.start",
+     "fields": {"round": 2, "pending_edges": 5}}
+
+The log keeps a bounded in-memory ring (served live at
+``/events.json`` by :class:`~repro.obs.server.MetricsServer`) and can
+mirror every record to a JSONL file as it is emitted; records written
+that way round-trip through :func:`load_events`, which validates the
+schema and tolerates exactly one torn trailing line (the
+crash-mid-write case), raising :class:`~repro.util.errors.ConfigError`
+on anything else.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Mapping
+
+from repro.util.errors import ConfigError
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "Event",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "load_events",
+    "validate_event_record",
+]
+
+#: Version stamped on (and required of) every event record.
+EVENT_SCHEMA_VERSION = 1
+
+
+def _json_safe(value: object) -> object:
+    """Coerce a field value to something ``json.dumps`` accepts."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured run event."""
+
+    seq: int
+    ts: float
+    kind: str
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The JSONL record form (schema-versioned)."""
+        return {
+            "v": EVENT_SCHEMA_VERSION,
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+            "fields": dict(self.fields),
+        }
+
+
+def validate_event_record(record: object, where: str = "event") -> Event:
+    """Check one decoded JSONL record against the schema; return it.
+
+    Raises :class:`ConfigError` naming ``where`` on any violation:
+    wrong/missing schema version, non-int ``seq``, non-numeric ``ts``,
+    empty ``kind``, or a non-mapping ``fields``.
+    """
+    if not isinstance(record, Mapping):
+        raise ConfigError(f"{where}: not a JSON object: {record!r}")
+    version = record.get("v")
+    if version != EVENT_SCHEMA_VERSION:
+        raise ConfigError(
+            f"{where}: schema version {version!r} "
+            f"(this reader understands {EVENT_SCHEMA_VERSION})"
+        )
+    seq = record.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise ConfigError(f"{where}: bad seq {seq!r}")
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        raise ConfigError(f"{where}: bad ts {ts!r}")
+    kind = record.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise ConfigError(f"{where}: bad kind {kind!r}")
+    fields = record.get("fields", {})
+    if not isinstance(fields, Mapping):
+        raise ConfigError(f"{where}: fields is not an object: {fields!r}")
+    return Event(seq=seq, ts=float(ts), kind=kind, fields=dict(fields))
+
+
+class EventLog:
+    """Thread-safe bounded event ring with optional JSONL mirroring.
+
+    ``max_events`` bounds the in-memory ring (old events fall off the
+    front; ``emitted`` keeps the lifetime count).  ``path`` mirrors
+    every record to a JSONL file as it is emitted, flushed per line so
+    a ``tail -f`` (or a crash) sees complete records.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        max_events: int = 1024,
+    ) -> None:
+        if max_events < 1:
+            raise ConfigError(f"max_events must be >= 1, got {max_events}")
+        self._lock = threading.Lock()
+        self._ring: deque[Event] = deque(maxlen=max_events)
+        self._seq = 0
+        self.path = Path(path) if path is not None else None
+        self._file: IO[str] | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("a", encoding="utf-8")
+
+    @property
+    def emitted(self) -> int:
+        """Lifetime number of events emitted (≥ ``len(self)``)."""
+        return self._seq
+
+    def emit(self, kind: str, **fields: object) -> Event:
+        """Record one event; returns it (with its assigned ``seq``)."""
+        if not kind:
+            raise ConfigError("event kind must be a non-empty string")
+        safe = {key: _json_safe(value) for key, value in fields.items()}
+        with self._lock:
+            event = Event(seq=self._seq, ts=time.time(), kind=kind, fields=safe)
+            self._seq += 1
+            self._ring.append(event)
+            if self._file is not None:
+                self._file.write(
+                    json.dumps(event.to_dict(), sort_keys=True) + "\n"
+                )
+                self._file.flush()
+        return event
+
+    def tail(self, n: int | None = None) -> list[Event]:
+        """The most recent ``n`` events (all retained when ``None``)."""
+        with self._lock:
+            events = list(self._ring)
+        if n is not None:
+            if n < 0:
+                raise ConfigError(f"tail length must be >= 0, got {n}")
+            events = events[len(events) - min(n, len(events)):]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def close(self) -> None:
+        """Close the JSONL mirror (the in-memory ring stays readable)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f", path={str(self.path)!r}" if self.path else ""
+        return f"EventLog({len(self)} of {self._seq} events{where})"
+
+
+class NullEventLog:
+    """No-op stand-in used while observability is disabled."""
+
+    __slots__ = ()
+    path = None
+    emitted = 0
+
+    def emit(self, kind: str, **fields: object) -> None:
+        return None
+
+    def tail(self, n: int | None = None) -> list:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        pass
+
+
+NULL_EVENT_LOG = NullEventLog()
+
+
+def load_events(path: str | Path) -> list[Event]:
+    """Load and validate a JSONL event file written by :class:`EventLog`.
+
+    Every record must be schema-valid with strictly increasing ``seq``.
+    A torn *final* line (crash mid-write) is tolerated and dropped; any
+    other malformed line raises :class:`ConfigError`.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ConfigError(f"event log not found: {path}")
+    lines = path.read_text(encoding="utf-8").split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    events: list[Event] = []
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                break  # torn tail: the writer died mid-record
+            raise ConfigError(
+                f"{path}:{i + 1}: not valid JSON: {exc}"
+            ) from exc
+        event = validate_event_record(record, where=f"{path}:{i + 1}")
+        if events:
+            if event.seq <= events[-1].seq:
+                raise ConfigError(
+                    f"{path}:{i + 1}: seq {event.seq} is not after "
+                    f"{events[-1].seq}"
+                )
+        events.append(event)
+    return events

@@ -83,10 +83,26 @@ def records_from_chrome(data: Mapping) -> list[SpanRecord]:
     any well-formed complete-event trace — round-trips into records the
     flame summary can consume.
     """
+    if not isinstance(data, Mapping):
+        raise ConfigError(f"not a Chrome trace: expected an object, got {type(data).__name__}")
     events = data.get("traceEvents")
     if events is None:
         raise ConfigError("not a Chrome trace: missing 'traceEvents'")
-    complete = [e for e in events if e.get("ph") == "X"]
+    if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+        raise ConfigError("not a Chrome trace: 'traceEvents' is not a list")
+    complete = [e for e in events if isinstance(e, Mapping) and e.get("ph") == "X"]
+    for e in complete:
+        for key in ("name", "ts", "dur"):
+            if key not in e:
+                raise ConfigError(
+                    f"malformed Chrome trace: complete event missing {key!r}: {e!r}"
+                )
+        try:
+            float(e["ts"]), float(e["dur"])
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"malformed Chrome trace: non-numeric ts/dur: {e!r}"
+            ) from exc
     records: list[SpanRecord] = []
     by_tid: dict[int, list[dict]] = {}
     for e in complete:
@@ -94,7 +110,7 @@ def records_from_chrome(data: Mapping) -> list[SpanRecord]:
     for tid, group in by_tid.items():
         # Parents start no later and end no earlier than their children;
         # sorting by (start, -duration) visits parents first.
-        group.sort(key=lambda e: (e["ts"], -e["dur"]))
+        group.sort(key=lambda e: (float(e["ts"]), -float(e["dur"])))
         stack: list[tuple[float, tuple[str, ...]]] = []  # (end_us, path)
         for e in group:
             start_us = float(e["ts"])

@@ -1,0 +1,201 @@
+"""Live telemetry: merged in-flight snapshots + Prometheus rendering.
+
+Everything :mod:`repro.obs` records is usually read *after* a run.
+This module is the live layer underneath the metrics endpoint
+(:class:`~repro.obs.server.MetricsServer`) and ``kpbs top``: a merged
+view of the process-global registry **plus** any number of registered
+*live sources* — callables returning metric snapshots for telemetry
+that has not reached the parent registry yet, such as the streaming
+per-worker snapshots a :class:`~repro.parallel.pool.WorkerPool` folds
+mid-run (its workers only merge exactly at shutdown).
+
+Sources register with :func:`add_live_source` (the pool does this
+automatically while streaming) and are polled on every
+:func:`merged_snapshot` call; a source that raises is skipped rather
+than taking the endpoint down.
+
+:func:`render_prometheus` turns any snapshot dict into the Prometheus
+text exposition format (version 0.0.4): counters as ``*_total``,
+gauges verbatim, histograms and timers as summaries with quantiles /
+sum / count.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "add_live_source",
+    "remove_live_source",
+    "live_sources",
+    "merged_registry",
+    "merged_snapshot",
+    "render_prometheus",
+]
+
+#: A live source: zero-arg callable returning a metrics snapshot dict
+#: (the :meth:`MetricsRegistry.snapshot` shape), ideally with samples.
+LiveSource = Callable[[], Mapping[str, Mapping]]
+
+_sources_lock = threading.Lock()
+_sources: list[LiveSource] = []
+
+
+def add_live_source(source: LiveSource) -> None:
+    """Register a snapshot provider polled by :func:`merged_snapshot`."""
+    with _sources_lock:
+        if source not in _sources:
+            _sources.append(source)
+
+
+def remove_live_source(source: LiveSource) -> None:
+    """Unregister a provider; unknown sources are ignored."""
+    with _sources_lock:
+        try:
+            _sources.remove(source)
+        except ValueError:
+            pass
+
+
+def live_sources() -> list[LiveSource]:
+    """The currently registered providers (a copy)."""
+    with _sources_lock:
+        return list(_sources)
+
+
+def merged_registry() -> MetricsRegistry:
+    """Process registry + every live source, merged into a fresh registry.
+
+    The process-global registry (when enabled) is folded in first, then
+    each source's snapshot.  Sources that raise are skipped: a dying
+    worker must not take the metrics endpoint down with it.
+    """
+    from repro import obs
+
+    merged = MetricsRegistry()
+    base = obs.metrics()
+    if isinstance(base, MetricsRegistry):
+        merged.merge(base)
+    for source in live_sources():
+        try:
+            snapshot = source()
+        except Exception:
+            continue
+        if snapshot:
+            merged.merge(MetricsRegistry.from_snapshot(snapshot))
+    return merged
+
+
+def merged_snapshot(samples: bool = False) -> dict[str, dict]:
+    """Snapshot dict of :func:`merged_registry` (the endpoint's payload)."""
+    return merged_registry().snapshot(samples=samples)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+#: Characters legal in a Prometheus metric name, everything else -> "_".
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    out = _NAME_BAD.sub("_", f"{prefix}_{name}" if prefix else name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_value(value: object) -> str:
+    if value is None:
+        return "NaN"
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return format(v, ".10g")
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Mapping],
+    prefix: str = "kpbs",
+) -> str:
+    """A snapshot dict in Prometheus text exposition format 0.0.4.
+
+    Dotted metric names are prefixed and sanitised
+    (``schedule_cache.hits`` -> ``kpbs_schedule_cache_hits_total``);
+    counters get the conventional ``_total`` suffix, histograms and
+    timers render as summaries (quantiles for histograms, sum/count
+    for both).  Unset gauges are omitted.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type")
+        base = _prom_name(name, prefix)
+        if (
+            kind == "histogram"
+            and name.endswith(".seconds")
+            and snapshot.get(name[: -len(".seconds")], {}).get("type") == "timer"
+        ):
+            # A phase's per-invocation histogram shares its timer's
+            # ``<base>_seconds`` family; the quantile lines were folded
+            # into the timer's summary block below.
+            continue
+        if kind == "counter":
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total {_prom_value(entry.get('value', 0))}")
+        elif kind == "gauge":
+            if entry.get("value") is None:
+                continue
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_prom_value(entry['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} summary")
+            count = entry.get("count", 0)
+            if count:
+                lines.append(
+                    f'{base}{{quantile="0.5"}} {_prom_value(entry.get("p50"))}'
+                )
+                lines.append(
+                    f'{base}{{quantile="0.95"}} {_prom_value(entry.get("p95"))}'
+                )
+            lines.append(f"{base}_sum {_prom_value(entry.get('total', 0))}")
+            lines.append(f"{base}_count {_prom_value(count)}")
+            if "samples_dropped" in entry:
+                lines.append(f"# TYPE {base}_samples_dropped counter")
+                lines.append(
+                    f"{base}_samples_dropped "
+                    f"{_prom_value(entry['samples_dropped'])}"
+                )
+        elif kind == "timer":
+            lines.append(f"# TYPE {base}_seconds summary")
+            seconds = snapshot.get(name + ".seconds", {})
+            if seconds.get("type") == "histogram" and seconds.get("count"):
+                lines.append(
+                    f'{base}_seconds{{quantile="0.5"}} '
+                    f"{_prom_value(seconds.get('p50'))}"
+                )
+                lines.append(
+                    f'{base}_seconds{{quantile="0.95"}} '
+                    f"{_prom_value(seconds.get('p95'))}"
+                )
+            lines.append(
+                f"{base}_seconds_sum {_prom_value(entry.get('elapsed', 0.0))}"
+            )
+            lines.append(
+                f"{base}_seconds_count {_prom_value(entry.get('laps', 0))}"
+            )
+            lines.append(f"# TYPE {base}_seconds_max gauge")
+            lines.append(
+                f"{base}_seconds_max {_prom_value(entry.get('max', 0.0))}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -105,41 +105,91 @@ class Gauge:
 class Histogram:
     """Sample distribution with nearest-rank percentiles.
 
-    Samples are kept verbatim (the workloads here observe at most a few
-    hundred thousand values per run); percentiles are exact, not
-    sketched.
+    By default samples are kept verbatim (the workloads here observe at
+    most a few hundred thousand values per run); percentiles are exact,
+    not sketched.
+
+    Long-lived processes — the live metrics server, a future daemon —
+    can instead bound memory with ``max_samples=N``: the newest ``N``
+    samples are retained in a ring buffer while ``count``/``total``/
+    ``min``/``max`` stay exact over *all* observations (dropped samples
+    are folded into running aggregates).  Percentiles are then computed
+    over the retained window, and :meth:`to_dict` reports
+    ``samples_dropped``.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = (
+        "name", "values", "max_samples",
+        "_ring_pos", "_dropped", "_dropped_total", "_drop_min", "_drop_max",
+    )
     kind = "histogram"
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(self, name: str = "", max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ConfigError(
+                f"histogram {name!r}: max_samples must be >= 1 (or None "
+                f"for unbounded), got {max_samples}"
+            )
         self.name = name
+        self.max_samples = max_samples
         self.values: list[float] = []
+        self._ring_pos = 0
+        self._dropped = 0
+        self._dropped_total = 0.0
+        self._drop_min = math.inf
+        self._drop_max = -math.inf
 
     def observe(self, value: float) -> None:
         """Record one sample."""
-        self.values.append(float(value))
+        value = float(value)
+        if self.max_samples is None or len(self.values) < self.max_samples:
+            self.values.append(value)
+            return
+        # Ring-buffer mode, window full: the overwritten (oldest) sample
+        # moves into the exact running aggregates before it is lost.
+        old = self.values[self._ring_pos]
+        self.values[self._ring_pos] = value
+        self._ring_pos = (self._ring_pos + 1) % self.max_samples
+        self._account_dropped(old)
+
+    def _account_dropped(self, value: float) -> None:
+        self._dropped += 1
+        self._dropped_total += value
+        if value < self._drop_min:
+            self._drop_min = value
+        if value > self._drop_max:
+            self._drop_max = value
+
+    @property
+    def samples_dropped(self) -> int:
+        """Observations no longer retained verbatim (0 when unbounded)."""
+        return self._dropped
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return len(self.values) + self._dropped
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        return sum(self.values) + self._dropped_total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self.values) if self.values else math.nan
+        return self.total / self.count if self.count else math.nan
 
     @property
     def min(self) -> float:
-        return min(self.values) if self.values else math.nan
+        if not self.count:
+            return math.nan
+        retained = min(self.values) if self.values else math.inf
+        return min(retained, self._drop_min) if self._dropped else retained
 
     @property
     def max(self) -> float:
-        return max(self.values) if self.values else math.nan
+        if not self.count:
+            return math.nan
+        retained = max(self.values) if self.values else -math.inf
+        return max(retained, self._drop_max) if self._dropped else retained
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, ``p`` in [0, 100]."""
@@ -160,20 +210,41 @@ class Histogram:
         return self.percentile(95)
 
     def merge_from(self, other: "Histogram") -> None:
-        """Pool another histogram's samples into this one."""
-        self.values.extend(other.values)
+        """Pool another histogram's samples into this one.
+
+        Exact for ``count``/``total``/``min``/``max`` whichever side is
+        bounded; a bounded receiver folds the other's retained samples
+        through its own ring.
+        """
+        if self.max_samples is None:
+            self.values.extend(other.values)
+        else:
+            for v in other.values:
+                self.observe(v)
+        self._dropped += other._dropped
+        self._dropped_total += other._dropped_total
+        if other._dropped:
+            self._drop_min = min(self._drop_min, other._drop_min)
+            self._drop_max = max(self._drop_max, other._drop_max)
 
     def reset(self) -> None:
         self.values = []
+        self._ring_pos = 0
+        self._dropped = 0
+        self._dropped_total = 0.0
+        self._drop_min = math.inf
+        self._drop_max = -math.inf
 
     def to_dict(self, samples: bool = False) -> dict:
         """JSON-compatible summary (count, total, mean, min/p50/p95/max).
 
         With ``samples=True`` the raw observations are included too, so
         the histogram round-trips exactly through
-        :meth:`MetricsRegistry.from_snapshot`.
+        :meth:`MetricsRegistry.from_snapshot`.  Bounded histograms
+        additionally report ``samples_dropped`` (unbounded summaries are
+        byte-identical to what they always were).
         """
-        if not self.values:
+        if not self.count:
             return {"type": self.kind, "count": 0}
         out = {
             "type": self.kind,
@@ -185,6 +256,10 @@ class Histogram:
             "p95": self.p95,
             "max": self.max,
         }
+        if self.max_samples is not None or self._dropped:
+            # An unbounded histogram can carry drops too, inherited by
+            # merging from (or reconstructing) a bounded one.
+            out["samples_dropped"] = self._dropped
         if samples:
             out["samples"] = list(self.values)
         return out
@@ -342,9 +417,25 @@ class MetricsRegistry:
         """The gauge called ``name``, created on first use."""
         return self._get(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram called ``name``, created on first use."""
-        return self._get(name, Histogram)
+    def histogram(self, name: str, max_samples: int | None = None) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        ``max_samples`` bounds the retained-sample window at *creation*
+        time (see :class:`Histogram`); later lookups return the existing
+        metric and ignore the argument.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(
+                    name, Histogram(name, max_samples=max_samples)
+                )
+        if not isinstance(metric, Histogram):
+            raise ConfigError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {Histogram.kind}"
+            )
+        return metric
 
     def timer(self, name: str) -> TimerMetric:
         """The accumulating timer called ``name``, created on first use."""
@@ -407,10 +498,12 @@ class MetricsRegistry:
 
         Counters, gauges and timers round-trip exactly.  Histograms
         round-trip exactly when the snapshot was taken with
-        ``samples=True``; otherwise only the landmark values
-        (min/p50/p95/max) are re-observed, which preserves the extremes
-        but not count/total/mean — export with samples when exact
-        pooling matters.
+        ``samples=True`` (for a bounded source the retained window plus
+        the dropped-sample aggregates are reconstructed, so
+        count/total/min/max stay exact); otherwise only the landmark
+        values (min/p50/p95/max) are re-observed, which preserves the
+        extremes but not count/total/mean — export with samples when
+        exact pooling matters.
         """
         reg = cls()
         for name, summary in data.items():
@@ -427,8 +520,18 @@ class MetricsRegistry:
             elif kind == Histogram.kind:
                 h = reg.histogram(name)
                 if "samples" in summary:
-                    for v in summary["samples"]:
-                        h.observe(float(v))
+                    retained = [float(v) for v in summary["samples"]]
+                    for v in retained:
+                        h.observe(v)
+                    # A bounded source already folded older samples into
+                    # its exact aggregates; rebuild that tail from the
+                    # summary so count/total/min/max survive the trip.
+                    dropped = int(summary.get("count", len(retained))) - len(retained)
+                    if dropped > 0:
+                        h._dropped = dropped
+                        h._dropped_total = float(summary["total"]) - sum(retained)
+                        h._drop_min = float(summary["min"])
+                        h._drop_max = float(summary["max"])
                 else:
                     for key in ("min", "p50", "p95", "max"):
                         if key in summary:
@@ -511,7 +614,7 @@ class NullRegistry:
     def gauge(self, name: str) -> _NullMetric:
         return _NULL_METRIC
 
-    def histogram(self, name: str) -> _NullMetric:
+    def histogram(self, name: str, max_samples: int | None = None) -> _NullMetric:
         return _NULL_METRIC
 
     def timer(self, name: str) -> _NullMetric:

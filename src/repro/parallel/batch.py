@@ -104,6 +104,8 @@ def make_schedule_pool(
     retry: "RetryPolicy | None" = None,
     task_timeout: float | None = None,
     fault_plan: "FaultPlan | None" = None,
+    stream_items: int | None = 32,
+    stream_seconds: float | None = 0.5,
 ) -> WorkerPool:
     """A reusable pool bound to the scheduling task.
 
@@ -111,7 +113,9 @@ def make_schedule_pool(
     (and their per-worker schedule caches) warm across batches; call
     ``shutdown()`` — or use it as a context manager — when done.
     ``retry``/``task_timeout``/``fault_plan`` configure fault tolerance
-    and deterministic fault injection (see
+    and deterministic fault injection;
+    ``stream_items``/``stream_seconds`` tune how often workers stream
+    live telemetry snapshots (see
     :class:`~repro.parallel.pool.WorkerPool`).
     """
     return WorkerPool(
@@ -121,6 +125,8 @@ def make_schedule_pool(
         retry=retry,
         task_timeout=task_timeout,
         fault_plan=fault_plan,
+        stream_items=stream_items,
+        stream_seconds=stream_seconds,
     )
 
 
@@ -138,6 +144,7 @@ def schedule_batch(
     retry: "RetryPolicy | None" = None,
     task_timeout: float | None = None,
     fault_plan: "FaultPlan | None" = None,
+    metrics_port: int | None = None,
 ) -> list[Schedule]:
     """Schedule every graph in ``graphs``; returns schedules in order.
 
@@ -160,7 +167,29 @@ def schedule_batch(
     Worker failures that survive retry raise
     :class:`~repro.parallel.pool.WorkerTaskError` naming the failing
     graph's index in ``graphs``.
+
+    ``metrics_port`` serves live telemetry for the duration of the call
+    (a :class:`~repro.obs.server.MetricsServer` on that port; ``0``
+    picks an ephemeral one).
     """
+    if metrics_port is not None:
+        from repro.obs.server import MetricsServer
+
+        with MetricsServer(port=metrics_port):
+            return schedule_batch(
+                graphs,
+                algorithm,
+                k,
+                beta,
+                engine=engine,
+                jobs=jobs,
+                cache=cache,
+                pool=pool,
+                chunk_size=chunk_size,
+                retry=retry,
+                task_timeout=task_timeout,
+                fault_plan=fault_plan,
+            )
     if algorithm not in BATCH_ALGORITHMS:
         raise ConfigError(
             f"unknown algorithm {algorithm!r}; valid: {', '.join(BATCH_ALGORITHMS)}"

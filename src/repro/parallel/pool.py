@@ -48,12 +48,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro import obs
 from repro.core.cache import ScheduleCache
+from repro.obs import live
 from repro.obs.metrics import MetricsRegistry
 from repro.util.errors import ConfigError, ReproError
 
@@ -128,10 +130,23 @@ def _worker_main(
     result_q,
     record_obs: bool,
     worker_id: int,
+    epoch: int,
     cache_size: int,
     fault_plan: "FaultPlan | None",
+    stream_spec: tuple[int | None, float | None] | None,
 ) -> None:
-    """Worker loop: process chunks until a stop message arrives."""
+    """Worker loop: process chunks until a stop message arrives.
+
+    ``epoch`` is this process's incarnation number for its pool slot —
+    stamped on every telemetry message so the parent can tell a
+    respawned worker's stream from its predecessor's.  ``stream_spec``
+    is ``(items, seconds)``: ship a cumulative registry snapshot after
+    every ``items`` completed payloads or ``seconds`` of wall time,
+    whichever comes first (``None`` disables streaming).  Snapshots are
+    cumulative, so any one of them supersedes all earlier ones — the
+    parent folds them idempotently and the final snapshot keeps the
+    merge-at-shutdown totals bit-identical to a non-streaming run.
+    """
     global _WORKER_CACHE
     _WORKER_CACHE = ScheduleCache(maxsize=cache_size)
     registry: MetricsRegistry | None = None
@@ -142,12 +157,46 @@ def _worker_main(
         # disabled case explicit so workers never write to a registry
         # object shared (copy-on-write) with the parent.
         obs.disable()
+    stream_items = stream_seconds = None
+    if registry is not None and stream_spec is not None:
+        stream_items, stream_seconds = stream_spec
+    streaming = stream_items is not None or stream_seconds is not None
+    completed = 0
+    stream_seq = 0
+    last_stream_items = 0
+    last_stream_t = time.monotonic()
+
+    def maybe_stream() -> None:
+        nonlocal stream_seq, last_stream_items, last_stream_t
+        now = time.monotonic()
+        due = (
+            stream_items is not None
+            and completed - last_stream_items >= stream_items
+        ) or (
+            stream_seconds is not None and now - last_stream_t >= stream_seconds
+        )
+        if not due:
+            return
+        stream_seq += 1
+        last_stream_items = completed
+        last_stream_t = now
+        result_q.put(
+            (
+                "stream",
+                worker_id,
+                epoch,
+                stream_seq,
+                registry.snapshot(samples=True),
+                _WORKER_CACHE.stats(),
+            )
+        )
+
     while True:
         message = task_q.get()
         if message[0] == "stop":
             snapshot = registry.snapshot(samples=True) if registry else {}
             result_q.put(
-                ("final", worker_id, snapshot, _WORKER_CACHE.stats())
+                ("final", worker_id, epoch, snapshot, _WORKER_CACHE.stats())
             )
             return
         _kind, chunk_id, chunk = message
@@ -172,6 +221,9 @@ def _worker_main(
                 results.append((index, True, task(payload)))
             except Exception as exc:  # ship it back; the worker stays warm
                 results.append((index, False, f"{type(exc).__name__}: {exc}"))
+            completed += 1
+            if streaming:
+                maybe_stream()
         result_q.put(("done", worker_id, chunk_id, results))
 
 
@@ -245,6 +297,19 @@ class WorkerPool:
     for termination.  ``join_timeout`` bounds each ``Process.join`` when
     shutdown reaps workers.  Both default to the historical 1.0s; tests
     shrink them to keep crash scenarios fast.
+
+    **Streaming telemetry.**  While ``record_obs`` is on, workers also
+    ship *cumulative* registry snapshots mid-run — after every
+    ``stream_items`` completed payloads or ``stream_seconds`` of wall
+    time, whichever comes first (set both to ``None`` to disable).  The
+    parent folds them into a thread-safe live aggregate, registered
+    with :mod:`repro.obs.live` so a :class:`~repro.obs.server.MetricsServer`
+    can serve worker-sourced counters *before* shutdown.  Because each
+    snapshot is cumulative (idempotent, monotone), the final snapshot a
+    worker sends at shutdown supersedes its whole stream, keeping the
+    merged totals bit-identical to a non-streaming run; and when a
+    worker crashes, its last streamed snapshot survives in the
+    shutdown report instead of vanishing with the process.
     """
 
     def __init__(
@@ -258,6 +323,8 @@ class WorkerPool:
         fault_plan: "FaultPlan | None" = None,
         stall_grace: float = 1.0,
         join_timeout: float = 1.0,
+        stream_items: int | None = 32,
+        stream_seconds: float | None = 0.5,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.task = task
@@ -277,23 +344,45 @@ class WorkerPool:
             raise ConfigError(
                 f"join_timeout must be positive, got {join_timeout}"
             )
+        if stream_items is not None and stream_items < 1:
+            raise ConfigError(
+                f"stream_items must be >= 1 (or None), got {stream_items}"
+            )
+        if stream_seconds is not None and stream_seconds <= 0:
+            raise ConfigError(
+                f"stream_seconds must be positive (or None), got {stream_seconds}"
+            )
         self._task_timeout = task_timeout
         self._stall_grace = stall_grace
         self._join_timeout = join_timeout
         self._fault_plan = fault_plan
         self._cache_size = cache_size
+        self._stream_spec = (
+            (stream_items, stream_seconds)
+            if (stream_items is not None or stream_seconds is not None)
+            else None
+        )
+        self._streaming = self._record_obs and self._stream_spec is not None
+        #: (worker slot, epoch) -> (stream seq, registry snapshot,
+        #: cache stats) — the latest cumulative snapshot per incarnation.
+        self._live: dict[tuple[int, int], tuple[int, dict, dict]] = {}
+        self._live_lock = threading.Lock()
         self._closed = False
         self._generation = 0
         self._ctx = multiprocessing.get_context()
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
         self._workers: list = [None] * self.jobs
+        self._epochs: list[int] = [0] * self.jobs
         for worker_id in range(self.jobs):
             self._spawn(worker_id)
+        if self._streaming:
+            live.add_live_source(self.live_metrics_snapshot)
 
     # ------------------------------------------------------------------
 
     def _spawn(self, worker_id: int) -> None:
+        self._epochs[worker_id] += 1
         proc = self._ctx.Process(
             target=_worker_main,
             args=(
@@ -302,8 +391,10 @@ class WorkerPool:
                 self._result_q,
                 self._record_obs,
                 worker_id,
+                self._epochs[worker_id],
                 self._cache_size,
                 self._fault_plan,
+                self._stream_spec if self._streaming else None,
             ),
             daemon=True,
             name=f"repro-worker-{worker_id}",
@@ -315,6 +406,9 @@ class WorkerPool:
         """Replace a dead or killed worker with a fresh process."""
         obs.metrics().counter("resilience.worker_respawns").inc()
         self._spawn(worker_id)
+        obs.emit(
+            "worker.respawn", worker=worker_id, epoch=self._epochs[worker_id]
+        )
 
     def _kill(self, worker_id: int) -> None:
         """Forcibly terminate a live-but-stuck worker."""
@@ -332,6 +426,50 @@ class WorkerPool:
             for i, p in enumerate(self._workers)
             if p is not None and p.exitcode is not None
         ]
+
+    # ------------------------------------------------------------------
+    # Live telemetry
+    # ------------------------------------------------------------------
+
+    def _fold_stream(
+        self,
+        worker_id: int,
+        epoch: int,
+        seq: int,
+        snapshot: dict,
+        cache_stats: dict,
+    ) -> None:
+        """Keep the newest cumulative snapshot per worker incarnation."""
+        key = (worker_id, epoch)
+        with self._live_lock:
+            current = self._live.get(key)
+            if current is not None and current[0] >= seq:
+                return  # stale or duplicate frame
+            self._live[key] = (seq, snapshot, cache_stats)
+        lookups = cache_stats.get("hits", 0) + cache_stats.get("misses", 0)
+        if lookups:
+            obs.emit(
+                "cache.tick",
+                worker=worker_id,
+                hits=cache_stats.get("hits", 0),
+                misses=cache_stats.get("misses", 0),
+                hit_rate=round(cache_stats.get("hits", 0) / lookups, 4),
+            )
+
+    def live_metrics_snapshot(self) -> dict[str, dict]:
+        """Merged snapshot of every streamed worker registry (with samples).
+
+        This is the pool's live source for :mod:`repro.obs.live`: the
+        metrics endpoint folds it together with the parent registry, so
+        worker-side counters are visible *while* a map is running.
+        """
+        with self._live_lock:
+            frames = [snapshot for _, snapshot, _ in self._live.values()]
+        merged = MetricsRegistry()
+        for snapshot in frames:
+            if snapshot:
+                merged.merge(MetricsRegistry.from_snapshot(snapshot))
+        return merged.snapshot(samples=True)
 
     # ------------------------------------------------------------------
 
@@ -452,6 +590,13 @@ class WorkerPool:
             for worker_id in self._dead_workers():
                 lost = reclaim(worker_id)
                 account_injected_crash(lost)
+                obs.emit(
+                    "worker.crash",
+                    worker=worker_id,
+                    epoch=self._epochs[worker_id],
+                    exitcode=self._workers[worker_id].exitcode,
+                    items_lost=len(lost),
+                )
                 recover_or_raise(
                     worker_id, lost, "died mid-batch", WorkerCrashError
                 )
@@ -502,6 +647,10 @@ class WorkerPool:
 
         # -- result loop ----------------------------------------------
 
+        queue_depth = obs.metrics().gauge("parallel.pool.queue_depth")
+        items_done = obs.metrics().counter("parallel.pool.items_done")
+        queue_depth.set(state.unresolved)
+
         poll = 1.0
         if timeout is not None:
             poll = max(0.01, min(0.1, timeout / 4.0))
@@ -540,13 +689,19 @@ class WorkerPool:
                     if ok:
                         state.results[index] = value
                         state.unresolved -= 1
+                        items_done.inc()
                     else:
                         settle_failure(index, value)
+                queue_depth.set(state.unresolved)
+            elif kind == "stream":
+                _tag, worker_id, epoch, seq, snapshot, cache_stats = message
+                self._fold_stream(worker_id, epoch, seq, snapshot, cache_stats)
             elif kind == "final":  # pragma: no cover - protocol guard
                 continue  # late shutdown echo; never expected mid-map
             else:  # pragma: no cover - protocol guard
                 raise ParallelError(f"unexpected pool message {kind!r}")
 
+        queue_depth.set(0)
         if state.failed:
             index = min(state.failed)
             raise WorkerTaskError(index, state.failed[index])
@@ -560,14 +715,17 @@ class WorkerPool:
         Idempotent; after the first call the pool is unusable.  Worker
         metrics registries are merged into the parent's *currently
         active* registry (a no-op when obs is disabled in the parent).
-        Workers that already died contribute nothing and cost nothing:
-        only live workers are stopped and waited for, so shutdown under
-        pre-crashed workers returns promptly instead of stalling on
-        queue timeouts.
+        Workers that already died contribute their last *streamed*
+        snapshot (if any) instead of vanishing, and cost nothing to
+        wait for: only live workers are stopped and waited for, so
+        shutdown under pre-crashed workers returns promptly instead of
+        stalling on queue timeouts.
         """
         if self._closed:
             return PoolReport()
         self._closed = True
+        if self._streaming:
+            live.remove_live_source(self.live_metrics_snapshot)
         remaining = {
             i
             for i, p in enumerate(self._workers)
@@ -576,6 +734,9 @@ class WorkerPool:
         for _ in remaining:
             self._task_q.put(("stop",))
         report = PoolReport()
+        #: Incarnations that answered with a final (authoritative,
+        #: cumulative) snapshot; their streamed frames are superseded.
+        finalized: set[tuple[int, int]] = set()
         deadline = time.monotonic() + timeout
         last_message = time.monotonic()
         while remaining and time.monotonic() < deadline:
@@ -601,12 +762,29 @@ class WorkerPool:
                     break
                 continue
             last_message = time.monotonic()
+            if message[0] == "stream":
+                _tag, worker_id, epoch, seq, snapshot, cache_stats = message
+                self._fold_stream(worker_id, epoch, seq, snapshot, cache_stats)
+                continue
             if message[0] != "final":
                 continue  # late task results from an aborted map
-            _tag, worker_id, snapshot, cache_stats = message
+            _tag, worker_id, epoch, snapshot, cache_stats = message
             report.worker_metrics.append(snapshot)
             report.cache_stats.append(cache_stats)
+            finalized.add((worker_id, epoch))
             remaining.discard(worker_id)
+        # Crashed (or unreachable) incarnations never sent a final: fall
+        # back to the last cumulative snapshot they streamed, so their
+        # telemetry survives the crash instead of being lost — clean
+        # runs are unaffected because every final supersedes its stream.
+        with self._live_lock:
+            leftovers = sorted(
+                key for key in self._live if key not in finalized
+            )
+            for key in leftovers:
+                _seq, snapshot, cache_stats = self._live[key]
+                report.worker_metrics.append(snapshot)
+                report.cache_stats.append(cache_stats)
         for proc in self._workers:
             proc.join(timeout=self._join_timeout)
             if proc.is_alive():

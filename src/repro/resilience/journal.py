@@ -574,6 +574,13 @@ class CheckpointStore:
         metrics = obs.metrics()
         metrics.counter("checkpoint.snapshots").inc()
         metrics.counter("checkpoint.snapshot_bytes").inc(len(blob))
+        obs.emit(
+            "checkpoint.snapshot",
+            directory=str(self.directory),
+            bytes=len(blob),
+            seq=state.seq,
+            complete=state.complete,
+        )
         self._rounds_since_snapshot = 0
 
 

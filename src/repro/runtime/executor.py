@@ -467,6 +467,14 @@ def _recovery_rounds(
         pending = _pending_bytes(payloads, destinations, delivered)
         residual, id_map = residual_graph_from_amounts(pending)
         rk = recovery_k(k, faults, degraded)
+        obs.emit(
+            "recovery.start",
+            round=round_index,
+            pending_edges=len(pending),
+            pending_bytes=sum(rem for _s, _d, rem in pending.values()),
+            k=rk,
+            degraded=degraded,
+        )
         recovery_schedule = cached_schedule(
             residual, k=rk, beta=beta, algorithm=method, cache=cache
         )
@@ -497,6 +505,16 @@ def _recovery_rounds(
             deltas[orig] = len(chunk)
         if checkpoint is not None:
             checkpoint.record_round(deltas, round_index)
+        obs.emit(
+            "recovery.result",
+            round=round_index,
+            steps=len(recovery_schedule.steps),
+            bytes_moved=report.bytes_moved,
+            failures=len(report.errors),
+            remaining_edges=len(
+                _pending_bytes(payloads, destinations, delivered)
+            ),
+        )
         reports.append(report)
         recovery_schedules.append(recovery_schedule)
         metrics.counter("resilience.recovery_rounds").inc()
@@ -536,6 +554,13 @@ def _resilient_report(
     complete = all(delivered[eid] == payloads[eid] for eid in payloads)
     if complete and checkpoint is not None:
         checkpoint.mark_complete()
+    obs.emit(
+        "run.complete",
+        rounds=len(recovery_schedules),
+        bytes_moved=sum(len(d) for d in delivered.values()),
+        complete=complete,
+        unresolved=len(errors),
+    )
     return ResilientRunReport(
         schedule=schedule,
         recovery_schedules=tuple(recovery_schedules),
@@ -578,6 +603,7 @@ def schedule_and_run_resilient(
     faults: "FaultPlan | None" = None,
     retry: "RetryPolicy | None" = None,
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
+    metrics_port: int | None = None,
 ) -> ResilientRunReport:
     """Schedule, execute, and recover until every byte lands.
 
@@ -601,10 +627,32 @@ def schedule_and_run_resilient(
     completed round's per-edge delivered byte counts are journaled, so
     a process killed mid-run can be finished with
     :func:`resume_and_run_resilient` and the same payloads.
+
+    ``metrics_port`` serves live telemetry for the duration of the call
+    (a :class:`~repro.obs.server.MetricsServer` on that port; ``0``
+    picks an ephemeral one).
     """
     from repro.resilience.journal import RunMeta
     from repro.resilience.retry import RetryPolicy
 
+    if metrics_port is not None:
+        from repro.obs.server import MetricsServer
+
+        with MetricsServer(port=metrics_port):
+            return schedule_and_run_resilient(
+                cluster,
+                graph,
+                k,
+                beta,
+                payloads,
+                destinations,
+                method=method,
+                amount_to_bytes=amount_to_bytes,
+                cache=cache,
+                faults=faults,
+                retry=retry,
+                checkpoint=checkpoint,
+            )
     if retry is None:
         retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
     store, owned = _as_checkpoint_store(checkpoint, resuming=False)
@@ -623,6 +671,15 @@ def schedule_and_run_resilient(
                     extra={"engine": "runtime"},
                 )
             )
+        obs.emit(
+            "run.start",
+            method=method,
+            k=k,
+            beta=beta,
+            edges=len(payloads),
+            bytes=sum(len(p) for p in payloads.values()),
+            checkpointed=store is not None,
+        )
         schedule = cached_schedule(
             graph, k=k, beta=beta, algorithm=method, cache=cache
         )
@@ -641,6 +698,13 @@ def schedule_and_run_resilient(
                 store.record_round(
                     {eid: len(data) for eid, data in delivered.items()}, 0
                 )
+            obs.emit(
+                "round.result",
+                round=0,
+                steps=len(schedule.steps),
+                bytes_moved=first.bytes_moved,
+                failures=len(first.errors),
+            )
             reports, recovery_schedules = _recovery_rounds(
                 cluster,
                 payloads,

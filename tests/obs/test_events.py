@@ -1,0 +1,131 @@
+"""Tests for the structured run-event log (JSONL, schema v1)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    NULL_EVENT_LOG,
+    Event,
+    EventLog,
+    NullEventLog,
+    load_events,
+    validate_event_record,
+)
+from repro.util.errors import ConfigError
+
+
+class TestEventLog:
+    def test_emit_assigns_monotonic_seq(self):
+        log = EventLog()
+        a = log.emit("run.start", k=3)
+        b = log.emit("round.result", round=0)
+        assert (a.seq, b.seq) == (0, 1)
+        assert b.ts >= a.ts
+        assert log.emitted == 2
+
+    def test_tail_returns_newest(self):
+        log = EventLog()
+        for i in range(10):
+            log.emit("tick", i=i)
+        tail = log.tail(3)
+        assert [e.fields["i"] for e in tail] == [7, 8, 9]
+        assert [e.fields["i"] for e in log.tail(99)] == list(range(10))
+
+    def test_ring_is_bounded_but_seq_keeps_counting(self):
+        log = EventLog(max_events=4)
+        for i in range(10):
+            log.emit("tick", i=i)
+        tail = log.tail(99)
+        assert len(tail) == 4
+        assert tail[-1].seq == 9
+        assert log.emitted == 10
+
+    def test_to_dict_is_schema_versioned(self):
+        event = EventLog().emit("run.start", method="oggp")
+        record = event.to_dict()
+        assert record["v"] == EVENT_SCHEMA_VERSION
+        assert record["kind"] == "run.start"
+        assert record["fields"] == {"method": "oggp"}
+        validate_event_record(record, "test")
+
+    def test_non_json_fields_are_coerced(self):
+        event = EventLog().emit("odd", where=object())
+        json.dumps(event.to_dict())  # must not raise
+
+
+class TestJsonlMirror:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run" / "events.jsonl"
+        with EventLog(path=path) as log:
+            log.emit("run.start", k=3, method="oggp")
+            log.emit("round.result", round=0, steps=7)
+            log.emit("run.complete", complete=True)
+        events = load_events(path)
+        assert [e.kind for e in events] == [
+            "run.start", "round.result", "run.complete",
+        ]
+        assert events[0].fields == {"k": 3, "method": "oggp"}
+        assert [e.seq for e in events] == [0, 1, 2]
+
+    def test_loader_tolerates_one_torn_tail_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path=path) as log:
+            log.emit("a")
+            log.emit("b")
+        with path.open("a") as fh:
+            fh.write('{"v": 1, "seq": 2, "ts": 1.0, "ki')  # torn write
+        events = load_events(path)
+        assert [e.kind for e in events] == ["a", "b"]
+
+    def test_loader_rejects_mid_file_garbage(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path=path) as log:
+            log.emit("a")
+        with path.open("a") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps(Event(5, 1.0, "z", {}).to_dict()) + "\n")
+        with pytest.raises(ConfigError):
+            load_events(path)
+
+    def test_loader_rejects_non_increasing_seq(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        record = Event(3, 1.0, "a", {}).to_dict()
+        path.write_text(json.dumps(record) + "\n" + json.dumps(record) + "\n")
+        with pytest.raises(ConfigError):
+            load_events(path)
+
+
+class TestValidation:
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            validate_event_record({"v": 1, "seq": 0}, "x")
+
+    def test_wrong_schema_version_rejected(self):
+        record = Event(0, 1.0, "a", {}).to_dict()
+        record["v"] = 99
+        with pytest.raises(ConfigError):
+            validate_event_record(record, "x")
+
+
+class TestModuleState:
+    def test_emit_is_noop_when_disabled(self):
+        assert isinstance(obs.events(), NullEventLog)
+        assert obs.emit("never.recorded", x=1) is None
+        assert NULL_EVENT_LOG.tail(5) == []
+
+    def test_observed_installs_event_log(self):
+        with obs.observed():
+            obs.emit("inside", x=1)
+            tail = obs.events().tail(5)
+            assert [e.kind for e in tail] == ["inside"]
+        assert isinstance(obs.events(), NullEventLog)
+
+    def test_observed_accepts_explicit_log(self, tmp_path):
+        log = EventLog(path=tmp_path / "e.jsonl")
+        with obs.observed(events=log):
+            obs.emit("custom")
+        log.close()
+        assert [e.kind for e in load_events(tmp_path / "e.jsonl")] == ["custom"]

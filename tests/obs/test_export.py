@@ -69,6 +69,58 @@ class TestChromeTrace:
             records_from_chrome({"rows": []})
 
 
+class TestRecordsFromChromeEdgeCases:
+    def test_non_mapping_document_rejected(self):
+        with pytest.raises(ConfigError):
+            records_from_chrome([1, 2, 3])
+
+    def test_trace_events_must_be_a_list(self):
+        with pytest.raises(ConfigError):
+            records_from_chrome({"traceEvents": "nope"})
+        with pytest.raises(ConfigError):
+            records_from_chrome({"traceEvents": 7})
+
+    def test_empty_trace_yields_no_records(self):
+        assert records_from_chrome({"traceEvents": []}) == []
+
+    def test_non_complete_events_are_ignored(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "M", "name": "process_name"},
+                {"ph": "B", "name": "open", "ts": 0.0},
+                "not even an object",
+            ]
+        }
+        assert records_from_chrome(doc) == []
+
+    def test_complete_event_missing_keys_rejected(self):
+        for broken in (
+            {"ph": "X", "ts": 0.0, "dur": 1.0},  # no name
+            {"ph": "X", "name": "a", "dur": 1.0},  # no ts
+            {"ph": "X", "name": "a", "ts": 0.0},  # no dur
+        ):
+            with pytest.raises(ConfigError):
+                records_from_chrome({"traceEvents": [broken]})
+
+    def test_non_numeric_ts_dur_rejected(self):
+        event = {"ph": "X", "name": "a", "ts": "soon", "dur": 1.0}
+        with pytest.raises(ConfigError):
+            records_from_chrome({"traceEvents": [event]})
+        event = {"ph": "X", "name": "a", "ts": 0.0, "dur": None}
+        with pytest.raises(ConfigError):
+            records_from_chrome({"traceEvents": [event]})
+
+    def test_zero_duration_events_round_trip(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "instant", "ts": 5.0, "dur": 0.0},
+            ]
+        }
+        records = records_from_chrome(doc)
+        assert len(records) == 1
+        assert records[0].duration == 0.0
+
+
 class TestFlameSummary:
     def test_aggregates_and_indents(self):
         out = flame_summary(_nested_tracer())
@@ -79,3 +131,16 @@ class TestFlameSummary:
 
     def test_empty(self):
         assert flame_summary(Tracer()) == "(no spans recorded)"
+
+    def test_all_zero_duration_spans(self):
+        records = records_from_chrome(
+            {
+                "traceEvents": [
+                    {"ph": "X", "name": "a", "ts": 0.0, "dur": 0.0},
+                    {"ph": "X", "name": "b", "ts": 1.0, "dur": 0.0},
+                ]
+            }
+        )
+        out = flame_summary(records)
+        assert "a (x1)" in out
+        assert "b (x1)" in out  # no ZeroDivisionError scaling the bars

@@ -1,0 +1,204 @@
+"""Tests for the live-telemetry layer: sources, Prometheus, the server."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs import live
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, MetricsServer
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(autouse=True)
+def _clean_sources():
+    """Each test starts and ends with no registered live sources."""
+    for source in live.live_sources():
+        live.remove_live_source(source)
+    yield
+    for source in live.live_sources():
+        live.remove_live_source(source)
+
+
+def _get(url: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode(),
+        )
+
+
+class TestLiveSources:
+    def test_add_remove_is_idempotent(self):
+        def source():
+            return {}
+
+        live.add_live_source(source)
+        live.add_live_source(source)
+        assert live.live_sources() == [source]
+        live.remove_live_source(source)
+        live.remove_live_source(source)  # unknown: ignored
+        assert live.live_sources() == []
+
+    def test_merged_snapshot_folds_sources_and_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("work.items").inc(2)
+
+        def source():
+            worker = MetricsRegistry()
+            worker.counter("work.items").inc(3)
+            worker.histogram("work.sizes").observe(1.5)
+            return worker.snapshot(samples=True)
+
+        live.add_live_source(source)
+        with obs.observed(registry=reg):
+            snapshot = live.merged_snapshot()
+        assert snapshot["work.items"]["value"] == 5
+        assert snapshot["work.sizes"]["count"] == 1
+
+    def test_raising_source_is_skipped(self):
+        def bad():
+            raise RuntimeError("worker died")
+
+        def good():
+            reg = MetricsRegistry()
+            reg.counter("ok").inc()
+            return reg.snapshot(samples=True)
+
+        live.add_live_source(bad)
+        live.add_live_source(good)
+        snapshot = live.merged_snapshot()
+        assert snapshot["ok"]["value"] == 1
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_histogram_timer(self):
+        reg = MetricsRegistry()
+        reg.counter("schedule_cache.hits").inc(3)
+        reg.gauge("queue.depth").set(7)
+        h = reg.histogram("peel.size")
+        h.observe(1.0)
+        h.observe(3.0)
+        text = live.render_prometheus(reg.snapshot())
+        assert "# TYPE kpbs_schedule_cache_hits_total counter" in text
+        assert "kpbs_schedule_cache_hits_total 3" in text
+        assert "kpbs_queue_depth 7" in text
+        assert 'kpbs_peel_size{quantile="0.5"}' in text
+        assert "kpbs_peel_size_sum 4" in text
+        assert "kpbs_peel_size_count 2" in text
+
+    def test_unset_gauge_omitted(self):
+        reg = MetricsRegistry()
+        reg.gauge("never.set")
+        assert "never_set" not in live.render_prometheus(reg.snapshot())
+
+    def test_bounded_histogram_reports_drops(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("ring", max_samples=2)
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        text = live.render_prometheus(reg.snapshot())
+        assert "kpbs_ring_samples_dropped 1" in text
+        assert "kpbs_ring_count 3" in text
+
+    def test_phase_seconds_folds_into_timer_summary(self):
+        with obs.observed() as (reg, _):
+            with obs.phase("wrgp"):
+                pass
+            text = live.render_prometheus(reg.snapshot())
+        # One summary family, with the histogram's quantiles inside it.
+        assert text.count("# TYPE kpbs_wrgp_seconds summary") == 1
+        assert 'kpbs_wrgp_seconds{quantile="0.5"}' in text
+        assert 'kpbs_wrgp_seconds{quantile="0.95"}' in text
+        assert "kpbs_wrgp_seconds_count 1" in text
+        type_lines = [l for l in text.splitlines() if l.startswith("# TYPE")]
+        assert len(type_lines) == len(set(type_lines))
+
+    def test_names_sanitised(self):
+        assert live.render_prometheus(
+            {"weird name-1": {"type": "counter", "value": 1}}
+        ).startswith("# TYPE kpbs_weird_name_1_total counter")
+
+    def test_empty_snapshot_renders_empty(self):
+        assert live.render_prometheus({}) == ""
+
+
+class TestMetricsServer:
+    def test_negative_port_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsServer(port=-1)
+
+    def test_port_before_start_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsServer(port=0).port
+
+    def test_endpoints(self):
+        with obs.observed() as (reg, _):
+            reg.counter("demo.count").inc(7)
+            obs.emit("run.start", k=3)
+            obs.emit("round.result", round=0)
+            with MetricsServer(port=0) as server:
+                assert server.running
+                assert server.port > 0
+
+                status, ctype, text = _get(server.url + "/metrics")
+                assert status == 200
+                assert ctype == PROMETHEUS_CONTENT_TYPE
+                assert "kpbs_demo_count_total 7" in text
+
+                status, ctype, body = _get(server.url + "/snapshot.json")
+                assert status == 200
+                assert ctype.startswith("application/json")
+                assert json.loads(body)["demo.count"]["value"] == 7
+
+                status, _, body = _get(server.url + "/events.json?n=1")
+                document = json.loads(body)
+                assert document["schema_version"] == 1
+                assert [e["kind"] for e in document["events"]] == [
+                    "round.result"
+                ]
+
+                status, _, body = _get(server.url + "/healthz")
+                assert (status, body.strip()) == (200, "ok")
+        assert not server.running
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/nope")
+            assert err.value.code == 404
+
+    def test_metrics_include_live_sources(self):
+        def source():
+            reg = MetricsRegistry()
+            reg.counter("worker.items").inc(9)
+            return reg.snapshot(samples=True)
+
+        live.add_live_source(source)
+        with MetricsServer(port=0) as server:
+            _, _, text = _get(server.url + "/metrics")
+        assert "kpbs_worker_items_total 9" in text
+
+    def test_custom_snapshot_and_events_fns(self):
+        server = MetricsServer(
+            port=0,
+            snapshot_fn=lambda: {"x": {"type": "counter", "value": 1}},
+            events_fn=lambda n: [],
+        )
+        with server:
+            _, _, text = _get(server.url + "/metrics")
+            assert "kpbs_x_total 1" in text
+            _, _, body = _get(server.url + "/events.json")
+            assert json.loads(body)["events"] == []
+
+    def test_start_and_stop_are_idempotent(self):
+        server = MetricsServer(port=0).start()
+        port = server.port
+        assert server.start() is server
+        assert server.port == port
+        server.stop()
+        server.stop()
+        assert not server.running

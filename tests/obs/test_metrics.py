@@ -53,6 +53,82 @@ class TestHistogram:
         assert Histogram("h").to_dict() == {"type": "histogram", "count": 0}
 
 
+class TestBoundedHistogram:
+    def test_default_is_exact_and_unbounded(self):
+        h = Histogram("h")
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.samples_dropped == 0
+        assert "samples_dropped" not in h.to_dict()
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", max_samples=0)
+
+    def test_ring_keeps_newest_but_aggregates_stay_exact(self):
+        h = Histogram("h", max_samples=3)
+        for v in (10.0, 1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 20.0
+        assert h.min == 1.0
+        assert h.max == 10.0  # dropped sample still the exact max
+        assert h.mean == pytest.approx(4.0)
+        assert h.samples_dropped == 2
+        # Percentiles come from the retained window (newest 3).
+        assert h.p50 == 3.0
+
+    def test_to_dict_reports_drops_only_when_bounded(self):
+        h = Histogram("h", max_samples=2)
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        data = h.to_dict()
+        assert data["samples_dropped"] == 1
+        assert data["count"] == 3
+        assert data["total"] == 6.0
+
+    def test_merge_unbounded_into_bounded_folds(self):
+        a = Histogram("h", max_samples=2)
+        b = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            b.observe(v)
+        a.merge_from(b)
+        assert a.count == 3
+        assert a.total == 6.0
+        assert a.min == 1.0 and a.max == 3.0
+        assert a.samples_dropped == 1
+
+    def test_merge_bounded_into_unbounded_keeps_drop_accounting(self):
+        a = Histogram("h")
+        b = Histogram("h", max_samples=2)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            b.observe(v)
+        a.merge_from(b)
+        assert a.count == 4
+        assert a.total == 10.0
+        assert a.min == 1.0 and a.max == 4.0
+        assert a.samples_dropped == 2
+
+    def test_from_snapshot_round_trip_is_exact(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", max_samples=2)
+        for v in (5.0, 1.0, 2.0):
+            h.observe(v)
+        back = MetricsRegistry.from_snapshot(
+            json.loads(reg.to_json(samples=True))
+        )
+        hb = back.get("h")
+        assert hb.count == 3
+        assert hb.total == 8.0
+        assert hb.min == 1.0
+        assert hb.max == 5.0
+        assert hb.samples_dropped == 1
+        # And the round-trip is a fixed point for summary fields.
+        d0, d1 = h.to_dict(), hb.to_dict()
+        for key in ("count", "total", "mean", "min", "max", "samples_dropped"):
+            assert d0[key] == d1[key]
+
+
 class TestTimerMetric:
     def test_nested_with_blocks_count_once(self):
         t = TimerMetric("t")

@@ -58,6 +58,13 @@ def die_on_sentinel(x):
     return x
 
 
+def record_then_die(x):
+    obs.metrics().counter("pooltest.calls").inc()
+    if x == "die":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x
+
+
 class TestResolveJobs:
     def test_defaults_to_cpu_count(self):
         assert resolve_jobs(None) == (os.cpu_count() or 1)
@@ -293,6 +300,100 @@ class TestTelemetry:
             finally:
                 obs.disable()
         assert registry.counter("pooltest.calls").value == 1
+
+
+class TestStreamingTelemetry:
+    """Mid-run cumulative worker snapshots (new in the live-telemetry PR)."""
+
+    def test_invalid_stream_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkerPool(1, square, stream_items=0)
+        with pytest.raises(ConfigError):
+            WorkerPool(1, square, stream_seconds=0.0)
+
+    def test_pool_registers_live_source_while_streaming(self):
+        from repro.obs import live
+
+        with obs.observed():
+            pool = WorkerPool(1, record_metric, stream_items=1)
+            try:
+                assert pool.live_metrics_snapshot in live.live_sources()
+            finally:
+                pool.shutdown()
+            assert pool.live_metrics_snapshot not in live.live_sources()
+
+    def test_no_live_source_when_streaming_disabled(self):
+        from repro.obs import live
+
+        with obs.observed():
+            with WorkerPool(
+                1, record_metric, stream_items=None, stream_seconds=None
+            ) as pool:
+                assert pool.live_metrics_snapshot not in live.live_sources()
+                pool.map([1, 2])
+
+    def test_streamed_counters_visible_before_shutdown(self):
+        with obs.observed():
+            pool = WorkerPool(2, record_metric, stream_items=1)
+            try:
+                pool.map(list(range(8)))
+                # Streams arrive before each chunk's "done", so by map
+                # return the live aggregate covers every item.
+                snapshot = pool.live_metrics_snapshot()
+                assert snapshot["pooltest.calls"]["value"] == 8
+                assert snapshot["pooltest.values"]["count"] == 8
+            finally:
+                pool.shutdown()
+
+    def test_final_supersedes_stream_totals_bit_identical(self):
+        def run(**stream_kwargs) -> dict:
+            with obs.observed() as (registry, _):
+                with WorkerPool(2, record_metric, **stream_kwargs) as pool:
+                    pool.map(list(range(16)))
+                return registry.snapshot(samples=True)
+
+        streamed = run(stream_items=1)
+        plain = run(stream_items=None, stream_seconds=None)
+        assert streamed["pooltest.calls"] == plain["pooltest.calls"]
+        # Sample *order* reflects which worker's final merged first —
+        # racy in any run — so compare the multiset and the summary.
+        a = streamed["pooltest.values"]
+        b = plain["pooltest.values"]
+        assert sorted(a.pop("samples")) == sorted(b.pop("samples"))
+        assert a == b
+
+    def test_crashed_worker_keeps_last_streamed_snapshot(self):
+        """Regression: telemetry recorded before a crash must survive it."""
+        with obs.observed() as (registry, _):
+            pool = WorkerPool(1, record_then_die, stream_items=1)
+            try:
+                assert pool.map([1, 2, 3]) == [1, 2, 3]
+                with pytest.raises(WorkerCrashError):
+                    pool.map(["die"])
+            finally:
+                report = pool.shutdown()
+            kinds = [e.kind for e in obs.events().tail()]
+        # The dead incarnation sent no final; its last cumulative stream
+        # (covering the three successful items) is in the report anyway.
+        assert any(s.get("pooltest.calls", {}).get("value") == 3
+                   for s in report.worker_metrics)
+        assert registry.counter("pooltest.calls").value == 3
+        assert "worker.crash" in kinds
+        assert "worker.respawn" in kinds
+
+    def test_without_streaming_crash_loses_worker_metrics(self):
+        """The retention above really comes from the stream frames."""
+        with obs.observed() as (registry, _):
+            pool = WorkerPool(
+                1, record_then_die, stream_items=None, stream_seconds=None
+            )
+            try:
+                pool.map([1, 2, 3])
+                with pytest.raises(WorkerCrashError):
+                    pool.map(["die"])
+            finally:
+                pool.shutdown()
+        assert registry.counter("pooltest.calls").value == 0
 
 
 class TestTimingKnobs:

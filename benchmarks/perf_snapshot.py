@@ -43,15 +43,38 @@ from repro.parallel import schedule_batch
 BATCH_DUP = 4
 
 ALGORITHMS = {
-    "ggp": lambda graph, k, beta: ggp(graph, k, beta),
-    "oggp": lambda graph, k, beta: oggp(graph, k, beta),
-    "greedy": lambda graph, k, beta: greedy_schedule(graph, k, beta),
-    "list": lambda graph, k, beta: list_schedule(graph, k, beta),
+    "ggp": lambda graph, k, beta, engine: ggp(graph, k, beta, engine=engine),
+    "oggp": lambda graph, k, beta, engine: oggp(graph, k, beta, engine=engine),
+    "greedy": lambda graph, k, beta, engine: greedy_schedule(graph, k, beta),
+    "list": lambda graph, k, beta, engine: list_schedule(graph, k, beta),
 }
 
 #: Default per-side sizes; 20 is the paper's simulation scale, 50/100
-#: stress the warm-started peeling engines.
-DEFAULT_SIZES = (5, 10, 20, 50, 100)
+#: stress the warm-started peeling engines, 200+ the vectorized and
+#: approximate ones.
+DEFAULT_SIZES = (5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+def engines_for(name: str, size: int) -> list[str]:
+    """Which engines to benchmark for one ``(algorithm, size)`` cell.
+
+    The baselines have no peeling engine (reported as ``'none'``) and
+    the exact engines are not timed past the sizes where a 3-repeat run
+    stays in minutes: ``'fast'`` tops out at 100 per side, ``'vector'``
+    (bit-identical, ~3x faster) at 200, and beyond that only OGGP's
+    ``'approx'`` engine — the one built for that regime — is run.
+    """
+    if name in ("greedy", "list"):
+        return ["none"] if size <= 100 else []
+    if size <= 20:
+        return ["fast"]
+    if size <= 100:
+        return ["fast", "vector"]
+    if name != "oggp":
+        return []
+    if size <= 200:
+        return ["vector", "approx"]
+    return ["approx"]
 
 
 def _batch_throughput(
@@ -97,12 +120,14 @@ def snapshot_rows(
         k_eff = min(k, size)
         bounds = [lower_bound(g, k_eff, beta) for g in instances]
         for name, algorithm in ALGORITHMS.items():
+          for engine in engines_for(name, size):
+            run_engine = "fast" if engine == "none" else engine
             with obs.observed() as (registry, _tracer):
                 timer = registry.timer(f"bench.{name}")
                 ratios = registry.histogram(f"bench.{name}.evaluation_ratio")
                 for graph, bound in zip(instances, bounds):
                     with timer:
-                        schedule = algorithm(graph, k_eff, beta)
+                        schedule = algorithm(graph, k_eff, beta, run_engine)
                     ratios.observe(evaluation_ratio(schedule.cost, bound))
                 # Work counters for the timed runs, read before the cache
                 # exercise below re-runs the algorithm and inflates them.
@@ -111,14 +136,14 @@ def snapshot_rows(
                     "matching.bottleneck.threshold_probes"
                 ).value
                 cache_hits = cache_misses = 0
-                if name in ("ggp", "oggp"):
+                if name in ("ggp", "oggp") and size <= 200:
                     # Exercise the schedule cache on one instance: the
                     # first call misses (and computes), the second hits.
                     cache = ScheduleCache(maxsize=4)
                     for _ in range(2):
                         cached_schedule(
                             instances[0], k=k_eff, beta=beta,
-                            algorithm=name, cache=cache,
+                            algorithm=name, engine=run_engine, cache=cache,
                         )
                     cache_hits = registry.counter("schedule_cache.hits").value
                     cache_misses = registry.counter("schedule_cache.misses").value
@@ -127,6 +152,7 @@ def snapshot_rows(
             quality = snap[f"bench.{name}.evaluation_ratio"]
             row = {
                 "algorithm": name,
+                "engine": engine,
                 "max_side": size,
                 "repeats": repeats,
                 "k": k_eff,
@@ -140,7 +166,7 @@ def snapshot_rows(
                 "schedule_cache_hits": cache_hits,
                 "schedule_cache_misses": cache_misses,
             }
-            if jobs is not None and name in ("ggp", "oggp"):
+            if jobs is not None and name in ("ggp", "oggp") and engine == "fast":
                 batch_size, batch_rate = _batch_throughput(
                     instances, name, k_eff, beta, jobs
                 )

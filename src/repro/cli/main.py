@@ -41,6 +41,7 @@ from repro import obs
 from repro.core.bounds import evaluation_ratio, lower_bound
 from repro.core.ggp import ggp
 from repro.core.oggp import oggp
+from repro.core.wrgp import VALID_ENGINES
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
@@ -132,11 +133,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         # bit-identical), computed on a worker process.
         schedule = schedule_batch(
             [graph], args.algorithm, k=args.k, beta=args.beta,
-            jobs=args.jobs, cache=None,
+            engine=args.engine, jobs=args.jobs, cache=None,
+            min_parallel_items=0,
         )[0]
     else:
         algorithm = oggp if args.algorithm == "oggp" else ggp
-        schedule = algorithm(graph, k=args.k, beta=args.beta)
+        schedule = algorithm(graph, k=args.k, beta=args.beta, engine=args.engine)
     schedule.validate(graph)
     bound = lower_bound(graph, args.k, args.beta)
     ratio = evaluation_ratio(schedule.cost, bound)
@@ -345,6 +347,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         "k": args.k,
         "beta": args.beta,
         "method": args.algorithm,
+        "engine": args.engine,
         "nic_mbit": args.nic_mbit,
         "backbone_mbit": args.backbone_mbit,
         "faults": args.faults,
@@ -368,7 +371,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
     try:
         report = schedule_and_run_resilient(
             cluster, graph, args.k, args.beta, payloads, destinations,
-            method=args.algorithm, cache=None,
+            method=args.algorithm, engine=args.engine, cache=None,
             faults=faults, retry=retry, checkpoint=checkpoint,
         )
     finally:
@@ -411,6 +414,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     try:
         report = resume_and_run_resilient(
             _transfer_cluster(config), store, payloads,
+            engine=config.get("engine", "fast"),
             faults=faults, retry=retry,
         )
     finally:
@@ -654,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--beta", type=float, default=0.0)
     p.add_argument("--speed", type=float, default=1.0, help="per-flow rate")
     p.add_argument("--algorithm", choices=("ggp", "oggp"), default="oggp")
+    p.add_argument(
+        "--engine", choices=sorted(VALID_ENGINES), default="fast",
+        help="peeling engine; 'vector' is bit-identical to 'fast' but "
+        "faster on large matrices, 'approx' trades schedule quality "
+        "for speed on the largest ones",
+    )
     p.add_argument("--output", help="write schedule JSON here")
     p.add_argument("--gantt", action="store_true", help="print a Gantt chart")
     p.add_argument(
@@ -711,6 +721,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=3)
     p.add_argument("--beta", type=float, default=0.0)
     p.add_argument("--algorithm", choices=("ggp", "oggp"), default="oggp")
+    p.add_argument(
+        "--engine", choices=sorted(VALID_ENGINES), default="fast",
+        help="peeling engine for the initial and recovery schedules",
+    )
     p.add_argument(
         "--nic-mbit", type=float, default=1000.0,
         help="per-NIC token-bucket rate (Mbit/s); low values slow the "

@@ -25,7 +25,12 @@ from repro.graph.bipartite import BipartiteGraph, EdgeKind
 from repro.core.normalize import normalize_weights
 from repro.core.regularize import regularize
 from repro.core.schedule import Schedule, Step, Transfer
-from repro.core.wrgp import MatchingStrategy, PeelEngine, peel_weight_regular
+from repro.core.wrgp import (
+    MatchingStrategy,
+    PeelEngine,
+    peel_rounds_approx,
+    peel_weight_regular,
+)
 from repro.util.errors import ConfigError
 
 
@@ -56,7 +61,10 @@ def ggp(
         2-approximations.
     engine:
         Peeling engine (see :func:`repro.core.wrgp.peel_weight_regular`):
-        ``'fast'`` (warm-started, default), ``'resume'`` (fastest), or
+        ``'fast'`` (warm-started, default), ``'vector'`` (numpy core,
+        bit-identical to ``'fast'``), ``'resume'`` (matching persisted
+        across peels), ``'approx'`` (Etzold sparsification — fastest,
+        near-optimal matchings, still a valid 2-approximation), or
         ``'reference'`` (stateless oracle).
 
     >>> from repro.graph import paper_figure2_graph
@@ -91,22 +99,52 @@ def ggp(
         steps: list[Step] = []
         peels = dropped = 0
         chunk_sizes = metrics.histogram("ggp.chunk_size")
+
+        # Both peel drivers feed the same step extractor as
+        # (original (edge_id, left, right) tuples, peel) rounds.  The
+        # array driver skips per-peel Matching/Edge materialisation —
+        # the difference between minutes and seconds at max_side ≈ 1000.
+        if engine == "approx" and matching == "bottleneck":
+            endpoints = {
+                eid: (left, right)
+                for eid, left, right, _w, kind in j.iter_edge_data()
+                if kind is EdgeKind.ORIGINAL
+            }
+            rounds = (
+                (
+                    [(eid, *endpoints[eid]) for eid in eids if eid in endpoints],
+                    peel,
+                )
+                for eids, peel in peel_rounds_approx(j)
+            )
+        else:
+            rounds = (
+                (
+                    [
+                        (e.id, e.left, e.right)
+                        for e in m.edges()
+                        if e.kind is EdgeKind.ORIGINAL
+                    ],
+                    peel,
+                )
+                for m, peel in peel_weight_regular(
+                    j, matching=matching, engine=engine
+                )
+            )
         with obs.phase("ggp.peel"):
-            for m, peel in peel_weight_regular(j, matching=matching, engine=engine):
+            for originals, peel in rounds:
                 peels += 1
                 chunk = float(peel) * scale
                 chunk_sizes.observe(chunk)
                 transfers = []
-                for edge in m.edges():
-                    if edge.kind is not EdgeKind.ORIGINAL:
-                        continue
-                    amount = min(chunk, remaining[edge.id])
+                for eid, left, right in originals:
+                    amount = min(chunk, remaining[eid])
                     # Round-up arithmetic guarantees amount > 0 (the inflation is
                     # strictly less than one chunk), but guard against pathology.
                     if amount <= 0:  # pragma: no cover
                         continue
-                    remaining[edge.id] -= amount
-                    transfers.append(Transfer(edge.id, edge.left, edge.right, amount))
+                    remaining[eid] -= amount
+                    transfers.append(Transfer(eid, left, right, amount))
                 if transfers:
                     steps.append(
                         Step(transfers, duration=max(t.amount for t in transfers))

@@ -45,6 +45,12 @@ from repro.matching.bottleneck import bottleneck_matching
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.matching.hungarian import hungarian_perfect_matching
 from repro.matching.peeler import BottleneckPeeler, HungarianPeeler
+from repro.matching.vector import (
+    ApproxBottleneckPeeler,
+    ApproxPeelCore,
+    VectorBottleneckPeeler,
+    hopcroft_karp_vec,
+)
 from repro.util.errors import ConfigError, GraphError, MatchingError
 
 #: 'arbitrary' — any perfect matching (Hopcroft–Karp, warm-started);
@@ -54,15 +60,27 @@ from repro.util.errors import ConfigError, GraphError, MatchingError
 MatchingStrategy = Literal["arbitrary", "max_weight", "bottleneck"]
 
 #: 'fast' — warm-started engines, schedules identical to 'reference';
-#: 'resume' — also persists the bottleneck matching across peels
-#: (fastest; schedules remain valid but may differ slightly);
+#: 'vector' — the numpy int-array core (:mod:`repro.matching.vector`),
+#: still bit-identical to 'fast'/'reference' but with frontier-at-a-time
+#: BFS and exact probe skipping (the fastest *exact* engine at scale);
+#: 'resume' — persists the bottleneck matching across peels (schedules
+#: remain valid but may differ slightly);
+#: 'approx' — Etzold candidate sparsification on top of resume-style
+#: persistence: near-bottleneck matchings, bounded quality loss (the
+#: schedule stays a valid 2-approximation), for the largest graphs;
 #: 'reference' — the stateless per-peel calls, kept as the test oracle.
-PeelEngine = Literal["fast", "resume", "reference"]
+#: Strategies without a specialised vector/approx path ('max_weight',
+#: and 'arbitrary' under 'approx') fall back to their 'fast' engines.
+PeelEngine = Literal["fast", "vector", "resume", "approx", "reference"]
 
 #: The engine names :func:`peel_weight_regular` accepts, in preference
 #: order.  Kept as a runtime tuple so callers (the batch engine, CLIs)
 #: can validate engine arguments without hard-coding the list.
-VALID_ENGINES: tuple[str, ...] = ("fast", "resume", "reference")
+VALID_ENGINES: tuple[str, ...] = ("fast", "vector", "resume", "approx", "reference")
+
+#: Engines whose schedules are bit-identical to the stateless reference
+#: path ('resume' and 'approx' trade that for speed).
+EXACT_ENGINES: tuple[str, ...] = ("fast", "vector", "reference")
 
 
 def peel_weight_regular(
@@ -100,13 +118,20 @@ def _peel_weight_regular(
             f"weight-regular graph must be square, got {graph.num_left} left "
             f"vs {graph.num_right} right nodes"
         )
-    bottleneck_peeler: BottleneckPeeler | None = None
+    bottleneck_peeler: BottleneckPeeler | ApproxBottleneckPeeler | VectorBottleneckPeeler | None = None
     hungarian_peeler: HungarianPeeler | None = None
     if engine != "reference" and not graph.is_empty():
         if matching == "bottleneck":
-            mode = "resume" if engine == "resume" else "replay"
-            bottleneck_peeler = BottleneckPeeler(graph, mode=mode)
+            if engine == "vector":
+                bottleneck_peeler = VectorBottleneckPeeler(graph)
+            elif engine == "approx":
+                bottleneck_peeler = ApproxBottleneckPeeler(graph)
+            else:
+                mode = "resume" if engine == "resume" else "replay"
+                bottleneck_peeler = BottleneckPeeler(graph, mode=mode)
         elif matching == "max_weight":
+            # The Hungarian peeler's hot loop is already a dense numpy
+            # solve; 'vector'/'approx' share it.
             hungarian_peeler = HungarianPeeler(graph)
     metrics = obs.metrics()
     peel_counter = metrics.counter("wrgp.peels")
@@ -121,6 +146,13 @@ def _peel_weight_regular(
             m = bottleneck_matching(graph, require="perfect")
         elif matching == "max_weight":
             m = hungarian_perfect_matching(graph)
+        elif engine == "vector":
+            m = hopcroft_karp_vec(graph, initial=previous)
+            if len(m) != size:
+                raise MatchingError(
+                    "no perfect matching found — input graph was not "
+                    "weight-regular (peeling would preserve regularity)"
+                )
         else:
             m = hopcroft_karp(graph, initial=previous)
             if len(m) != size:
@@ -146,6 +178,50 @@ def _peel_weight_regular(
         for edge in m.edges():
             graph.peel_weight(edge.id, peel)
         previous = m
+
+
+def peel_rounds_approx(graph: BipartiteGraph) -> Iterator[tuple[list[int], Number]]:
+    """Array-level approx peel rounds: yields ``(matched edge ids, peel)``.
+
+    The fast-path equivalent of
+    ``peel_weight_regular(matching='bottleneck', engine='approx')`` for
+    callers that only need edge ids (the GGP step extractor): no
+    ``Matching``/``Edge`` objects are materialised per peel and the
+    graph is never mutated — :class:`repro.matching.vector.ApproxPeelCore`
+    owns the weights — which is what lets ``engine='approx'`` reach
+    ``max_side`` ≈ 1000.  Requires integer (normalised) weights so the
+    remaining-weight countdown is exact.  Posts the same ``wrgp.*`` and
+    ``matching.bottleneck.*`` metrics as the generic loop.
+    """
+    size = graph.num_left
+    if size != graph.num_right:
+        raise GraphError(
+            f"weight-regular graph must be square, got {graph.num_left} left "
+            f"vs {graph.num_right} right nodes"
+        )
+    if graph.is_empty():
+        return
+    core = ApproxPeelCore(graph)
+    metrics = obs.metrics()
+    peel_counter = metrics.counter("wrgp.peels")
+    peel_sizes = metrics.histogram("wrgp.peel_size")
+    calls = metrics.counter("matching.bottleneck.calls")
+    probe_counter = metrics.counter("matching.bottleneck.threshold_probes")
+    peels_here = 0
+    while core.remaining > 0:
+        matched, peel, probes = core.next_round()
+        calls.inc()
+        probe_counter.inc(probes)
+        peel_counter.inc()
+        peel_sizes.observe(float(peel))
+        peels_here += 1
+        if peels_here % 64 == 0:
+            obs.emit(
+                "peel.progress",
+                peels=peels_here,
+                remaining_edges=core.live,
+            )
+        yield matched, peel
 
 
 def wrgp(

@@ -389,6 +389,23 @@ class BipartiteGraph:
         """Sorted list of edge ids (stable iteration order for algorithms)."""
         return sorted(self._live)
 
+    def iter_edge_data(
+        self,
+    ) -> Iterator[tuple[int, int, int, Number, EdgeKind]]:
+        """Iterate ``(id, left, right, weight, kind)`` tuples (order unspecified).
+
+        Flat-array companion of :meth:`edges` for callers that only
+        need the scalar fields: no :class:`Edge` views are materialised
+        (or cached), which matters in the matching hot loops that scan
+        every edge per call.
+        """
+        el = self._eleft
+        er = self._eright
+        ew = self._eweight
+        ek = self._ekind
+        for eid in self._live:
+            yield (eid, el[eid], er[eid], ew[eid], ek[eid])
+
     def edges_sorted(self, key: Callable[[Edge], object] | None = None) -> list[Edge]:
         """Edges sorted by ``key`` (default: by id, i.e. insertion order)."""
         if key is None:

@@ -11,6 +11,12 @@
 - :class:`BottleneckPeeler` / :class:`HungarianPeeler` — warm-started
   engines that keep sorted indices, node maps and matrix state alive
   across the WRGP/GGP/OGGP peeling loops.
+- :func:`hopcroft_karp_vec` / :class:`VectorBottleneckPeeler` — the
+  int-array numpy core (``engine='vector'``): bit-identical results,
+  frontier-at-a-time BFS and exact probe skipping.
+- :class:`ApproxBottleneckPeeler` / :class:`ApproxPeelCore` — the
+  Etzold-sparsified approximate engine (``engine='approx'``) for the
+  largest graphs.
 """
 
 from repro.matching.base import Matching
@@ -20,13 +26,23 @@ from repro.matching.peeler import BottleneckPeeler, HungarianPeeler
 from repro.matching.greedy import greedy_matching
 from repro.matching.hungarian import hungarian_perfect_matching
 from repro.matching.edge_coloring import koenig_edge_coloring
+from repro.matching.vector import (
+    ApproxBottleneckPeeler,
+    ApproxPeelCore,
+    VectorBottleneckPeeler,
+    hopcroft_karp_vec,
+)
 
 __all__ = [
     "Matching",
     "hopcroft_karp",
+    "hopcroft_karp_vec",
     "bottleneck_matching",
     "BottleneckPeeler",
     "HungarianPeeler",
+    "VectorBottleneckPeeler",
+    "ApproxBottleneckPeeler",
+    "ApproxPeelCore",
     "greedy_matching",
     "hungarian_perfect_matching",
     "koenig_edge_coloring",

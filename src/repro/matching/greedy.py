@@ -33,20 +33,37 @@ def greedy_matching(
     ``allowed`` optionally restricts the considered edge ids.
     """
     allowed_set = None if allowed is None else set(allowed)
+    # Sort light (key, id) tuples from the raw edge arrays; Edge views
+    # are materialised only for the edges that actually join the
+    # matching (at most min(n1, n2) of them).
     if order == "id":
-        edges = graph.edges_sorted()
+        candidates = sorted(
+            (eid, left, right) for eid, left, right, _w, _k in graph.iter_edge_data()
+        )
     elif order == "weight_desc":
-        edges = graph.edges_sorted(key=lambda e: (-e.weight, e.id))
+        candidates = [
+            (eid, left, right)
+            for _negw, eid, left, right in sorted(
+                (-w, eid, left, right)
+                for eid, left, right, w, _k in graph.iter_edge_data()
+            )
+        ]
     elif order == "weight_asc":
-        edges = graph.edges_sorted(key=lambda e: (e.weight, e.id))
+        candidates = [
+            (eid, left, right)
+            for _w, eid, left, right in sorted(
+                (w, eid, left, right)
+                for eid, left, right, w, _k in graph.iter_edge_data()
+            )
+        ]
     else:  # pragma: no cover - Literal guards this
         raise ValueError(f"unknown order {order!r}")
 
     matching = Matching()
-    for edge in edges:
-        if allowed_set is not None and edge.id not in allowed_set:
+    for eid, left, right in candidates:
+        if allowed_set is not None and eid not in allowed_set:
             continue
-        if matching.covers_left(edge.left) or matching.covers_right(edge.right):
+        if matching.covers_left(left) or matching.covers_right(right):
             continue
-        matching.add(edge)
+        matching.add(graph.edge(eid))
     return matching

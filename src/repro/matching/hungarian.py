@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
-from repro.graph.bipartite import BipartiteGraph, Edge
+from repro.graph.bipartite import BipartiteGraph
 from repro.matching.base import Matching
 from repro.util.errors import MatchingError
 
@@ -70,24 +70,25 @@ def hungarian_perfect_matching(graph: BipartiteGraph) -> Matching:
         total = float(graph.total_weight())
         missing = -(total + 1.0) * (n + 1)
         score = np.full((n, n), missing, dtype=float)
-        best_edge: dict[tuple[int, int], Edge] = {}
-        # Unsorted iteration suffices: the winner per cell is pinned by an
-        # explicit (max weight, then min id) comparison, so the visiting
-        # order cannot change which parallel edge is recorded.
-        for edge in graph.edges():
-            i, j = left_pos[edge.left], right_pos[edge.right]
-            w = float(edge.weight)
+        best_id: dict[tuple[int, int], int] = {}
+        # Unsorted tuple iteration suffices: the winner per cell is pinned
+        # by an explicit (max weight, then min id) comparison, so the
+        # visiting order cannot change which parallel edge is recorded —
+        # and no Edge views are built for the losing parallel edges.
+        for eid, left, right, weight, _kind in graph.iter_edge_data():
+            i, j = left_pos[left], right_pos[right]
+            w = float(weight)
             cell = (i, j)
-            best = best_edge.get(cell)
-            if best is None or w > score[i, j] or (w == score[i, j] and edge.id < best.id):
+            best = best_id.get(cell)
+            if best is None or w > score[i, j] or (w == score[i, j] and eid < best):
                 score[i, j] = w
-                best_edge[cell] = edge
+                best_id[cell] = eid
 
         assignment = _solve_max(score)
         edges = []
         for i, j in enumerate(assignment):
-            edge = best_edge.get((i, j))
-            if edge is None:
+            eid = best_id.get((i, j))
+            if eid is None:
                 raise MatchingError("graph has no perfect matching")
-            edges.append(edge)
+            edges.append(graph.edge(eid))
         return Matching(edges)

@@ -61,6 +61,7 @@ def build_schedule(
     traffic_mbit: np.ndarray,
     method: Literal["ggp", "oggp"],
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    engine: str = "fast",
 ) -> Schedule:
     """K-PBS schedule for a traffic matrix on a platform.
 
@@ -69,10 +70,19 @@ def build_schedule(
     platform's per-step setup delay, and ``k`` is derived from the rate
     ratios.  Repeated calls with an equivalent traffic matrix reuse the
     schedule through ``cache`` (pass ``None`` to force a fresh run).
+    ``engine`` picks the peeling engine (see
+    :data:`repro.core.wrgp.VALID_ENGINES`; ``'vector'`` is bit-identical
+    to the default, ``'approx'`` trades schedule quality for speed on
+    the largest platforms).
     """
     graph = from_traffic_matrix(traffic_mbit, speed=spec.flow_rate)
     return cached_schedule(
-        graph, k=spec.k, beta=spec.step_setup, algorithm=method, cache=cache
+        graph,
+        k=spec.k,
+        beta=spec.step_setup,
+        algorithm=method,
+        engine=engine,
+        cache=cache,
     )
 
 
@@ -85,6 +95,7 @@ def build_schedule_batch(
     retry: RetryPolicy | None = None,
     task_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
+    engine: str = "fast",
 ) -> list[Schedule]:
     """K-PBS schedules for many traffic matrices on one platform.
 
@@ -107,6 +118,7 @@ def build_schedule_batch(
         method,
         k=spec.k,
         beta=spec.step_setup,
+        engine=engine,
         jobs=jobs,
         cache=cache,
         retry=retry,
@@ -162,6 +174,7 @@ def _scheduled_redistribution(
     store: CheckpointStore | None,
     cell_eid: dict[tuple[int, int], int],
     first_round: int,
+    engine: str = "fast",
 ) -> tuple[Schedule, float, int, float, int, np.ndarray]:
     """Initial scheduled run + recovery rounds over ``traffic``.
 
@@ -180,7 +193,9 @@ def _scheduled_redistribution(
         checkpointed=store is not None,
     )
     with obs.phase("netsim.build_schedule"):
-        schedule = build_schedule(spec, traffic, method, cache=cache)
+        schedule = build_schedule(
+            spec, traffic, method, cache=cache, engine=engine
+        )
     # Schedule amounts are seconds at flow_rate; convert back to Mbit.
     result = simulate_schedule(
         spec,
@@ -225,6 +240,7 @@ def _scheduled_redistribution(
             k=rk,
             beta=spec.step_setup,
             algorithm=method,
+            engine=engine,
             cache=cache,
         )
         verify_recovery_schedule(recovery_graph, recovery_schedule)
@@ -288,6 +304,7 @@ def run_redistribution(
     retry: RetryPolicy | None = None,
     checkpoint: CheckpointStore | str | os.PathLike | None = None,
     metrics_port: int | None = None,
+    engine: str = "fast",
 ) -> RedistributionOutcome:
     """Run one redistribution with the chosen method and measure time.
 
@@ -309,6 +326,10 @@ def run_redistribution(
     ``metrics_port`` serves live telemetry for the duration of the call
     (a :class:`~repro.obs.server.MetricsServer` on that port; ``0``
     picks an ephemeral one).
+
+    ``engine`` picks the peeling engine for the initial and every
+    recovery schedule (GGP/OGGP only; see
+    :data:`repro.core.wrgp.VALID_ENGINES`).
     """
     if metrics_port is not None:
         from repro.obs.server import MetricsServer
@@ -325,6 +346,7 @@ def run_redistribution(
                 faults=faults,
                 retry=retry,
                 checkpoint=checkpoint,
+                engine=engine,
             )
     traffic = np.asarray(traffic_mbit, dtype=float)
     volume = float(traffic.sum())
@@ -382,6 +404,7 @@ def run_redistribution(
                 _scheduled_redistribution(
                     spec, traffic, method, rng, rate_jitter, cache,
                     faults, retry, store, cell_eid, first_round=0,
+                    engine=engine,
                 )
             )
             root.set(steps=num_steps, total_time=total_time, rounds=rounds)
@@ -409,6 +432,7 @@ def resume_redistribution(
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    engine: str = "fast",
 ) -> RedistributionOutcome:
     """Finish a checkpointed redistribution a previous process started.
 
@@ -477,7 +501,7 @@ def resume_redistribution(
                 _scheduled_redistribution(
                     spec, residual, method, rng, rate_jitter, cache,
                     faults, retry, store, cell_eid,
-                    first_round=state.next_round,
+                    first_round=state.next_round, engine=engine,
                 )
             )
             root.set(steps=num_steps, total_time=total_time, rounds=rounds)

@@ -51,10 +51,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.faults import FaultPlan
     from repro.resilience.retry import RetryPolicy
 
-__all__ = ["schedule_batch", "make_schedule_pool", "BATCH_ALGORITHMS"]
+__all__ = [
+    "schedule_batch",
+    "make_schedule_pool",
+    "BATCH_ALGORITHMS",
+    "MIN_PARALLEL_COST",
+]
 
 #: Algorithms ``schedule_batch`` accepts (mirrors ``cached_schedule``).
 BATCH_ALGORITHMS = ("ggp", "oggp", "wrgp", "greedy")
+
+#: Estimated-work floor (see :func:`_estimated_cost`) below which
+#: ``schedule_batch`` ignores ``jobs`` and runs the serial cached loop:
+#: for tiny batches the worker spawn + wire round-trip costs more than
+#: the scheduling itself (the committed BENCH rows showed a 0.2×
+#: *slowdown* at ``max_side=5`` with 4 jobs).  Roughly 50–100 ms of
+#: serial scheduling work.
+MIN_PARALLEL_COST = 100_000
+
+
+def _estimated_cost(graphs: Sequence[BipartiteGraph]) -> int:
+    """Crude batch work estimate: Σ edges × side per graph.
+
+    The peeling loops are ~O(edges × side) per schedule, which is
+    accurate enough to separate "milliseconds" from "worth fanning out".
+    """
+    return sum(g.num_edges * max(g.num_left, g.num_right, 1) for g in graphs)
 
 
 def _schedule_task(payload: tuple) -> tuple:
@@ -145,6 +167,7 @@ def schedule_batch(
     task_timeout: float | None = None,
     fault_plan: "FaultPlan | None" = None,
     metrics_port: int | None = None,
+    min_parallel_items: int | None = None,
 ) -> list[Schedule]:
     """Schedule every graph in ``graphs``; returns schedules in order.
 
@@ -154,6 +177,18 @@ def schedule_batch(
     :func:`make_schedule_pool` to reuse warm workers across calls (the
     pool's worker count then wins over ``jobs``, as do the pool's own
     retry/timeout/fault settings).
+
+    Small batches short-circuit to the serial cached loop even when
+    ``jobs > 1`` — for sub-millisecond schedules the worker spawn and
+    wire round-trip dwarf the work (a measured slowdown, not a wash).
+    By default the cutoff is cost-based (estimated batch work below
+    :data:`MIN_PARALLEL_COST`); pass ``min_parallel_items`` to use a
+    plain item-count floor instead (``0`` forces fan-out regardless of
+    size).  The fallback is observable via the
+    ``parallel.batch.serial_fallback`` counter and changes nothing else:
+    the serial path returns bit-identical schedules by contract.  An
+    explicitly supplied ``pool`` is always used — its workers are
+    already warm.
 
     ``retry`` makes worker crashes and deadline overruns survivable:
     crashed workers are respawned and their graphs rescheduled, up to
@@ -189,6 +224,7 @@ def schedule_batch(
                 retry=retry,
                 task_timeout=task_timeout,
                 fault_plan=fault_plan,
+                min_parallel_items=min_parallel_items,
             )
     if algorithm not in BATCH_ALGORITHMS:
         raise ConfigError(
@@ -208,6 +244,14 @@ def schedule_batch(
         return []
 
     serial = pool is None and (jobs == 1)
+    if not serial and pool is None:
+        if min_parallel_items is not None:
+            fallback = n < min_parallel_items
+        else:
+            fallback = _estimated_cost(graphs) < MIN_PARALLEL_COST
+        if fallback:
+            metrics.counter("parallel.batch.serial_fallback").inc()
+            serial = True
     if serial:
         return [
             cached_schedule(

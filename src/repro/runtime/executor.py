@@ -345,6 +345,7 @@ def schedule_and_run(
     method: str = "oggp",
     amount_to_bytes: float = 1.0,
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    engine: str = "fast",
 ) -> tuple[Schedule, RuntimeReport]:
     """Schedule ``graph`` (via the cache) and execute it on ``cluster``.
 
@@ -352,9 +353,13 @@ def schedule_and_run(
     an equivalent pattern — common when an iterative application
     re-issues the same traffic each phase — skips the peeling loops
     entirely on a cache hit; pass ``cache=None`` to always recompute.
-    Returns the schedule alongside the execution report.
+    ``engine`` picks the peeling engine (see
+    :data:`repro.core.wrgp.VALID_ENGINES`).  Returns the schedule
+    alongside the execution report.
     """
-    schedule = cached_schedule(graph, k=k, beta=beta, algorithm=method, cache=cache)
+    schedule = cached_schedule(
+        graph, k=k, beta=beta, algorithm=method, engine=engine, cache=cache
+    )
     report = run_scheduled(
         cluster,
         schedule,
@@ -418,6 +423,7 @@ def _recovery_rounds(
     k: int,
     beta: float,
     method: str,
+    engine: str = "fast",
     cache: ScheduleCache | None,
     faults: "FaultPlan | None",
     retry: "RetryPolicy",
@@ -476,7 +482,7 @@ def _recovery_rounds(
             degraded=degraded,
         )
         recovery_schedule = cached_schedule(
-            residual, k=rk, beta=beta, algorithm=method, cache=cache
+            residual, k=rk, beta=beta, algorithm=method, engine=engine, cache=cache
         )
         verify_recovery_schedule(residual, recovery_schedule)
         recovery_payloads = {
@@ -598,6 +604,7 @@ def schedule_and_run_resilient(
     payloads: dict[int, bytes],
     destinations: dict[int, tuple[int, int]],
     method: str = "oggp",
+    engine: str = "fast",
     amount_to_bytes: float = 1.0,
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
     faults: "FaultPlan | None" = None,
@@ -631,6 +638,12 @@ def schedule_and_run_resilient(
     ``metrics_port`` serves live telemetry for the duration of the call
     (a :class:`~repro.obs.server.MetricsServer` on that port; ``0``
     picks an ephemeral one).
+
+    ``engine`` picks the peeling engine for the initial schedule *and*
+    every recovery round (see :data:`repro.core.wrgp.VALID_ENGINES`).
+    Pass the same engine to :func:`resume_and_run_resilient` — with the
+    inexact ``"approx"`` engine a resumed run is only bit-identical to
+    an uninterrupted one when both used the same engine.
     """
     from repro.resilience.journal import RunMeta
     from repro.resilience.retry import RetryPolicy
@@ -647,6 +660,7 @@ def schedule_and_run_resilient(
                 payloads,
                 destinations,
                 method=method,
+                engine=engine,
                 amount_to_bytes=amount_to_bytes,
                 cache=cache,
                 faults=faults,
@@ -681,7 +695,7 @@ def schedule_and_run_resilient(
             checkpointed=store is not None,
         )
         schedule = cached_schedule(
-            graph, k=k, beta=beta, algorithm=method, cache=cache
+            graph, k=k, beta=beta, algorithm=method, engine=engine, cache=cache
         )
         with obs.phase("runtime.schedule_and_run_resilient"):
             first = run_scheduled(
@@ -713,6 +727,7 @@ def schedule_and_run_resilient(
                 k=k,
                 beta=beta,
                 method=method,
+                engine=engine,
                 cache=cache,
                 faults=faults,
                 retry=retry,
@@ -740,6 +755,7 @@ def resume_and_run_resilient(
     payloads: dict[int, bytes],
     destinations: dict[int, tuple[int, int]] | None = None,
     method: str | None = None,
+    engine: str = "fast",
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
     faults: "FaultPlan | None" = None,
     retry: "RetryPolicy | None" = None,
@@ -756,7 +772,10 @@ def resume_and_run_resilient(
     continues exactly where the dead process stopped — journaling into
     the same checkpoint, with fault rounds numbered continuously, so
     the final delivered matrix is bit-identical to an uninterrupted
-    run.  ``method`` defaults to the one recorded in the metadata.
+    run.  ``method`` defaults to the one recorded in the metadata;
+    ``engine`` is not journaled and must match the original run's when
+    bit-identical resumption matters (it always does for the exact
+    engines, which all produce the same schedules).
     """
     from repro.resilience.recovery import (
         residual_graph_from_amounts,
@@ -809,7 +828,8 @@ def resume_and_run_resilient(
             pending = _pending_bytes(payloads, destinations, delivered)
             residual, id_map = residual_graph_from_amounts(pending)
             schedule = cached_schedule(
-                residual, k=k, beta=beta, algorithm=method, cache=cache
+                residual, k=k, beta=beta, algorithm=method, engine=engine,
+                cache=cache,
             )
             verify_recovery_schedule(residual, schedule)
             first = run_scheduled(
@@ -838,6 +858,7 @@ def resume_and_run_resilient(
                 k=k,
                 beta=beta,
                 method=method,
+                engine=engine,
                 cache=cache,
                 faults=faults,
                 retry=retry,
@@ -870,6 +891,7 @@ def schedule_and_run_batch(
     amount_to_bytes: float = 1.0,
     cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
     jobs: int | None = 1,
+    engine: str = "fast",
 ) -> list[tuple[Schedule, RuntimeReport]]:
     """Schedule all rounds up front (batch engine), then execute each.
 
@@ -888,6 +910,7 @@ def schedule_and_run_batch(
         method,
         k=k,
         beta=beta,
+        engine=engine,
         jobs=jobs,
         cache=cache,
     )

@@ -46,3 +46,16 @@ class TestAccessors:
     def test_original_edge_ids(self):
         g = self.graph()
         assert g.original_edge_ids() == set(g.edge_ids())
+
+    def test_iter_edge_data_matches_edge_views(self):
+        g = self.graph()
+        flat = {eid: (l, r, w, k) for eid, l, r, w, k in g.iter_edge_data()}
+        assert set(flat) == set(g.edge_ids())
+        for e in g.edges():
+            assert flat[e.id] == (e.left, e.right, e.weight, e.kind)
+
+    def test_iter_edge_data_skips_removed_edges(self):
+        g = self.graph()
+        victim = g.edge_ids()[0]
+        g.remove_edge(victim)
+        assert victim not in {eid for eid, *_rest in g.iter_edge_data()}

@@ -44,6 +44,30 @@ class TestBuildSchedule:
             assert sched.max_step_size <= 3
 
 
+class TestBuildScheduleEngines:
+    def test_vector_engine_bit_identical(self):
+        spec = NetworkSpec.paper_testbed(3, step_setup=0.01)
+        traffic = uniform_traffic(0, 10, 10, 1.0, 2.0)
+        fast = build_schedule(spec, traffic, "oggp", cache=None)
+        vec = build_schedule(spec, traffic, "oggp", cache=None, engine="vector")
+        assert vec.to_dict() == fast.to_dict()
+
+    def test_approx_engine_schedules_full_volume(self):
+        spec = NetworkSpec.paper_testbed(3, step_setup=0.01)
+        traffic = uniform_traffic(0, 10, 10, 1.0, 2.0)
+        sched = build_schedule(spec, traffic, "oggp", cache=None, engine="approx")
+        assert sched.k == 3
+        assert sched.max_step_size <= 3
+
+    def test_run_redistribution_accepts_engine(self):
+        spec = NetworkSpec.paper_testbed(3, step_setup=0.01)
+        traffic = uniform_traffic(0, 6, 6, 1.0, 2.0)
+        outcome = run_redistribution(
+            spec, traffic, "oggp", cache=None, engine="vector"
+        )
+        assert outcome.undelivered_mbit == 0.0
+
+
 class TestRunRedistribution:
     def test_scheduled_beats_brute_force_at_scale(self):
         spec = NetworkSpec.paper_testbed(5, step_setup=0.01)

@@ -13,7 +13,7 @@ from repro.util.errors import ConfigError
 from tests.conftest import bipartite_graphs
 
 ALGORITHMS = ("ggp", "oggp", "greedy")
-ENGINES = ("fast", "resume", "reference")
+ENGINES = ("fast", "vector", "resume", "reference")
 
 
 def flat(schedule: Schedule) -> tuple:
@@ -65,7 +65,7 @@ class TestBitIdentical:
         batch_cache = ScheduleCache()
         batch = schedule_batch(
             graphs, algorithm, k=k, beta=beta, engine=engine, jobs=2,
-            cache=batch_cache,
+            cache=batch_cache, min_parallel_items=0,
         )
         assert [flat(s) for s in serial] == [flat(b) for b in batch]
         assert serial_cache.stats()["hits"] == batch_cache.stats()["hits"]
@@ -141,7 +141,8 @@ class TestFailureSurfacing:
         bad = BipartiteGraph.from_edges([(0, 0, 2), (0, 1, 5)])
         with pytest.raises(WorkerTaskError, match="graph 1 of the batch") as exc:
             schedule_batch(
-                [good, bad], "wrgp", k=1, beta=0.0, jobs=2, cache=None
+                [good, bad], "wrgp", k=1, beta=0.0, jobs=2, cache=None,
+                min_parallel_items=0,
             )
         assert exc.value.index == 1
         assert "wrgp" in str(exc.value)
@@ -159,7 +160,7 @@ class TestFaultTolerance:
         retry = RetryPolicy(max_attempts=6, backoff_base=0.0, jitter=0.0)
         faulted = schedule_batch(
             graphs, "oggp", k=3, beta=1.0, jobs=2, cache=None,
-            retry=retry, fault_plan=plan,
+            retry=retry, fault_plan=plan, min_parallel_items=0,
         )
         serial = schedule_batch(graphs, "oggp", k=3, beta=1.0, jobs=1, cache=None)
         assert [flat(s) for s in faulted] == [flat(s) for s in serial]
@@ -172,5 +173,60 @@ class TestFaultTolerance:
         plan = FaultSpec(seed=1, worker_crash_rate=1.0).plan()
         with pytest.raises(WorkerCrashError):
             schedule_batch(
-                [g], "oggp", k=1, beta=0.0, jobs=2, cache=None, fault_plan=plan
+                [g], "oggp", k=1, beta=0.0, jobs=2, cache=None, fault_plan=plan,
+                min_parallel_items=0,
             )
+
+
+class TestSerialFallback:
+    """Tiny batches skip worker fan-out (cost cutoff) but stay identical."""
+
+    def _tiny_batch(self):
+        from repro.graph.generators import random_bipartite
+
+        return [random_bipartite(s, max_side=4, max_edges=10) for s in range(4)]
+
+    def test_small_batch_falls_back_to_serial(self):
+        from repro import obs
+
+        graphs = self._tiny_batch()
+        with obs.observed() as (reg, _tr):
+            batched = schedule_batch(graphs, "oggp", k=3, beta=1.0, jobs=4, cache=None)
+        assert reg.counter("parallel.batch.serial_fallback").value == 1
+        serial = schedule_batch(graphs, "oggp", k=3, beta=1.0, jobs=1, cache=None)
+        assert [flat(s) for s in batched] == [flat(s) for s in serial]
+
+    def test_min_parallel_items_zero_forces_fanout(self):
+        from repro import obs
+
+        graphs = self._tiny_batch()
+        with obs.observed() as (reg, _tr):
+            schedule_batch(
+                graphs, "oggp", k=3, beta=1.0, jobs=2, cache=None,
+                min_parallel_items=0,
+            )
+        assert reg.counter("parallel.batch.serial_fallback").value == 0
+
+    def test_min_parallel_items_threshold(self):
+        from repro import obs
+
+        graphs = self._tiny_batch()
+        with obs.observed() as (reg, _tr):
+            schedule_batch(
+                graphs, "oggp", k=3, beta=1.0, jobs=2, cache=None,
+                min_parallel_items=len(graphs) + 1,
+            )
+        assert reg.counter("parallel.batch.serial_fallback").value == 1
+
+    def test_explicit_pool_never_falls_back(self):
+        from repro import obs
+
+        graphs = self._tiny_batch()
+        with make_schedule_pool(jobs=2) as pool:
+            with obs.observed() as (reg, _tr):
+                batched = schedule_batch(
+                    graphs, "oggp", k=3, beta=1.0, pool=pool, cache=None
+                )
+        assert reg.counter("parallel.batch.serial_fallback").value == 0
+        serial = schedule_batch(graphs, "oggp", k=3, beta=1.0, jobs=1, cache=None)
+        assert [flat(s) for s in batched] == [flat(s) for s in serial]

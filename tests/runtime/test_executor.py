@@ -167,3 +167,34 @@ class TestReport:
             bad.raise_on_errors()
         lines = str(exc.value).splitlines()
         assert lines[1:] == ["  - [a @ step 1] first", "  - [b @ edge 4] second"]
+
+
+class TestEngineThreading:
+    """`engine=` reaches the scheduler from every runtime entry point."""
+
+    @pytest.mark.parametrize("engine", ["vector", "approx"])
+    def test_schedule_and_run_with_engine(self, engine):
+        from repro.runtime import schedule_and_run
+
+        g, payloads, destinations = build_case()
+        cluster = LocalCluster(2, 2, **FAST)
+        schedule, report = schedule_and_run(
+            cluster, g, 2, 1.0, payloads, destinations, engine=engine,
+            cache=None,
+        )
+        assert report.delivered == payloads
+        if engine == "vector":
+            # Exact engine: the schedule is the one 'fast' would build.
+            baseline = oggp(g, 2, 1.0, engine="fast")
+            assert schedule.to_dict() == baseline.to_dict()
+
+    def test_resilient_run_with_vector_engine(self):
+        from repro.runtime import schedule_and_run_resilient
+
+        g, payloads, destinations = build_case()
+        cluster = LocalCluster(2, 2, **FAST)
+        report = schedule_and_run_resilient(
+            cluster, g, 2, 1.0, payloads, destinations, engine="vector",
+            cache=None,
+        )
+        assert report.delivered == payloads

@@ -12,8 +12,11 @@ Subcommands::
     kpbs transfer --checkpoint-dir d [--seed 7] [--nic-mbit 10]
                                       move real bytes through the in-process
                                       runtime, journaling progress durably
-    kpbs resume --checkpoint-dir d    finish a killed ``transfer`` run from
-                                      its checkpoint
+    kpbs watch --churn SPEC [--checkpoint-dir d]
+                                      live-churn redistribution: segmented
+                                      execution with splice repair
+    kpbs resume --checkpoint-dir d    finish a killed ``transfer`` or
+                                      ``watch`` run from its checkpoint
     kpbs demo                         the paper's Figure 2 worked example
     kpbs stats profile.json [--trace t.json]
                                       pretty-print a saved metrics/trace file
@@ -31,6 +34,7 @@ SECONDS``; see docs/robustness.md.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -55,17 +59,32 @@ from repro.resilience import FaultSpec, RetryPolicy
 from repro.util.errors import ReproError
 
 
+def _parse_retry(
+    retries: str | int | None, task_timeout: float | None
+) -> RetryPolicy | None:
+    """A :class:`RetryPolicy` from a ``--retries`` spec and timeout.
+
+    ``retries`` is a bare attempt count or a ``key=value`` list
+    (``attempts=5,max-elapsed=30,...``; see :meth:`RetryPolicy.parse`);
+    older ``run.json`` sidecars stored a plain int, which also parses.
+    """
+    if retries is None and task_timeout is None:
+        return None
+    if retries is None:
+        policy = RetryPolicy()
+    else:
+        policy = RetryPolicy.parse(str(retries))
+    if task_timeout is not None:
+        policy = dataclasses.replace(policy, task_timeout=task_timeout)
+    return policy
+
+
 def _resilience_options(args: argparse.Namespace) -> tuple:
     """``(FaultPlan | None, RetryPolicy | None)`` from CLI flags."""
     faults = None
     if getattr(args, "faults", None):
         faults = FaultSpec.parse(args.faults).plan()
-    retry = None
-    if args.retries is not None or args.task_timeout is not None:
-        retry = RetryPolicy(
-            max_attempts=args.retries if args.retries is not None else 3,
-            task_timeout=args.task_timeout,
-        )
+    retry = _parse_retry(args.retries, args.task_timeout)
     return faults, retry
 
 
@@ -82,7 +101,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.faults:
         extra["faults"] = FaultSpec.parse(args.faults)
     if args.retries is not None:
-        extra["retries"] = args.retries
+        # Experiments take a plain attempt count; richer --retries
+        # specs collapse to their max_attempts here.
+        extra["retries"] = RetryPolicy.parse(args.retries).max_attempts
     if args.task_timeout is not None:
         extra["task_timeout"] = args.task_timeout
     if name in ("fig7", "fig8", "fig9") and not extra and (
@@ -381,7 +402,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    """Finish a killed ``kpbs transfer`` run from its checkpoint."""
+    """Finish a killed ``kpbs transfer``/``kpbs watch`` run."""
     from repro.resilience import CheckpointStore
     from repro.runtime import resume_and_run_resilient
 
@@ -390,20 +411,18 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     if not config_path.is_file():
         raise ReproError(
             f"no {_RUN_CONFIG} in {ckdir}; start the run with "
-            "'kpbs transfer --checkpoint-dir' first"
+            "'kpbs transfer --checkpoint-dir' or "
+            "'kpbs watch --checkpoint-dir' first"
         )
     config = json.loads(config_path.read_text())
+    if config.get("mode") == "watch":
+        return _resume_watch(args, ckdir, config)
     # Same spec the original process recorded → same payload bytes and
     # the same deterministic fault trajectory; CLI flags override.
     faults_spec = args.faults if args.faults else config.get("faults")
     faults = FaultSpec.parse(faults_spec).plan() if faults_spec else None
     retries = args.retries if args.retries is not None else config.get("retries")
-    retry = None
-    if retries is not None or args.task_timeout is not None:
-        retry = RetryPolicy(
-            max_attempts=retries if retries is not None else 3,
-            task_timeout=args.task_timeout,
-        )
+    retry = _parse_retry(retries, args.task_timeout)
     _graph, payloads, _destinations = _transfer_case(
         config["seed"], config["n1"], config["n2"],
         int(config["payload_kb"] * 1024),
@@ -420,6 +439,128 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     finally:
         store.close()
     return _print_transfer_report(report)
+
+
+def _watch_spec(config: dict) -> NetworkSpec:
+    """The simulated platform a ``kpbs watch`` run.json describes."""
+    rate = 100.0 / config["k"]
+    return NetworkSpec(
+        n1=config["n1"],
+        n2=config["n2"],
+        nic_rate1=rate,
+        nic_rate2=rate,
+        backbone_rate=100.0,
+        step_setup=config["beta"],
+    )
+
+
+def _print_watch_outcome(out, verbose: bool) -> int:
+    from repro.netsim.watch import delivered_digest
+
+    if verbose:
+        for row in out.history:
+            line = (
+                f"round {row['round']:3d}  {row['mode']:8s} "
+                f"steps={row['steps']:3d} sim={row['sim_seconds']:8.2f}s"
+            )
+            if row["churn"]:
+                line += f" churn={row['churn']}"
+            if row["failed"]:
+                line += f" failed={row['failed']}"
+            print(line)
+    print(f"rounds:    {out.rounds}")
+    print(f"churn:     {out.churn_events} event(s), {out.churn_ops} op(s)")
+    print(f"splices:   {out.splices}")
+    print(f"fallbacks: {out.fallbacks}")
+    print(f"rebuilds:  {out.fresh_builds}")
+    # Every schedule this run executed — the initial build, each
+    # splice and each fallback — passed verify_recovery_schedule
+    # against its residual graph before a single step ran; a
+    # verification failure aborts the run with a ConfigError.
+    print(f"verified:  {out.fresh_builds + out.splices + out.fallbacks}")
+    print(f"sim time:  {out.total_time:.2f}s over {out.num_steps} step(s)")
+    if out.undelivered_mbit:
+        print(f"missing:   {out.undelivered_mbit:.2f} Mbit undelivered")
+    print(f"digest:    {delivered_digest(out.edges, out.delivered)}")
+    print(f"complete:  {out.complete}")
+    return 0 if out.complete else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Run a live-churn redistribution with splice repair."""
+    from repro.netsim.watch import run_redistribution_churn
+    from repro.resilience import CheckpointStore, ChurnSpec
+
+    churn = ChurnSpec.parse(args.churn).process()
+    faults, retry = _resilience_options(args)
+    config = {
+        "mode": "watch",
+        "seed": args.seed,
+        "n1": args.n1,
+        "n2": args.n2,
+        "k": args.k,
+        "beta": args.beta,
+        "max_mb": args.max_mb,
+        "method": args.algorithm,
+        "engine": args.engine,
+        "churn": args.churn,
+        "segment_steps": args.segment_steps,
+        "max_ratio": args.max_ratio,
+        "max_affected": args.max_affected,
+        "faults": args.faults,
+        "retries": args.retries,
+    }
+    spec = _watch_spec(config)
+    traffic = uniform_traffic(args.seed, spec.n1, spec.n2, 1.0, args.max_mb)
+    checkpoint = None
+    if args.checkpoint_dir:
+        ckdir = Path(args.checkpoint_dir)
+        ckdir.mkdir(parents=True, exist_ok=True)
+        (ckdir / _RUN_CONFIG).write_text(json.dumps(config, indent=2))
+        checkpoint = CheckpointStore(
+            ckdir, fsync=args.fsync, snapshot_every=args.snapshot_every
+        )
+    try:
+        out = run_redistribution_churn(
+            spec, traffic, args.algorithm, churn,
+            segment_steps=args.segment_steps,
+            cache=None,
+            faults=faults, retry=retry, checkpoint=checkpoint,
+            engine=args.engine,
+            max_ratio=args.max_ratio,
+            max_affected_frac=args.max_affected,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    return _print_watch_outcome(out, not args.quiet)
+
+
+def _resume_watch(args: argparse.Namespace, ckdir: Path, config: dict) -> int:
+    """Finish a killed ``kpbs watch`` run bit-identically."""
+    from repro.netsim.watch import resume_redistribution_churn
+    from repro.resilience import CheckpointStore, ChurnSpec
+
+    churn = ChurnSpec.parse(config["churn"]).process()
+    faults_spec = args.faults if args.faults else config.get("faults")
+    faults = FaultSpec.parse(faults_spec).plan() if faults_spec else None
+    retries = args.retries if args.retries is not None else config.get("retries")
+    retry = _parse_retry(retries, args.task_timeout)
+    store = CheckpointStore.resume(
+        ckdir, fsync=args.fsync, snapshot_every=args.snapshot_every
+    )
+    try:
+        out = resume_redistribution_churn(
+            _watch_spec(config), store, churn,
+            cache=None,
+            faults=faults, retry=retry,
+            engine=config.get("engine", "fast"),
+            max_ratio=config.get("max_ratio", 1.5),
+            max_affected_frac=config.get("max_affected", 0.5),
+        )
+    finally:
+        store.close()
+    return _print_watch_outcome(out, verbose=True)
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -569,8 +710,13 @@ def _add_resilience_args(p: argparse.ArgumentParser) -> None:
         ),
     )
     p.add_argument(
-        "--retries", type=int, default=None, metavar="N",
-        help="max attempts per faulted unit of work (default 3)",
+        "--retries", default=None, metavar="SPEC",
+        help=(
+            "retry budget: a bare max attempt count (default 3) or a "
+            "key=value list (attempts=, max-elapsed=, base=, "
+            "multiplier=, max-backoff=, jitter=, timeout=, seed=); "
+            "see docs/robustness.md"
+        ),
     )
     p.add_argument(
         "--task-timeout", type=float, default=None, metavar="SECONDS",
@@ -740,7 +886,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_transfer)
 
     p = sub.add_parser(
-        "resume", help="finish a killed 'kpbs transfer' run from its checkpoint"
+        "watch",
+        help="live-churn redistribution: segmented execution with "
+        "splice repair",
+    )
+    p.add_argument("--seed", type=int, default=0, help="traffic seed")
+    p.add_argument("--n1", type=int, default=10, help="sender cluster size")
+    p.add_argument("--n2", type=int, default=10, help="receiver cluster size")
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--beta", type=float, default=0.01)
+    p.add_argument(
+        "--max-mb", type=float, default=60.0,
+        help="max traffic per sender/receiver pair (MB)",
+    )
+    p.add_argument("--algorithm", choices=("ggp", "oggp"), default="oggp")
+    p.add_argument(
+        "--engine", choices=sorted(VALID_ENGINES), default="fast",
+        help="peeling engine for the initial, spliced and fallback "
+        "schedules",
+    )
+    p.add_argument(
+        "--churn", metavar="SPEC", default="seed=0,events=0",
+        help=(
+            "live churn spec: key=value list (seed=, inject=, remove=, "
+            "resize= rates per event, events=, size=LO:HI, "
+            "factor=LO:HI); see docs/robustness.md"
+        ),
+    )
+    p.add_argument(
+        "--segment-steps", type=int, default=4, metavar="N",
+        help="plan steps executed between churn/repair points",
+    )
+    p.add_argument(
+        "--max-ratio", type=float, default=1.5,
+        help="fall back to a full reschedule when the spliced cost "
+        "exceeds this multiple of the residual lower bound",
+    )
+    p.add_argument(
+        "--max-affected", type=float, default=0.5,
+        help="fall back when more than this fraction of pending edges "
+        "is affected",
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-round progress lines",
+    )
+    _add_checkpoint_args(p, required=False)
+    _add_resilience_args(p)
+    _add_observability_args(p)
+    p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "resume",
+        help="finish a killed 'kpbs transfer' or 'kpbs watch' run "
+        "from its checkpoint",
     )
     _add_checkpoint_args(p, required=True)
     _add_resilience_args(p)

@@ -159,6 +159,12 @@ def render_dashboard(
         f"   worker respawns: {_counter(snapshot, 'resilience.worker_respawns'):.0f}"
         f"   bytes moved: {_counter(snapshot, 'runtime.bytes_moved'):.0f}"
     )
+    lines.append(
+        f"churn events: {_counter(snapshot, 'churn.events'):.0f}"
+        f"   repairs: {_counter(snapshot, 'repair.splices'):.0f} spliced"
+        f" / {_counter(snapshot, 'repair.fallbacks'):.0f} fallback"
+        f" / {_counter(snapshot, 'repair.noops'):.0f} no-op"
+    )
 
     rows = _phase_rows(snapshot)
     if rows:

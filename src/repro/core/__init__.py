@@ -62,6 +62,12 @@ from repro.core.hetero import (
     hetero_schedule_oggp,
     evaluate_hetero_schedule,
 )
+from repro.core.repair import (
+    TrafficDelta,
+    apply_traffic_delta,
+    RepairResult,
+    repair_plan,
+)
 from repro.core.postopt import merge_steps
 from repro.core.stepmin import step_minimal_schedule, minimum_steps
 from repro.core.verify import (
@@ -117,6 +123,10 @@ __all__ = [
     "hetero_schedule",
     "hetero_schedule_oggp",
     "evaluate_hetero_schedule",
+    "TrafficDelta",
+    "apply_traffic_delta",
+    "RepairResult",
+    "repair_plan",
     "merge_steps",
     "step_minimal_schedule",
     "minimum_steps",

@@ -24,6 +24,7 @@ from repro.experiments.extensions import (
     run_preredistribution,
 )
 from repro.experiments.resilience import run_recovery_overhead
+from repro.experiments.churn import run_churn_repair
 from repro.util.errors import ConfigError
 
 #: Experiment id -> zero-argument harness with paper-default parameters.
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "scalability": run_scalability,
     "heterogeneity": run_heterogeneity,
     "recovery_overhead": run_recovery_overhead,
+    "churn_repair": run_churn_repair,
 }
 
 

@@ -16,7 +16,10 @@ module, joined by 100 Mbit switches).  Components:
   K-PBS :class:`~repro.core.schedule.Schedule` on the DES kernel
   (mirrors the paper's MPI implementation),
 - :mod:`~repro.netsim.runner` — one-call comparison of the two
-  approaches for a traffic matrix (Figures 10 and 11).
+  approaches for a traffic matrix (Figures 10 and 11),
+- :mod:`~repro.netsim.watch` — live-churn execution: the traffic
+  matrix mutates between segments and the in-flight plan is
+  splice-repaired (docs/robustness.md).
 """
 
 from repro.netsim.topology import NetworkSpec
@@ -33,6 +36,12 @@ from repro.netsim.trace import (
     TraceRunResult,
     advance_transfers,
     simulate_schedule_trace,
+)
+from repro.netsim.watch import (
+    ChurnOutcome,
+    delivered_digest,
+    resume_redistribution_churn,
+    run_redistribution_churn,
 )
 from repro.netsim.async_exec import simulate_relaxed
 from repro.netsim.packetsim import (
@@ -61,4 +70,8 @@ __all__ = [
     "RedistributionOutcome",
     "run_redistribution",
     "resume_redistribution",
+    "ChurnOutcome",
+    "delivered_digest",
+    "run_redistribution_churn",
+    "resume_redistribution_churn",
 ]

@@ -305,8 +305,20 @@ def run_redistribution(
     checkpoint: CheckpointStore | str | os.PathLike | None = None,
     metrics_port: int | None = None,
     engine: str = "fast",
+    churn=None,
+    segment_steps: int = 4,
 ) -> RedistributionOutcome:
     """Run one redistribution with the chosen method and measure time.
+
+    ``churn`` — a :class:`~repro.resilience.ChurnProcess` — switches to
+    the live-churn executor: the plan runs ``segment_steps`` steps at a
+    time, seeded traffic deltas mutate the matrix between segments, and
+    the in-flight plan is splice-repaired via
+    :func:`repro.core.repair.repair_plan` (see
+    :func:`repro.netsim.watch.run_redistribution_churn`, whose
+    :class:`~repro.netsim.watch.ChurnOutcome` is returned instead).
+    Without ``churn`` this path is untouched and bit-identical to
+    previous behaviour.
 
     ``faults`` injects deterministic transfer failures, stalls and
     backbone degradation (GGP/OGGP only — the brute-force TCP model has
@@ -347,7 +359,31 @@ def run_redistribution(
                 retry=retry,
                 checkpoint=checkpoint,
                 engine=engine,
+                churn=churn,
+                segment_steps=segment_steps,
             )
+    if churn is not None:
+        from repro.netsim.watch import run_redistribution_churn
+
+        if method == "bruteforce":
+            raise ConfigError(
+                "live churn needs a schedule to repair; "
+                "method 'bruteforce' does not support churn="
+            )
+        return run_redistribution_churn(
+            spec,
+            traffic_mbit,
+            method,
+            churn,
+            segment_steps=segment_steps,
+            rng=rng,
+            rate_jitter=rate_jitter,
+            cache=cache,
+            faults=faults,
+            retry=retry,
+            checkpoint=checkpoint,
+            engine=engine,
+        )
     traffic = np.asarray(traffic_mbit, dtype=float)
     volume = float(traffic.sum())
     metrics = obs.metrics()

@@ -1,0 +1,589 @@
+"""Live-churn redistribution: segmented execution with splice repair.
+
+The simulated counterpart of a redistribution that has to keep up with
+a *moving* traffic matrix: the plan is executed ``segment_steps`` steps
+at a time, and between segments a seeded
+:class:`~repro.resilience.churn.ChurnProcess` injects, removes and
+resizes cells.  Each churn batch (and each fault shortfall) is healed
+by :func:`~repro.core.repair.repair_plan`: the unexecuted suffix of
+the in-flight plan is kept for unaffected edges and only the affected
+remainder is rescheduled and spliced in — falling back to a full
+reschedule when the repair budget or quality bound says so.
+
+With a :class:`~repro.resilience.CheckpointStore`, every applied churn
+delta, every plan change and every executed segment is journalled, so
+a SIGKILL'd run resumed by :func:`resume_redistribution_churn`
+replays the *same* trajectory — same plans, same churn draws, same
+per-round deliveries — and ends bit-identical to an uninterrupted run.
+
+The driving loop is deliberately round-structured: round ``r`` draws
+churn event ``r`` (within the spec's horizon), repairs if anything
+changed, executes one segment with ``fault_round=r``, and journals the
+delivered Mbit.  Every quantity a draw depends on (the live edge set,
+delivered amounts) is exactly what the journal reconstructs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
+
+import numpy as np
+
+from repro import obs
+from repro.core.cache import DEFAULT_SCHEDULE_CACHE, ScheduleCache, cached_schedule
+from repro.core.repair import (
+    TrafficDelta,
+    apply_traffic_delta,
+    repair_plan,
+    validate_repair_bounds,
+)
+from repro.core.schedule import Schedule
+from repro.netsim.stepwise import simulate_schedule
+from repro.netsim.topology import NetworkSpec
+from repro.resilience.churn import ChurnProcess
+from repro.resilience.faults import FaultPlan
+from repro.resilience.journal import CheckpointStore, RunMeta
+from repro.resilience.recovery import (
+    residual_graph_from_amounts,
+    verify_recovery_schedule,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.util.errors import ConfigError, GraphError
+
+__all__ = [
+    "ChurnOutcome",
+    "run_redistribution_churn",
+    "resume_redistribution_churn",
+    "delivered_digest",
+]
+
+#: Relative tolerance for "this edge is done" in Mbit space.
+_DUST = 1e-9
+
+
+@dataclass(frozen=True)
+class ChurnOutcome:
+    """Result of a live-churn redistribution run.
+
+    ``edges`` is the *final* traffic (after all churn) as ``edge_id ->
+    (left, right, total_mbit)`` and ``delivered`` the final delivered
+    Mbit per edge (snapped to the exact total for completed edges, so
+    two trajectories that both finish agree bit-for-bit).  ``splices``
+    / ``fallbacks`` / ``noops`` count the repair outcomes,
+    ``fresh_builds`` the from-scratch schedules (the initial plan, and
+    a resumed run's rebuild when no plan record survived).  ``history``
+    holds one dict per executed round for reporting.
+    """
+
+    method: str
+    total_time: float
+    num_steps: int
+    rounds: int
+    churn_events: int
+    churn_ops: int
+    splices: int
+    fallbacks: int
+    noops: int
+    fresh_builds: int
+    repair_seconds: float
+    volume_mbit: float
+    undelivered_mbit: float
+    complete: bool
+    edges: Mapping[int, tuple[int, int, float]]
+    delivered: Mapping[int, float]
+    history: tuple[dict, ...] = field(default_factory=tuple)
+
+
+def delivered_digest(
+    edges: Mapping[int, tuple[int, int, float]],
+    delivered: Mapping[int, float],
+) -> str:
+    """SHA-256 over the exact per-edge delivered amounts.
+
+    Keyed by ``edge_id:left:right:repr(amount)`` in ascending edge
+    order — ``repr`` round-trips floats exactly, so two runs agree iff
+    their delivered states are bit-identical.
+    """
+    h = hashlib.sha256()
+    for eid in sorted(edges):
+        left, right, _total = edges[eid]
+        amount = delivered.get(eid, 0.0)
+        h.update(f"{eid}:{left}:{right}:{amount!r}\n".encode("utf-8"))
+    return h.hexdigest()
+
+
+def _pending_seconds(
+    edges: Mapping[int, tuple[int, int, float]],
+    delivered: Mapping[int, float],
+    flow_rate: float,
+) -> dict[int, tuple[int, int, float]]:
+    """Remaining traffic per edge in schedule units (seconds)."""
+    out: dict[int, tuple[int, int, float]] = {}
+    for eid, (left, right, total) in edges.items():
+        remaining = total - delivered.get(eid, 0.0)
+        if remaining > _DUST * max(1.0, total):
+            out[eid] = (left, right, remaining / flow_rate)
+    return out
+
+
+def _fresh_plan(
+    pending: Mapping[int, tuple[int, int, float]],
+    k: int,
+    beta: float,
+    method: str,
+    engine: str,
+    cache: ScheduleCache | None,
+) -> Schedule:
+    """Verified from-scratch schedule of ``pending``, in original ids."""
+    from repro.core.repair import _remap_steps
+
+    graph, id_map = residual_graph_from_amounts(pending)
+    schedule = cached_schedule(
+        graph, k, beta, algorithm=method, engine=engine, cache=cache
+    )
+    verify_recovery_schedule(graph, schedule)
+    return Schedule(_remap_steps(schedule, id_map), k, beta)
+
+
+def run_redistribution_churn(
+    spec: NetworkSpec,
+    traffic_mbit: np.ndarray,
+    method: Literal["ggp", "oggp"],
+    churn: ChurnProcess,
+    *,
+    segment_steps: int = 4,
+    rng=None,
+    rate_jitter: float = 0.0,
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint: CheckpointStore | str | os.PathLike | None = None,
+    engine: str = "fast",
+    max_ratio: float = 1.5,
+    max_affected_frac: float = 0.5,
+) -> ChurnOutcome:
+    """Redistribute ``traffic_mbit`` while its cells churn live.
+
+    The initial matrix is scheduled as usual; then, every
+    ``segment_steps`` executed steps, churn event ``r`` (one per round,
+    up to the spec's horizon) mutates the traffic and the in-flight
+    plan is splice-repaired — or fully rescheduled when the repair
+    budget (``max_affected_frac``) or quality bound (``max_ratio``
+    times the residual lower bound) is exceeded.  Transfer faults
+    compose freely: a failed segment's shortfall is healed by the same
+    repair call.  ``retry`` bounds the number of fault-recovery rounds
+    *after* the churn horizon (default 8 attempts).
+
+    ``checkpoint`` (a store or directory) journals churn deltas, plan
+    changes and per-segment deliveries; resume with
+    :func:`resume_redistribution_churn`.
+    """
+    if method not in ("ggp", "oggp"):
+        raise ConfigError(f"churn runs need a schedule; got method {method!r}")
+    if segment_steps < 1:
+        raise ConfigError(f"segment_steps must be >= 1, got {segment_steps}")
+    validate_repair_bounds(max_ratio, max_affected_frac)
+    traffic = np.asarray(traffic_mbit, dtype=float)
+    edges = {
+        eid: (i, j, total)
+        for eid, (i, j, total) in _cell_edges(traffic).items()
+    }
+    if not edges:
+        raise ConfigError("traffic matrix has no positive cells")
+    store: CheckpointStore | None = None
+    owned = False
+    if checkpoint is not None:
+        if isinstance(checkpoint, CheckpointStore):
+            store = checkpoint
+        else:
+            store, owned = CheckpointStore(checkpoint), True
+        store.begin(
+            RunMeta(
+                edges=dict(edges),
+                k=spec.k,
+                beta=spec.step_setup,
+                method=method,
+                amount_kind="float",
+                extra={
+                    "engine": "netsim-churn",
+                    "shape": [int(traffic.shape[0]), int(traffic.shape[1])],
+                    "segment_steps": int(segment_steps),
+                },
+            )
+        )
+    try:
+        return _churn_loop(
+            spec=spec,
+            method=method,
+            churn=churn,
+            shape=(int(traffic.shape[0]), int(traffic.shape[1])),
+            edges=edges,
+            delivered={eid: 0.0 for eid in edges},
+            plan=None,
+            pos=0,
+            first_round=0,
+            last_churn_round=-1,
+            segment_steps=segment_steps,
+            rng=rng,
+            rate_jitter=rate_jitter,
+            cache=cache,
+            faults=faults,
+            retry=retry,
+            store=store,
+            engine=engine,
+            max_ratio=max_ratio,
+            max_affected_frac=max_affected_frac,
+        )
+    finally:
+        if owned and store is not None:
+            store.close()
+
+
+def resume_redistribution_churn(
+    spec: NetworkSpec,
+    checkpoint: CheckpointStore | str | os.PathLike,
+    churn: ChurnProcess,
+    *,
+    rng=None,
+    rate_jitter: float = 0.0,
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    engine: str = "fast",
+    max_ratio: float = 1.5,
+    max_affected_frac: float = 0.5,
+) -> ChurnOutcome:
+    """Finish a killed live-churn run bit-identically.
+
+    Restores the current edge map, delivered amounts, evolving plan and
+    execution position from the journal, then continues the round loop
+    exactly where the dead process stopped: already-journalled churn
+    rounds are never re-drawn, future events draw from the same
+    reconstructed state, and a segment whose delivery record was torn
+    away is simply re-executed (same round, same plan, same faults —
+    same result).  ``churn`` must carry the same spec as the original
+    run; ``spec`` is cross-checked against the metadata.
+    """
+    validate_repair_bounds(max_ratio, max_affected_frac)
+    if isinstance(checkpoint, CheckpointStore):
+        store, owned = checkpoint, False
+    else:
+        store, owned = CheckpointStore.resume(checkpoint), True
+    try:
+        state = store.state
+        meta = state.meta
+        if meta.extra.get("engine") != "netsim-churn":
+            raise ConfigError(
+                "checkpoint was not written by run_redistribution_churn "
+                f"(engine={meta.extra.get('engine')!r})"
+            )
+        if meta.k != spec.k or meta.beta != spec.step_setup:
+            raise ConfigError(
+                f"platform mismatch: checkpoint recorded k={meta.k}, "
+                f"beta={meta.beta}; spec has k={spec.k}, "
+                f"beta={spec.step_setup}"
+            )
+        shape = meta.extra.get("shape")
+        if (
+            not isinstance(shape, list)
+            or len(shape) != 2
+            or not all(isinstance(n, int) and n > 0 for n in shape)
+        ):
+            raise GraphError(f"checkpoint metadata has no valid shape: {shape!r}")
+        segment_steps = int(meta.extra.get("segment_steps", 4))
+        plan = None
+        pos = 0
+        if state.plan is not None:
+            plan = Schedule.from_dict(state.plan)
+            pos = min(int(state.plan_pos), len(plan.steps))
+        return _churn_loop(
+            spec=spec,
+            method=str(meta.method),
+            churn=churn,
+            shape=(shape[0], shape[1]),
+            edges={eid: tuple(lrt) for eid, lrt in state.edges.items()},
+            delivered=dict(state.delivered),
+            plan=plan,
+            pos=pos,
+            first_round=state.next_round,
+            last_churn_round=state.last_churn_round,
+            segment_steps=segment_steps,
+            rng=rng,
+            rate_jitter=rate_jitter,
+            cache=cache,
+            faults=faults,
+            retry=retry,
+            store=store,
+            engine=engine,
+            max_ratio=max_ratio,
+            max_affected_frac=max_affected_frac,
+            resumed=True,
+        )
+    finally:
+        if owned:
+            store.close()
+
+
+def _churn_loop(
+    *,
+    spec: NetworkSpec,
+    method: str,
+    churn: ChurnProcess,
+    shape: tuple[int, int],
+    edges: dict[int, tuple[int, int, float]],
+    delivered: dict[int, float],
+    plan: Schedule | None,
+    pos: int,
+    first_round: int,
+    last_churn_round: int,
+    segment_steps: int,
+    rng,
+    rate_jitter: float,
+    cache: ScheduleCache | None,
+    faults: FaultPlan | None,
+    retry: RetryPolicy | None,
+    store: CheckpointStore | None,
+    engine: str,
+    max_ratio: float,
+    max_affected_frac: float,
+    resumed: bool = False,
+) -> ChurnOutcome:
+    """The round loop shared by fresh and resumed live-churn runs."""
+    if retry is None:
+        retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
+    flow = spec.flow_rate
+    k, beta = spec.k, spec.step_setup
+    metrics = obs.metrics()
+    horizon = churn.spec.events
+    obs.emit(
+        "run.start",
+        engine="netsim-churn",
+        method=method,
+        k=k,
+        beta=beta,
+        volume_mbit=float(sum(t for _, _, t in edges.values())),
+        churn_events=horizon,
+        resumed=resumed,
+        checkpointed=store is not None,
+    )
+
+    total_time = 0.0
+    num_steps = 0
+    rounds = 0
+    churn_events = 0
+    churn_ops = 0
+    splices = fallbacks = noops = fresh_builds = 0
+    repair_seconds = 0.0
+    history: list[dict] = []
+    r = first_round
+    attempts = 1
+    needs_repair = resumed
+    segment_failed = False
+
+    while True:
+        pending_mbit = {
+            eid: total - delivered.get(eid, 0.0)
+            for eid, (_, _, total) in edges.items()
+            if total - delivered.get(eid, 0.0) > _DUST * max(1.0, total)
+        }
+        if not pending_mbit and r >= horizon:
+            break
+        if pending_mbit and not retry.allows_retry(attempts):
+            break
+
+        # -- churn event for this round (skip ones already journalled) --
+        delta = TrafficDelta()
+        if r < horizon and r > last_churn_round:
+            delta = churn.delta_for_event(r, edges, delivered, shape=shape)
+            if delta:
+                if store is not None:
+                    store.record_churn(delta, r)
+                edges = apply_traffic_delta(edges, delivered, delta)
+                for eid, _, _, _ in delta.inject:
+                    delivered.setdefault(eid, 0.0)
+                for eid in list(delivered):
+                    if eid not in edges:
+                        del delivered[eid]
+                last_churn_round = r
+                churn_events += 1
+                churn_ops += delta.size
+                metrics.counter("churn.events").inc()
+                metrics.counter("churn.ops").inc(delta.size)
+                obs.emit(
+                    "churn.delta",
+                    round=r,
+                    inject=len(delta.inject),
+                    remove=len(delta.remove),
+                    resize=len(delta.resize),
+                )
+
+        # -- repair / (re)build the plan when anything changed ----------
+        mode = "steady"
+        pending = _pending_seconds(edges, delivered, flow)
+        if plan is None:
+            if pending:
+                with obs.phase("churn.fresh_plan"):
+                    plan = _fresh_plan(pending, k, beta, method, engine, cache)
+                pos = 0
+                fresh_builds += 1
+                mode = "fresh"
+                if store is not None:
+                    store.record_plan(
+                        plan.to_dict(), pos=0, round_index=r,
+                        segment=segment_steps,
+                    )
+        elif needs_repair or delta or segment_failed or (
+            pos >= len(plan.steps) and pending
+        ):
+            delivered_s = {eid: amt / flow for eid, amt in delivered.items()}
+            edges_s = {
+                eid: (i, j, total / flow)
+                for eid, (i, j, total) in edges.items()
+            }
+            result = repair_plan(
+                plan, pos, delivered_s, edges_s,
+                algorithm=method, engine=engine, cache=cache,
+                max_ratio=max_ratio, max_affected_frac=max_affected_frac,
+            )
+            mode = result.mode
+            repair_seconds += result.repair_seconds
+            plan, pos = result.remainder, 0
+            if mode == "splice":
+                splices += 1
+            elif mode == "fallback":
+                fallbacks += 1
+            else:
+                noops += 1
+            if mode != "noop" and store is not None:
+                store.record_plan(
+                    plan.to_dict(), pos=0, round_index=r,
+                    segment=segment_steps,
+                )
+        needs_repair = False
+        segment_failed = False
+
+        if plan is None or pos >= len(plan.steps):
+            # Nothing executable: churn may still arrive in a later
+            # round, so only the loop-head condition can end the run.
+            if not pending and r >= horizon:
+                break
+            if not pending:
+                r += 1
+                continue
+            # Pending but no plan steps left should be impossible after
+            # a repair; guard against a silent stall anyway.
+            raise GraphError(
+                "live-churn loop stalled with pending traffic and an "
+                "exhausted plan"
+            )
+
+        # -- execute one segment ---------------------------------------
+        seg = Schedule(plan.steps[pos : pos + segment_steps], k, beta)
+        result = simulate_schedule(
+            spec,
+            seg,
+            volume_scale=flow,
+            rng=rng,
+            rate_jitter=rate_jitter,
+            faults=faults,
+            fault_round=r,
+        )
+        deltas: dict[int, float] = {}
+        for eid, amount_s in result.delivered.items():
+            moved = amount_s * flow
+            if moved > 0:
+                before = delivered.get(eid, 0.0)
+                delivered[eid] = before + moved
+                # Snap completed edges to their exact totals so every
+                # trajectory that finishes an edge agrees bit-for-bit.
+                total = edges[eid][2]
+                if (
+                    delivered[eid] != total
+                    and total - delivered[eid] <= _DUST * max(1.0, total)
+                ):
+                    delivered[eid] = total
+                # Journal the *snapped* increment: the checkpoint state
+                # must equal the in-memory state exactly, or a resumed
+                # run's digest drifts by float dust.
+                deltas[eid] = delivered[eid] - before
+        if store is not None:
+            store.record_round(deltas, r)
+        if result.failed:
+            segment_failed = True
+            attempts += 1
+        total_time += result.total_time
+        num_steps += result.num_steps
+        pos += len(seg.steps)
+        rounds += 1
+        history.append(
+            {
+                "round": r,
+                "mode": mode,
+                "churn": delta.size,
+                "steps": result.num_steps,
+                "sim_seconds": result.total_time,
+                "failed": len(result.failed),
+            }
+        )
+        obs.emit(
+            "round.result",
+            round=r,
+            mode=mode,
+            steps=result.num_steps,
+            sim_seconds=result.total_time,
+            failed=len(result.failed),
+            undelivered_mbit=float(
+                sum(
+                    total - delivered.get(eid, 0.0)
+                    for eid, (_, _, total) in edges.items()
+                )
+            ),
+        )
+        r += 1
+
+    undelivered = sum(
+        max(0.0, total - delivered.get(eid, 0.0))
+        for eid, (_, _, total) in edges.items()
+        if total - delivered.get(eid, 0.0) > _DUST * max(1.0, total)
+    )
+    complete = undelivered == 0.0
+    if store is not None and complete and not store.state.complete:
+        store.mark_complete()
+    obs.emit(
+        "run.complete",
+        engine="netsim-churn",
+        rounds=rounds,
+        splices=splices,
+        fallbacks=fallbacks,
+        sim_seconds=total_time,
+        undelivered_mbit=undelivered,
+        complete=complete,
+    )
+    return ChurnOutcome(
+        method=method,
+        total_time=total_time,
+        num_steps=num_steps,
+        rounds=rounds,
+        churn_events=churn_events,
+        churn_ops=churn_ops,
+        splices=splices,
+        fallbacks=fallbacks,
+        noops=noops,
+        fresh_builds=fresh_builds,
+        repair_seconds=repair_seconds,
+        volume_mbit=float(sum(t for _, _, t in edges.values())),
+        undelivered_mbit=float(undelivered),
+        complete=complete,
+        edges=dict(edges),
+        delivered=dict(delivered),
+        history=tuple(history),
+    )
+
+
+def _cell_edges(traffic: np.ndarray) -> dict[int, tuple[int, int, float]]:
+    from repro.netsim.runner import _cell_edges as impl
+
+    return impl(traffic)

@@ -24,7 +24,14 @@ failures:
   atomic snapshots (:class:`CheckpointStore`), and
   :func:`resume_run`, which rebuilds a SIGKILL'd run's residual graph
   from the surviving files so the run can be finished by a fresh
-  process.
+  process.  The store holds an exclusive lock on its run directory,
+  and for live-churn runs also journals the applied traffic deltas
+  and the evolving spliced plan.
+- :mod:`repro.resilience.churn` — seeded live-traffic churn
+  (:class:`ChurnSpec` / :class:`ChurnProcess`): deterministic
+  inject/remove/resize events that drive the splice-repair loops in
+  :mod:`repro.netsim` and :mod:`repro.runtime`, composable with a
+  :class:`FaultPlan`.
 
 Everything reports through :mod:`repro.obs` under ``resilience.*``
 (``faults_injected``, ``retries``, ``recovery_rounds``,
@@ -43,6 +50,7 @@ from repro.resilience.faults import (
     planned_transfer_faults,
 )
 from repro.resilience.retry import RetryPolicy
+from repro.resilience.churn import ChurnProcess, ChurnSpec
 from repro.resilience.recovery import (
     ResumeState,
     recovery_k,
@@ -61,6 +69,8 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "RetryPolicy",
+    "ChurnSpec",
+    "ChurnProcess",
     "planned_transfer_faults",
     "count_fault",
     "recovery_k",

@@ -1,0 +1,238 @@
+"""Seeded live-traffic churn: arrival / removal / resize events.
+
+A :class:`ChurnSpec` holds the *rates* of a churn scenario; a
+:class:`ChurnProcess` turns it into concrete
+:class:`~repro.core.repair.TrafficDelta` batches, one per churn event
+(a round of the driving loop).  Like :mod:`repro.resilience.faults`,
+draws are **coordinate-deterministic**: event ``e`` draws from
+``derive_rng(seed, category, e)`` and from the *current* live edge set,
+so a resumed run that reconstructed the same state from its journal
+draws exactly the same delta — churn composes with a
+:class:`~repro.resilience.faults.FaultPlan` (independent seeds and
+categories) and replays bit-identically.
+
+Injected edges get explicit fresh ids (``max existing + 1`` upward),
+recorded inside the delta, so journal replay never has to re-derive an
+id assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.repair import TrafficDelta
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_rng
+
+__all__ = ["ChurnSpec", "ChurnProcess"]
+
+#: RNG stream category — disjoint from the fault categories (1-3) and
+#: the retry jitter category (101), so churn never perturbs their draws
+#: even under a shared seed.
+_CAT_CHURN = 11
+
+Number = int | float
+
+#: Keys accepted by :meth:`ChurnSpec.parse`, mapped to field names.
+_PARSE_KEYS = {
+    "seed": "seed",
+    "inject": "inject_rate",
+    "remove": "remove_rate",
+    "resize": "resize_rate",
+    "events": "events",
+}
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Rates of a reproducible churn scenario.
+
+    ``inject_rate`` / ``remove_rate`` / ``resize_rate`` are the
+    *expected number* of operations per event (Poisson-drawn);
+    ``events`` is the churn horizon — events at index >= ``events``
+    draw nothing, so a run always drains to completion.  Injected
+    amounts are uniform in ``[min_amount, max_amount]``; a resize
+    scales an edge's undelivered remainder by a factor uniform in
+    ``[min_factor, max_factor]``.
+    """
+
+    seed: int = 0
+    inject_rate: float = 0.0
+    remove_rate: float = 0.0
+    resize_rate: float = 0.0
+    events: int = 0
+    min_amount: float = 1.0
+    max_amount: float = 10.0
+    min_factor: float = 0.5
+    max_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in ("inject_rate", "remove_rate", "resize_rate"):
+            if getattr(self, name) < 0:
+                raise ConfigError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if self.events < 0:
+            raise ConfigError(f"events must be >= 0, got {self.events}")
+        if not 0 < self.min_amount <= self.max_amount:
+            raise ConfigError(
+                "need 0 < min_amount <= max_amount, got "
+                f"{self.min_amount!r}..{self.max_amount!r}"
+            )
+        if not 0 < self.min_factor <= self.max_factor:
+            raise ConfigError(
+                "need 0 < min_factor <= max_factor, got "
+                f"{self.min_factor!r}..{self.max_factor!r}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ChurnSpec":
+        """Build a spec from a CLI string.
+
+        Comma-separated ``key=value`` list, e.g.
+        ``"seed=7,inject=2,remove=1,resize=1,events=5,size=1:10,factor=0.5:1.5"``.
+        Keys: ``seed``, ``inject``, ``remove``, ``resize``, ``events``
+        (counts per event), plus the ranges ``size=LO:HI`` (injected
+        amounts) and ``factor=LO:HI`` (resize factors).
+        """
+        text = text.strip()
+        if not text:
+            raise ConfigError("empty --churn spec")
+        kwargs: dict[str, float | int] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip().lower()
+            if sep and key in ("size", "factor"):
+                lo, sep2, hi = value.partition(":")
+                prefix = "amount" if key == "size" else "factor"
+                try:
+                    kwargs[f"min_{prefix}"] = float(lo)
+                    kwargs[f"max_{prefix}"] = float(hi if sep2 else lo)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad --churn range {value!r} for {key!r}; want LO:HI"
+                    ) from None
+                continue
+            if not sep or key not in _PARSE_KEYS:
+                known = ", ".join(sorted([*_PARSE_KEYS, "size", "factor"]))
+                raise ConfigError(
+                    f"bad --churn entry {part!r}; want key=value with "
+                    f"keys {known}"
+                )
+            name = _PARSE_KEYS[key]
+            try:
+                kwargs[name] = (
+                    int(value) if name in ("seed", "events") else float(value)
+                )
+            except ValueError:
+                raise ConfigError(
+                    f"bad --churn value {value!r} for {key!r}"
+                ) from None
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def any_churn(self) -> bool:
+        """True when at least one rate is nonzero and events remain."""
+        return self.events > 0 and (
+            self.inject_rate > 0 or self.remove_rate > 0 or self.resize_rate > 0
+        )
+
+    def process(self) -> "ChurnProcess":
+        """Convenience: the process for this spec."""
+        return ChurnProcess(self)
+
+
+@dataclass(frozen=True)
+class ChurnProcess:
+    """Deterministic delta generator over a :class:`ChurnSpec`.
+
+    Stateless: :meth:`delta_for_event` is a pure function of the spec's
+    seed, the event index, and the live traffic state it is given — the
+    property the journal relies on to replay churn identically.
+    """
+
+    spec: ChurnSpec
+
+    def delta_for_event(
+        self,
+        event: int,
+        edges: Mapping[int, tuple[int, int, Number]],
+        delivered: Mapping[int, Number],
+        *,
+        shape: tuple[int, int],
+        integer_amounts: bool = False,
+    ) -> TrafficDelta:
+        """The churn delta for event ``event`` given the current state.
+
+        ``edges`` maps edge ids to ``(left, right, total)`` and
+        ``delivered`` to cumulative delivered amounts; removals and
+        resizes target only *live* edges (remaining > 0), injected
+        cells land uniformly on the ``shape = (n1, n2)`` grid with
+        fresh ids.  ``integer_amounts`` rounds injected sizes and
+        resized totals to whole units (the runtime's byte counts).
+        """
+        spec = self.spec
+        if event < 0:
+            raise ConfigError(f"event must be >= 0, got {event}")
+        if event >= spec.events or not spec.any_churn():
+            return TrafficDelta()
+        n1, n2 = shape
+        if n1 < 1 or n2 < 1:
+            raise ConfigError(f"shape must be positive, got {shape!r}")
+        rng = derive_rng(spec.seed, _CAT_CHURN, event)
+        live = sorted(
+            eid
+            for eid, (_, _, total) in edges.items()
+            if total - delivered.get(eid, 0)
+            > 1e-9 * max(1.0, abs(float(total)))
+        )
+        n_inject = int(rng.poisson(spec.inject_rate)) if spec.inject_rate else 0
+        n_remove = (
+            min(int(rng.poisson(spec.remove_rate)), len(live))
+            if spec.remove_rate
+            else 0
+        )
+        removed = (
+            sorted(int(e) for e in rng.choice(live, size=n_remove, replace=False))
+            if n_remove
+            else []
+        )
+        candidates = [eid for eid in live if eid not in set(removed)]
+        n_resize = (
+            min(int(rng.poisson(spec.resize_rate)), len(candidates))
+            if spec.resize_rate
+            else 0
+        )
+        resized = (
+            sorted(
+                int(e) for e in rng.choice(candidates, size=n_resize, replace=False)
+            )
+            if n_resize
+            else []
+        )
+        resize: list[tuple[int, Number]] = []
+        for eid in resized:
+            _, _, total = edges[eid]
+            done = delivered.get(eid, 0)
+            remaining = total - done
+            factor = float(rng.uniform(spec.min_factor, spec.max_factor))
+            if integer_amounts:
+                new_total = int(done) + max(1, int(round(remaining * factor)))
+            else:
+                new_total = float(done) + float(remaining) * factor
+            resize.append((eid, new_total))
+        next_id = max(edges, default=-1) + 1
+        inject: list[tuple[int, int, int, Number]] = []
+        for offset in range(n_inject):
+            left = int(rng.integers(0, n1))
+            right = int(rng.integers(0, n2))
+            amount = float(rng.uniform(spec.min_amount, spec.max_amount))
+            if integer_amounts:
+                amount = max(1, int(round(amount)))
+            inject.append((next_id + offset, left, right, amount))
+        return TrafficDelta(
+            inject=tuple(inject), remove=tuple(removed), resize=tuple(resize)
+        )

@@ -22,6 +22,23 @@ delivered byte.  This module makes the per-edge delivered amounts
   crash *between* the snapshot rename and the journal truncation
   double-applies nothing.
 
+Live-churn runs add two JSON-payload record types: **churn** records
+(:data:`_R_CHURN`) persist each applied
+:class:`~repro.core.repair.TrafficDelta` — injected cells with their
+explicit ids, removals, resizes — mutating the state's *current* edge
+map, and **plan** records (:data:`_R_PLAN`) persist the evolving
+spliced schedule plus the execution position inside it, so ``kpbs
+resume`` restores a churned run bit-identically (same plan, same
+position, same churn trajectory).  Delta records advance the stored
+plan's position by the run's segment length, mirroring the executor.
+
+A :class:`CheckpointStore` also takes an **exclusive lock** (``lock``
+file, ``flock``) on its run directory for its whole open lifetime: a
+second process attempting to journal or resume the same run fails
+fast with :class:`~repro.util.errors.ConfigError` instead of
+interleaving records.  Read-only :func:`load_checkpoint` does not
+lock.
+
 Amounts are cumulative per original edge id and may be ``int`` (the
 runtime executor's byte counts) or ``float`` (the network simulator's
 Mbit); the kind is fixed by the run's metadata and round-trips
@@ -43,7 +60,7 @@ import json
 import os
 import struct
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Mapping
 
@@ -68,6 +85,9 @@ _CRC_SIZE = 4
 _R_META = 1
 _R_DELTA = 2
 _R_COMPLETE = 3
+_R_CHURN = 4
+_R_PLAN = 5
+_KNOWN_RTYPES = (_R_META, _R_DELTA, _R_COMPLETE, _R_CHURN, _R_PLAN)
 
 #: seq u64 | round u32 | count u32, then count * (edge id i64, amount)
 _DELTA_HEADER = struct.Struct("<QII")
@@ -81,6 +101,7 @@ FSYNC_POLICIES = ("always", "round", "never")
 
 JOURNAL_NAME = "journal.kpbj"
 SNAPSHOT_NAME = "snapshot.kpbj"
+LOCK_NAME = "lock"
 
 
 # ----------------------------------------------------------------------
@@ -124,7 +145,7 @@ def _read_records(data: bytes, *, strict: bool) -> tuple[list[tuple[int, bytes]]
         if (
             magic != _MAGIC
             or version != _VERSION
-            or rtype not in (_R_META, _R_DELTA, _R_COMPLETE)
+            or rtype not in _KNOWN_RTYPES
             or end > size
         ):
             if strict:
@@ -226,6 +247,14 @@ class CheckpointState:
     the next executed round should use; ``seq`` the last applied delta
     sequence number.  ``complete`` is True once the run recorded that
     every edge reached its total.
+
+    ``edges`` is the *current* edge map — identical to ``meta.edges``
+    until churn records mutate it (injections, removals, resizes).
+    ``last_churn_round`` is the latest round a churn record was applied
+    for (so a resumed loop never re-draws it); ``plan`` /
+    ``plan_pos`` / ``plan_round`` / ``plan_segment`` carry the evolving
+    spliced schedule (as a :meth:`~repro.core.schedule.Schedule.to_dict`
+    doc) and the step position execution reached inside it.
     """
 
     meta: RunMeta
@@ -233,6 +262,18 @@ class CheckpointState:
     seq: int = 0
     next_round: int = 0
     complete: bool = False
+    edges: dict[int, tuple[int, int, int | float]] = None  # type: ignore[assignment]
+    last_churn_round: int = -1
+    plan: dict | None = None
+    plan_pos: int = 0
+    plan_round: int = -1
+    plan_segment: int = 0
+
+    def __post_init__(self) -> None:
+        if self.edges is None:
+            self.edges = {
+                eid: tuple(lrt) for eid, lrt in self.meta.edges.items()
+            }
 
     def pending(self) -> dict[int, tuple[int, int, int | float]]:
         """Undelivered traffic, in :func:`residual_graph_from_amounts` form.
@@ -244,7 +285,7 @@ class CheckpointState:
         """
         dust = self.meta.amount_kind == "float"
         out: dict[int, tuple[int, int, int | float]] = {}
-        for eid, (left, right, total) in self.meta.edges.items():
+        for eid, (left, right, total) in self.edges.items():
             remaining = total - self.delivered.get(eid, 0)
             if dust and remaining <= 1e-12 * max(float(total), 1.0):
                 continue
@@ -254,7 +295,11 @@ class CheckpointState:
 
 
 def _apply_delta(
-    state: CheckpointState, payload: bytes, *, float_amounts: bool
+    state: CheckpointState,
+    payload: bytes,
+    *,
+    float_amounts: bool,
+    from_snapshot: bool = False,
 ) -> None:
     """Fold one delta record into ``state`` (validating every pair)."""
     if len(payload) < _DELTA_HEADER.size:
@@ -263,14 +308,14 @@ def _apply_delta(
     pair = _PAIR_FLOAT if float_amounts else _PAIR_INT
     if len(payload) != _DELTA_HEADER.size + count * pair.size:
         raise GraphError("checkpoint delta record length mismatch")
-    if seq <= state.seq and state.seq:
+    if not from_snapshot and seq <= state.seq and state.seq:
         # Already folded into the snapshot this journal predates.
         return
     offset = _DELTA_HEADER.size
     for _ in range(count):
         eid, amount = pair.unpack_from(payload, offset)
         offset += pair.size
-        entry = state.meta.edges.get(eid)
+        entry = state.edges.get(eid)
         if entry is None:
             raise GraphError(f"checkpoint delta names unknown edge {eid}")
         if amount <= 0:
@@ -285,8 +330,65 @@ def _apply_delta(
                 f"checkpoint delivers {new!r} of {total!r} on edge {eid}"
             )
         state.delivered[eid] = min(new, total) if float_amounts else new
-    state.seq = seq
+    state.seq = max(state.seq, seq)
     state.next_round = max(state.next_round, round_index + 1)
+    if not from_snapshot and state.plan is not None and state.plan_segment > 0:
+        # One delta == one executed segment of the evolving plan.
+        total_steps = len(state.plan.get("steps", ()))
+        state.plan_pos = min(total_steps, state.plan_pos + state.plan_segment)
+
+
+def _apply_churn(
+    state: CheckpointState, payload: bytes, *, from_snapshot: bool = False
+) -> None:
+    """Fold one churn record (a JSON TrafficDelta) into ``state``."""
+    from repro.core.repair import TrafficDelta, apply_traffic_delta
+
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+        seq = int(doc["seq"])
+        round_index = int(doc["round"])
+        delta = TrafficDelta.from_doc(doc, amount_kind=state.meta.amount_kind)
+    except GraphError:
+        raise
+    except Exception as exc:
+        raise GraphError(f"corrupt checkpoint churn record: {exc}") from exc
+    if not from_snapshot and seq <= state.seq and state.seq:
+        return
+    try:
+        state.edges = apply_traffic_delta(state.edges, state.delivered, delta)
+    except ConfigError as exc:
+        raise GraphError(f"invalid checkpoint churn record: {exc}") from exc
+    for eid, _, _, _ in delta.inject:
+        state.delivered.setdefault(eid, 0)
+    for eid in list(state.delivered):
+        if eid not in state.edges:
+            del state.delivered[eid]
+    state.seq = max(state.seq, seq)
+    state.last_churn_round = max(state.last_churn_round, round_index)
+
+
+def _apply_plan(
+    state: CheckpointState, payload: bytes, *, from_snapshot: bool = False
+) -> None:
+    """Fold one plan record (the evolving schedule + position)."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+        seq = int(doc["seq"])
+        round_index = int(doc["round"])
+        pos = int(doc["pos"])
+        segment = int(doc["segment"])
+        plan = doc["schedule"]
+    except Exception as exc:
+        raise GraphError(f"corrupt checkpoint plan record: {exc}") from exc
+    if not from_snapshot and seq <= state.seq and state.seq:
+        return
+    if plan is not None:
+        state.plan = plan
+    state.plan_pos = pos
+    state.plan_round = round_index
+    state.plan_segment = segment
+    state.seq = max(state.seq, seq)
 
 
 def _state_from_records(
@@ -294,6 +396,7 @@ def _state_from_records(
     meta: RunMeta | None,
     *,
     what: str,
+    from_snapshot: bool = False,
 ) -> CheckpointState:
     state: CheckpointState | None = None
     if meta is not None:
@@ -312,8 +415,15 @@ def _state_from_records(
             raise GraphError(f"{what} has records before any metadata")
         elif rtype == _R_DELTA:
             _apply_delta(
-                state, payload, float_amounts=state.meta.amount_kind == "float"
+                state,
+                payload,
+                float_amounts=state.meta.amount_kind == "float",
+                from_snapshot=from_snapshot,
             )
+        elif rtype == _R_CHURN:
+            _apply_churn(state, payload, from_snapshot=from_snapshot)
+        elif rtype == _R_PLAN:
+            _apply_plan(state, payload, from_snapshot=from_snapshot)
         elif rtype == _R_COMPLETE:
             state.complete = True
     if state is None:
@@ -384,6 +494,7 @@ class CheckpointStore:
         self.fsync = fsync
         self.snapshot_every = snapshot_every
         self._journal = None
+        self._lock = None
         self._state: CheckpointState | None = None
         self._rounds_since_snapshot = 0
 
@@ -396,6 +507,46 @@ class CheckpointStore:
     @property
     def snapshot_path(self) -> Path:
         return self.directory / SNAPSHOT_NAME
+
+    @property
+    def lock_path(self) -> Path:
+        return self.directory / LOCK_NAME
+
+    def _acquire_lock(self) -> None:
+        """Take the directory's exclusive advisory lock (or fail fast).
+
+        Two stores journalling or resuming the same run concurrently
+        would interleave records and corrupt the sequence numbering, so
+        the second opener gets :class:`ConfigError` immediately.  The
+        lock lives for the store's open lifetime and is released by
+        :meth:`close` (and by the OS if the process dies).
+        """
+        if self._lock is not None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle = open(self.lock_path, "a+b")
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            self._lock = handle
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            handle.close()
+            raise ConfigError(
+                f"checkpoint directory {self.directory} is locked by "
+                "another process; two stores must not journal or resume "
+                "the same run concurrently"
+            ) from exc
+        self._lock = handle
+
+    def _release_lock(self) -> None:
+        if self._lock is not None:
+            try:
+                self._lock.close()
+            finally:
+                self._lock = None
 
     @property
     def state(self) -> CheckpointState:
@@ -422,19 +573,23 @@ class CheckpointStore:
         """Start a fresh checkpointed run (directory must hold none)."""
         if self._journal is not None:
             raise ConfigError("checkpoint store already started")
-        if self.exists():
-            raise ConfigError(
-                f"checkpoint directory {self.directory} already holds a run; "
-                "resume it or choose a fresh directory"
+        self._acquire_lock()
+        try:
+            if self.exists():
+                raise ConfigError(
+                    f"checkpoint directory {self.directory} already holds a "
+                    "run; resume it or choose a fresh directory"
+                )
+            self._state = CheckpointState(
+                meta=meta, delivered={eid: 0 for eid in meta.edges}
             )
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self._state = CheckpointState(
-            meta=meta, delivered={eid: 0 for eid in meta.edges}
-        )
-        self._journal = open(self.journal_path, "ab")
-        self._append(_R_META, meta.to_payload())
-        if self.fsync in ("always", "round"):
-            _fsync_file(self._journal)
+            self._journal = open(self.journal_path, "ab")
+            self._append(_R_META, meta.to_payload())
+            if self.fsync in ("always", "round"):
+                _fsync_file(self._journal)
+        except BaseException:
+            self._release_lock()
+            raise
         return self
 
     @classmethod
@@ -450,20 +605,25 @@ class CheckpointStore:
         first new append, so fresh records never land after garbage.
         """
         store = cls(directory, fsync=fsync, snapshot_every=snapshot_every)
-        state, valid_len = _load_state(store.directory)
-        store._state = state
-        store.directory.mkdir(parents=True, exist_ok=True)
-        store._journal = open(store.journal_path, "ab")
-        if valid_len is not None and store._journal.tell() > valid_len:
-            store._journal.truncate(valid_len)
-            store._journal.seek(valid_len)
-        if not store.journal_path.stat().st_size:
-            # Journal was empty (fresh after a snapshot-compact or the
-            # crash tore the very first record): re-anchor it with the
-            # metadata so the journal alone is always interpretable.
-            store._append(_R_META, state.meta.to_payload())
-            if store.fsync in ("always", "round"):
-                _fsync_file(store._journal)
+        store._acquire_lock()
+        try:
+            state, valid_len = _load_state(store.directory)
+            store._state = state
+            store._journal = open(store.journal_path, "ab")
+            if valid_len is not None and store._journal.tell() > valid_len:
+                store._journal.truncate(valid_len)
+                store._journal.seek(valid_len)
+            if not store.journal_path.stat().st_size:
+                # Journal was empty (fresh after a snapshot-compact or the
+                # crash tore the very first record): re-anchor it with the
+                # metadata so the journal alone is always interpretable.
+                store._append(_R_META, store._current_meta().to_payload())
+                if store.fsync in ("always", "round"):
+                    _fsync_file(store._journal)
+        except BaseException:
+            store._journal = None
+            store._release_lock()
+            raise
         return store
 
     def close(self) -> None:
@@ -472,6 +632,14 @@ class CheckpointStore:
                 _fsync_file(self._journal)
             self._journal.close()
             self._journal = None
+        self._release_lock()
+
+    def _current_meta(self) -> RunMeta:
+        """The run metadata with the *current* (post-churn) edge map."""
+        state = self.state
+        if state.edges == dict(state.meta.edges):
+            return state.meta
+        return replace(state.meta, edges=dict(state.edges))
 
     def __enter__(self) -> "CheckpointStore":
         return self
@@ -522,6 +690,73 @@ class CheckpointStore:
         if self.snapshot_every and self._rounds_since_snapshot >= self.snapshot_every:
             self.snapshot()
 
+    def record_churn(self, delta, round_index: int) -> None:
+        """Durably record one applied :class:`TrafficDelta`.
+
+        The delta is validated against the current state *before*
+        anything is written (:class:`ConfigError` on an invalid or
+        edge-clearing delta), then journalled and folded into the
+        in-memory edge map exactly the way a resuming reader would fold
+        it.  Empty deltas are dropped.
+        """
+        from repro.core.repair import apply_traffic_delta
+
+        state = self.state
+        if not delta:
+            return
+        new_edges = apply_traffic_delta(state.edges, state.delivered, delta)
+        if not new_edges:
+            raise ConfigError(
+                "churn delta would leave the checkpointed run with no edges"
+            )
+        seq = state.seq + 1
+        doc = {"seq": seq, "round": int(round_index), **delta.to_doc()}
+        self._append(_R_CHURN, json.dumps(doc, sort_keys=True).encode("utf-8"))
+        if self.fsync == "round":
+            _fsync_file(self._journal)
+        state.edges = new_edges
+        for eid, _, _, _ in delta.inject:
+            state.delivered.setdefault(eid, 0)
+        for eid in list(state.delivered):
+            if eid not in state.edges:
+                del state.delivered[eid]
+        state.seq = seq
+        state.last_churn_round = max(state.last_churn_round, int(round_index))
+
+    def record_plan(
+        self,
+        schedule_doc: dict | None,
+        *,
+        pos: int,
+        round_index: int,
+        segment: int,
+    ) -> None:
+        """Durably record the evolving plan and/or the position in it.
+
+        ``schedule_doc`` is a :meth:`~repro.core.schedule.Schedule.to_dict`
+        document (pass ``None`` to update only the position of the plan
+        recorded earlier); ``pos`` is the step index execution will
+        continue from and ``segment`` the number of steps executed per
+        round — each subsequent delta record advances the stored
+        position by that much, mirroring the executor.
+        """
+        state = self.state
+        if schedule_doc is None and state.plan is None:
+            raise ConfigError("no plan recorded yet to update the position of")
+        seq = state.seq + 1
+        doc = {
+            "seq": seq,
+            "round": int(round_index),
+            "pos": int(pos),
+            "segment": int(segment),
+            "schedule": schedule_doc,
+        }
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self._append(_R_PLAN, payload)
+        if self.fsync == "round":
+            _fsync_file(self._journal)
+        _apply_plan(state, payload)
+
     def mark_complete(self) -> None:
         """Record that every edge reached its total (durable)."""
         self._append(_R_COMPLETE, b"")
@@ -538,6 +773,7 @@ class CheckpointStore:
         numbers stop a not-yet-truncated journal from double-applying.
         """
         state = self.state
+        meta_now = self._current_meta()
         float_amounts = state.meta.amount_kind == "float"
         pair = _PAIR_FLOAT if float_amounts else _PAIR_INT
         pairs = sorted(
@@ -550,9 +786,33 @@ class CheckpointStore:
             payload += pair.pack(
                 eid, float(amount) if float_amounts else int(amount)
             )
-        blob = _frame(_R_META, state.meta.to_payload()) + _frame(
+        blob = _frame(_R_META, meta_now.to_payload()) + _frame(
             _R_DELTA, bytes(payload)
         )
+        if state.last_churn_round >= 0:
+            # Empty marker delta: carries the last churned round across
+            # the compaction (the edge map itself is folded into META).
+            marker = {
+                "seq": state.seq,
+                "round": state.last_churn_round,
+                "inject": [],
+                "remove": [],
+                "resize": [],
+            }
+            blob += _frame(
+                _R_CHURN, json.dumps(marker, sort_keys=True).encode("utf-8")
+            )
+        if state.plan is not None:
+            plan_doc = {
+                "seq": state.seq,
+                "round": state.plan_round,
+                "pos": state.plan_pos,
+                "segment": state.plan_segment,
+                "schedule": state.plan,
+            }
+            blob += _frame(
+                _R_PLAN, json.dumps(plan_doc, sort_keys=True).encode("utf-8")
+            )
         if state.complete:
             blob += _frame(_R_COMPLETE, b"")
         tmp = self.snapshot_path.with_suffix(".tmp")
@@ -568,7 +828,7 @@ class CheckpointStore:
             if self._journal is not None:
                 self._journal.truncate(0)
                 self._journal.seek(0)
-                self._append(_R_META, state.meta.to_payload())
+                self._append(_R_META, meta_now.to_payload())
                 if self.fsync != "never":
                     _fsync_file(self._journal)
         metrics = obs.metrics()
@@ -598,7 +858,9 @@ def _load_state(directory: Path) -> tuple[CheckpointState, int | None]:
     state: CheckpointState | None = None
     if snapshot_path.exists():
         records, _ = _read_records(snapshot_path.read_bytes(), strict=True)
-        state = _state_from_records(records, None, what="snapshot")
+        state = _state_from_records(
+            records, None, what="snapshot", from_snapshot=True
+        )
     valid_len: int | None = None
     if journal_path.exists():
         data = journal_path.read_bytes()
@@ -620,6 +882,10 @@ def _load_state(directory: Path) -> tuple[CheckpointState, int | None]:
                         payload,
                         float_amounts=state.meta.amount_kind == "float",
                     )
+                elif rtype == _R_CHURN:
+                    _apply_churn(state, payload)
+                elif rtype == _R_PLAN:
+                    _apply_plan(state, payload)
                 elif rtype == _R_COMPLETE:
                     state.complete = True
     assert state is not None

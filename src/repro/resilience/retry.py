@@ -39,6 +39,14 @@ class RetryPolicy:
     ``task_timeout`` is a per-attempt wall-clock deadline in seconds;
     ``None`` disables it.  Layers that have their own timeout parameter
     (e.g. :meth:`WorkerPool.map`) use this as their default.
+
+    ``max_elapsed`` is a *total-time* budget in seconds alongside the
+    attempt budget: retrying stops once the elapsed time reaches it.
+    By default the budget is charged against :meth:`planned_elapsed` —
+    the deterministic sum of the backoff delays, jitter included — so
+    whether a retry loop gives up is a pure function of the policy, not
+    of machine speed; callers with a real clock may pass their measured
+    ``elapsed`` instead.  ``None`` disables the budget.
     """
 
     max_attempts: int = 3
@@ -48,6 +56,7 @@ class RetryPolicy:
     jitter: float = 0.1
     task_timeout: float | None = None
     seed: int = 0
+    max_elapsed: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -66,10 +75,92 @@ class RetryPolicy:
             raise ConfigError(
                 f"task_timeout must be positive, got {self.task_timeout}"
             )
+        if self.max_elapsed is not None and self.max_elapsed <= 0:
+            raise ConfigError(
+                f"max_elapsed must be positive, got {self.max_elapsed}"
+            )
 
-    def allows_retry(self, attempt: int) -> bool:
-        """Whether another attempt is allowed after 1-based ``attempt``."""
-        return attempt < self.max_attempts
+    @classmethod
+    def parse(cls, text: str) -> "RetryPolicy":
+        """Build a policy from a CLI string (the ``--retries`` option).
+
+        Accepts either a bare integer (``max_attempts``, the historical
+        behaviour) or a comma-separated ``key=value`` list, e.g.
+        ``"attempts=5,max-elapsed=30,base=0.1,seed=7"``.  Keys:
+        ``attempts``, ``max-elapsed`` (seconds), ``base``,
+        ``multiplier``, ``max-backoff``, ``jitter``, ``timeout``
+        (per-attempt), ``seed``.
+        """
+        keys = {
+            "attempts": ("max_attempts", int),
+            "max-elapsed": ("max_elapsed", float),
+            "max_elapsed": ("max_elapsed", float),
+            "base": ("backoff_base", float),
+            "multiplier": ("backoff_multiplier", float),
+            "max-backoff": ("max_backoff", float),
+            "max_backoff": ("max_backoff", float),
+            "jitter": ("jitter", float),
+            "timeout": ("task_timeout", float),
+            "seed": ("seed", int),
+        }
+        text = text.strip()
+        if not text:
+            raise ConfigError("empty --retries spec")
+        try:
+            return cls(max_attempts=int(text))
+        except ValueError:
+            pass
+        kwargs: dict[str, float | int] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in keys:
+                known = ", ".join(sorted({k for k in keys if "_" not in k}))
+                raise ConfigError(
+                    f"bad --retries entry {part!r}; want key=value with "
+                    f"keys {known} (or a bare attempt count)"
+                )
+            name, cast = keys[key]
+            try:
+                kwargs[name] = cast(value)
+            except ValueError:
+                raise ConfigError(
+                    f"bad --retries value {value!r} for {key!r}"
+                ) from None
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def planned_elapsed(self, attempts: int) -> float:
+        """Deterministic time consumed by ``attempts`` attempts.
+
+        The sum of the (jittered, seed-determined) backoff delays that
+        precede attempt ``attempts + 1``; execution time of the
+        attempts themselves is not modelled.  This is what
+        :meth:`allows_retry` charges against ``max_elapsed`` when no
+        measured time is supplied, keeping give-up decisions
+        reproducible across machines.
+        """
+        if attempts < 0:
+            raise ConfigError(f"attempts must be >= 0, got {attempts}")
+        return sum(self.delay(n) for n in range(1, attempts + 1))
+
+    def allows_retry(self, attempt: int, elapsed: float | None = None) -> bool:
+        """Whether another attempt is allowed after 1-based ``attempt``.
+
+        With a ``max_elapsed`` budget, ``elapsed`` (seconds spent so
+        far) is charged against it; when ``None`` the deterministic
+        :meth:`planned_elapsed` stands in, including the delay that
+        would precede the next attempt.
+        """
+        if attempt >= self.max_attempts:
+            return False
+        if self.max_elapsed is None:
+            return True
+        if elapsed is None:
+            elapsed = self.planned_elapsed(attempt)
+        return elapsed < self.max_elapsed
 
     def delay(self, attempt: int) -> float:
         """Seconds to wait before the attempt following ``attempt``.
@@ -104,15 +195,17 @@ class RetryPolicy:
         unchanged.  Each retry is recorded under ``resilience.retries``.
         """
         attempt = 0
+        spent = 0.0
         while True:
             attempt += 1
             try:
                 return fn(attempt)
             except retry_on:
-                if not self.allows_retry(attempt):
+                pause = self.delay(attempt)
+                if not self.allows_retry(attempt, elapsed=spent + pause):
                     raise
                 obs.metrics().counter("resilience.retries").inc()
                 obs.metrics().counter("resilience.retries.run").inc()
-                pause = self.delay(attempt)
                 if pause > 0:
                     sleep(pause)
+                spent += pause

@@ -28,6 +28,7 @@ from repro.runtime.executor import (
     RuntimeFailure,
     RuntimeReport,
 )
+from repro.runtime.churn import ChurnRunReport, run_resilient_churn
 
 __all__ = [
     "TokenBucket",
@@ -43,4 +44,6 @@ __all__ = [
     "ResilientRunReport",
     "RuntimeFailure",
     "RuntimeReport",
+    "ChurnRunReport",
+    "run_resilient_churn",
 ]

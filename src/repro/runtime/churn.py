@@ -1,0 +1,366 @@
+"""Live-churn execution over the in-process runtime.
+
+The byte-moving counterpart of :mod:`repro.netsim.watch`: the plan is
+executed ``segment_steps`` steps at a time over a
+:class:`~repro.runtime.LocalCluster`, and between segments a seeded
+:class:`~repro.resilience.ChurnProcess` mutates the message set —
+injecting new messages, truncating removed ones at whatever prefix
+already landed, growing or shrinking totals.  After every churn batch
+(and every faulted segment) the in-flight plan is healed with
+:func:`repro.core.repair.repair_plan` and the spliced remainder is
+verified before another byte moves.
+
+Payload bytes for injected messages and grown totals are generated
+deterministically from the churn seed and the event's coordinates, so
+two runs with the same spec move byte-identical traffic.  Schedule
+amounts are byte counts (``amount_to_bytes=1``), which keeps chunk
+boundaries exact across splices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro import obs
+from repro.core.cache import DEFAULT_SCHEDULE_CACHE, ScheduleCache, cached_schedule
+from repro.core.repair import (
+    apply_traffic_delta,
+    repair_plan,
+    validate_repair_bounds,
+)
+from repro.core.schedule import Schedule
+from repro.resilience.churn import _CAT_CHURN, ChurnProcess
+from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import (
+    residual_graph_from_amounts,
+    verify_recovery_schedule,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.runtime.executor import RuntimeFailure, RuntimeReport, run_scheduled
+from repro.runtime.local import LocalCluster
+from repro.util.errors import ConfigError, SimulationError
+from repro.util.rng import derive_rng
+
+__all__ = ["ChurnRunReport", "run_resilient_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnRunReport:
+    """Outcome of :func:`run_resilient_churn`.
+
+    ``payloads`` is the *final* message set after all churn (injected
+    messages included, removed ones truncated at their delivered
+    prefix) and ``delivered`` what actually landed; ``complete`` means
+    they are byte-identical.  ``splices``/``fallbacks``/``noops`` count
+    repair outcomes, ``reports`` the per-segment runtime reports.
+    """
+
+    rounds: int
+    total_seconds: float
+    bytes_moved: int
+    churn_events: int
+    churn_ops: int
+    splices: int
+    fallbacks: int
+    noops: int
+    fresh_builds: int
+    complete: bool
+    payloads: Mapping[int, bytes]
+    destinations: Mapping[int, tuple[int, int]]
+    delivered: Mapping[int, bytes] = field(default_factory=dict)
+    reports: tuple[RuntimeReport, ...] = ()
+    errors: tuple[RuntimeFailure, ...] = ()
+
+    def raise_on_errors(self) -> None:
+        """Raise if any traffic was still undelivered at the end."""
+        if self.errors:
+            raise SimulationError(
+                "live-churn execution incomplete:\n"
+                + "\n".join(f"  - {e}" for e in self.errors)
+            )
+
+
+def _synth_bytes(seed: int, event: int, eid: int, n: int) -> bytes:
+    """Deterministic payload bytes for churn-created traffic."""
+    if n <= 0:
+        return b""
+    return derive_rng(seed, _CAT_CHURN, event, eid).bytes(n)
+
+
+def run_resilient_churn(
+    cluster: LocalCluster,
+    payloads: dict[int, bytes],
+    destinations: dict[int, tuple[int, int]],
+    churn: ChurnProcess,
+    *,
+    k: int,
+    beta: float,
+    method: str = "oggp",
+    engine: str = "fast",
+    segment_steps: int = 4,
+    cache: ScheduleCache | None = DEFAULT_SCHEDULE_CACHE,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    max_ratio: float = 1.5,
+    max_affected_frac: float = 0.5,
+) -> ChurnRunReport:
+    """Move a churning message set until everything lands.
+
+    Starts from ``payloads``/``destinations`` (edge id -> message bytes
+    and ``(sender, receiver)``), schedules the byte counts with
+    ``method``, then alternates segment execution with churn draws and
+    splice repair.  ``retry`` bounds how many *faulted* segments the
+    run tolerates (default 8 attempts, no pauses); churned-but-clean
+    rounds do not consume attempts.
+
+    Not checkpointable: live-churn runtime runs are exercised through
+    the (resumable) :mod:`repro.netsim.watch` loop; this executor is
+    for moving real bytes under churn in one process.
+    """
+    if retry is None:
+        retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
+    if segment_steps < 1:
+        raise ConfigError(f"segment_steps must be >= 1, got {segment_steps}")
+    validate_repair_bounds(max_ratio, max_affected_frac)
+    if set(payloads) != set(destinations):
+        raise ConfigError("payloads and destinations must cover the same edges")
+    payloads = dict(payloads)
+    destinations = dict(destinations)
+    delivered: dict[int, bytes] = {eid: b"" for eid in payloads}
+    edges = {
+        eid: (*destinations[eid], len(payloads[eid])) for eid in payloads
+    }
+    if not edges:
+        raise ConfigError("nothing to move: empty payload set")
+    shape = (cluster.n1, cluster.n2)
+    seed = churn.spec.seed
+    horizon = churn.spec.events
+    metrics = obs.metrics()
+    obs.emit(
+        "run.start",
+        engine="runtime-churn",
+        method=method,
+        k=k,
+        beta=beta,
+        edges=len(payloads),
+        bytes=sum(len(p) for p in payloads.values()),
+        churn_events=horizon,
+    )
+
+    plan: Schedule | None = None
+    pos = 0
+    rounds = 0
+    churn_events = churn_ops = 0
+    splices = fallbacks = noops = fresh_builds = 0
+    total_seconds = 0.0
+    bytes_moved = 0
+    reports: list[RuntimeReport] = []
+    r = 0
+    attempts = 1
+    segment_failed = False
+    last_churn_round = -1
+
+    def _delivered_len() -> dict[int, int]:
+        return {eid: len(data) for eid, data in delivered.items()}
+
+    def _pending() -> dict[int, tuple[int, int, int]]:
+        return {
+            eid: (*destinations[eid], len(payloads[eid]) - len(delivered[eid]))
+            for eid in payloads
+            if len(delivered[eid]) < len(payloads[eid])
+        }
+
+    with obs.phase("runtime.run_resilient_churn"):
+        while True:
+            pending = _pending()
+            if not pending and r >= horizon:
+                break
+            if pending and not retry.allows_retry(attempts):
+                break
+
+            # -- churn event for this round -------------------------
+            delta_size = 0
+            delta = None
+            if r < horizon and r > last_churn_round:
+                delta = churn.delta_for_event(
+                    r, edges, _delivered_len(), shape=shape,
+                    integer_amounts=True,
+                )
+                last_churn_round = r
+            if delta:
+                edges = apply_traffic_delta(edges, _delivered_len(), delta)
+                for eid, left, right, amount in delta.inject:
+                    destinations[eid] = (left, right)
+                    payloads[eid] = _synth_bytes(seed, r, eid, int(amount))
+                    delivered[eid] = b""
+                for eid in delta.remove:
+                    if eid not in edges:  # nothing delivered: drop it
+                        del payloads[eid], delivered[eid], destinations[eid]
+                    else:  # keep the landed prefix as the new total
+                        payloads[eid] = payloads[eid][: edges[eid][2]]
+                for eid, _new_total in delta.resize:
+                    if eid not in edges:
+                        continue
+                    total = edges[eid][2]
+                    if total <= len(payloads[eid]):
+                        payloads[eid] = payloads[eid][:total]
+                    else:
+                        payloads[eid] = payloads[eid] + _synth_bytes(
+                            seed, r, eid, total - len(payloads[eid])
+                        )
+                delta_size = delta.size
+                churn_events += 1
+                churn_ops += delta_size
+                metrics.counter("churn.events").inc()
+                metrics.counter("churn.ops").inc(delta_size)
+                obs.emit(
+                    "churn.delta",
+                    round=r,
+                    inject=len(delta.inject),
+                    remove=len(delta.remove),
+                    resize=len(delta.resize),
+                )
+
+            # -- repair / (re)build ---------------------------------
+            mode = "steady"
+            pending = _pending()
+            if plan is None:
+                if pending:
+                    from repro.core.repair import _remap_steps
+
+                    graph, id_map = residual_graph_from_amounts(pending)
+                    schedule = cached_schedule(
+                        graph, k, beta, algorithm=method, engine=engine,
+                        cache=cache,
+                    )
+                    verify_recovery_schedule(graph, schedule)
+                    plan = Schedule(_remap_steps(schedule, id_map), k, beta)
+                    pos = 0
+                    fresh_builds += 1
+                    mode = "fresh"
+            elif delta or segment_failed or (pos >= len(plan.steps) and pending):
+                edge_totals = {
+                    eid: (lrt[0], lrt[1], float(lrt[2]))
+                    for eid, lrt in edges.items()
+                }
+                result = repair_plan(
+                    plan, pos,
+                    {eid: float(n) for eid, n in _delivered_len().items()},
+                    edge_totals,
+                    algorithm=method, engine=engine, cache=cache,
+                    max_ratio=max_ratio,
+                    max_affected_frac=max_affected_frac,
+                )
+                mode = result.mode
+                plan, pos = result.remainder, 0
+                if mode == "splice":
+                    splices += 1
+                elif mode == "fallback":
+                    fallbacks += 1
+                else:
+                    noops += 1
+            segment_failed = False
+
+            if plan is None or pos >= len(plan.steps):
+                if not pending and r >= horizon:
+                    break
+                if not pending:
+                    r += 1
+                    continue
+                raise SimulationError(
+                    "live-churn runtime stalled with pending traffic and "
+                    "an exhausted plan"
+                )
+
+            # -- execute one segment --------------------------------
+            seg = Schedule(plan.steps[pos : pos + segment_steps], k, beta)
+            seg_totals: dict[int, int] = {}
+            for step in seg.steps:
+                for t in step.transfers:
+                    seg_totals[t.edge_id] = (
+                        seg_totals.get(t.edge_id, 0) + round(t.amount)
+                    )
+            seg_payloads = {
+                eid: payloads[eid][
+                    len(delivered[eid]) : len(delivered[eid]) + n
+                ]
+                for eid, n in seg_totals.items()
+            }
+            report = run_scheduled(
+                cluster,
+                seg,
+                seg_payloads,
+                destinations,
+                amount_to_bytes=1.0,
+                faults=faults,
+                fault_round=r,
+            )
+            for eid, chunk in report.delivered.items():
+                delivered[eid] += chunk
+                bytes_moved += len(chunk)
+            total_seconds += report.total_seconds
+            reports.append(report)
+            if report.errors:
+                segment_failed = True
+                attempts += 1
+            pos += len(seg.steps)
+            rounds += 1
+            obs.emit(
+                "round.result",
+                round=r,
+                mode=mode,
+                churn=delta_size,
+                steps=len(seg.steps),
+                bytes_moved=report.bytes_moved,
+                failures=len(report.errors),
+            )
+            r += 1
+
+    errors: list[RuntimeFailure] = []
+    for eid in sorted(payloads):
+        if delivered[eid] != payloads[eid]:
+            if payloads[eid].startswith(delivered[eid]):
+                errors.append(
+                    RuntimeFailure(
+                        "undelivered",
+                        f"{len(payloads[eid]) - len(delivered[eid])} of "
+                        f"{len(payloads[eid])} bytes missing",
+                        edge_id=eid,
+                    )
+                )
+            else:
+                errors.append(
+                    RuntimeFailure(
+                        "integrity",
+                        "delivered bytes are not a prefix of the payload",
+                        edge_id=eid,
+                    )
+                )
+    complete = not errors
+    obs.emit(
+        "run.complete",
+        engine="runtime-churn",
+        rounds=rounds,
+        splices=splices,
+        fallbacks=fallbacks,
+        bytes_moved=bytes_moved,
+        complete=complete,
+    )
+    return ChurnRunReport(
+        rounds=rounds,
+        total_seconds=total_seconds,
+        bytes_moved=bytes_moved,
+        churn_events=churn_events,
+        churn_ops=churn_ops,
+        splices=splices,
+        fallbacks=fallbacks,
+        noops=noops,
+        fresh_builds=fresh_builds,
+        complete=complete,
+        payloads=dict(payloads),
+        destinations=dict(destinations),
+        delivered=dict(delivered),
+        reports=tuple(reports),
+        errors=tuple(errors),
+    )

@@ -45,7 +45,7 @@ from repro.core.cache import DEFAULT_SCHEDULE_CACHE, ScheduleCache, cached_sched
 from repro.core.schedule import Schedule
 from repro.graph.bipartite import BipartiteGraph
 from repro.runtime.local import LocalCluster
-from repro.util.errors import SimulationError
+from repro.util.errors import ConfigError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import os
@@ -611,8 +611,23 @@ def schedule_and_run_resilient(
     retry: "RetryPolicy | None" = None,
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     metrics_port: int | None = None,
+    churn=None,
+    segment_steps: int = 4,
 ) -> ResilientRunReport:
     """Schedule, execute, and recover until every byte lands.
+
+    ``churn`` — a :class:`~repro.resilience.ChurnProcess` — switches to
+    the live-churn executor: the plan runs ``segment_steps`` steps at a
+    time, seeded traffic deltas mutate the message set between
+    segments, and the in-flight plan is splice-repaired via
+    :func:`repro.core.repair.repair_plan` (see
+    :func:`repro.runtime.churn.run_resilient_churn`, whose
+    :class:`~repro.runtime.churn.ChurnRunReport` is returned instead).
+    Churned runtime runs are not checkpointable — combining ``churn``
+    with ``checkpoint`` raises :class:`ConfigError`; the resumable
+    churn path is ``kpbs watch`` over :mod:`repro.netsim.watch`.  The
+    churn route schedules the payload byte counts directly, so it
+    requires ``amount_to_bytes == 1``.
 
     Like :func:`schedule_and_run`, but failures do not end the story:
     after a round with failed or stalled transfers, the undelivered
@@ -666,7 +681,36 @@ def schedule_and_run_resilient(
                 faults=faults,
                 retry=retry,
                 checkpoint=checkpoint,
+                churn=churn,
+                segment_steps=segment_steps,
             )
+    if churn is not None:
+        from repro.runtime.churn import run_resilient_churn
+
+        if checkpoint is not None:
+            raise ConfigError(
+                "churned runtime runs are not checkpointable; use "
+                "kpbs watch (repro.netsim.watch) for a resumable churn run"
+            )
+        if amount_to_bytes != 1.0:
+            raise ConfigError(
+                "the churn executor schedules byte counts directly; "
+                f"amount_to_bytes must be 1, got {amount_to_bytes}"
+            )
+        return run_resilient_churn(
+            cluster,
+            payloads,
+            destinations,
+            churn,
+            k=k,
+            beta=beta,
+            method=method,
+            engine=engine,
+            segment_steps=segment_steps,
+            cache=cache,
+            faults=faults,
+            retry=retry,
+        )
     if retry is None:
         retry = RetryPolicy(max_attempts=8, backoff_base=0.0, jitter=0.0)
     store, owned = _as_checkpoint_store(checkpoint, resuming=False)

@@ -39,8 +39,12 @@ def _comparable(snapshot: dict) -> dict:
     Timers and phase-seconds rings hold wall-clock values, and gauges
     are last-write-wins across worker merge order — all three differ
     between *any* two runs, telemetry or not.  Everything else —
-    counters, histogram counts/totals and sample multisets — must be
-    bit-identical across runs.
+    counters, histogram counts and sample multisets — must be
+    bit-identical across runs.  Histogram ``total``/``mean`` are float
+    sums accumulated in merge order, and float addition is not
+    associative, so streamed (incremental fold) and non-streamed
+    (shutdown fold) runs can disagree in the last ulp — compare those
+    at 12 significant digits instead of bit-for-bit.
     """
     out = {}
     for name, entry in snapshot.items():
@@ -49,6 +53,9 @@ def _comparable(snapshot: dict) -> dict:
         entry = dict(entry)
         if "samples" in entry:
             entry["samples"] = sorted(entry["samples"])
+        for key in ("total", "mean"):
+            if isinstance(entry.get(key), float):
+                entry[key] = float(f"{entry[key]:.12g}")
         out[name] = entry
     return out
 

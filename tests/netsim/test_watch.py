@@ -1,0 +1,165 @@
+"""Live-churn netsim executor: determinism, repair accounting, resume."""
+
+import pytest
+
+from repro.netsim.runner import run_redistribution, uniform_traffic
+from repro.netsim.topology import NetworkSpec
+from repro.netsim.watch import (
+    ChurnOutcome,
+    delivered_digest,
+    resume_redistribution_churn,
+    run_redistribution_churn,
+)
+from repro.resilience import CheckpointStore, FaultSpec, RetryPolicy
+from repro.resilience.churn import ChurnSpec
+from repro.util.errors import ConfigError
+
+SPEC = NetworkSpec.paper_testbed(3, step_setup=0.01)
+TRAFFIC = uniform_traffic(5, 8, 8, 1.0, 4.0)
+CHURN = ChurnSpec(
+    seed=11, inject_rate=2.0, remove_rate=1.0, resize_rate=2.0, events=4
+)
+
+
+def run(churn=CHURN, **kwargs):
+    kwargs.setdefault("cache", None)
+    return run_redistribution_churn(
+        SPEC, TRAFFIC, "oggp", churn.process(), **kwargs
+    )
+
+
+class TestChurnRun:
+    def test_completes_and_ships_everything(self):
+        out = run()
+        assert isinstance(out, ChurnOutcome)
+        assert out.complete
+        assert out.undelivered_mbit == 0.0
+        for eid, (_, _, total) in out.edges.items():
+            assert out.delivered[eid] == total
+        assert out.churn_events >= 1
+        assert out.rounds == len(out.history)
+
+    def test_bit_identical_reruns(self):
+        a, b = run(), run()
+        assert delivered_digest(a.edges, a.delivered) == delivered_digest(
+            b.edges, b.delivered
+        )
+        assert a.history == b.history
+        assert (a.splices, a.fallbacks, a.noops) == (
+            b.splices, b.fallbacks, b.noops
+        )
+
+    def test_no_churn_is_quiet(self):
+        out = run(churn=ChurnSpec(seed=0, events=0))
+        assert out.complete
+        assert out.churn_events == 0 and out.churn_ops == 0
+        assert out.splices == 0 and out.fallbacks == 0
+        assert out.fresh_builds == 1  # just the initial plan
+        # Exactly the original matrix was shipped.
+        assert out.volume_mbit == pytest.approx(float(TRAFFIC.sum()))
+
+    def test_repairs_are_exercised(self):
+        out = run()
+        assert out.splices + out.fallbacks >= 1
+        modes = {h["mode"] for h in out.history}
+        assert "fresh" in modes
+
+    def test_composes_with_faults(self):
+        # The retry budget counts failed segments over the whole run, so
+        # give a faulty run plenty of room to drain.
+        faults = FaultSpec(seed=3, transfer_failure_rate=0.1).plan()
+        out = run(faults=faults, retry=RetryPolicy(max_attempts=50))
+        assert out.complete
+        again = run(faults=faults, retry=RetryPolicy(max_attempts=50))
+        assert delivered_digest(out.edges, out.delivered) == delivered_digest(
+            again.edges, again.delivered
+        )
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError, match="segment_steps"):
+            run(segment_steps=0)
+        with pytest.raises(ConfigError):
+            run_redistribution_churn(
+                SPEC, TRAFFIC, "bruteforce", CHURN.process(), cache=None
+            )
+
+    def test_bad_repair_bounds_rejected_eagerly(self):
+        # Even a churn draw that never triggers a repair must not let an
+        # out-of-range bound through: validation happens at entry.
+        quiet = ChurnSpec(seed=1, events=1)
+        with pytest.raises(ConfigError, match="max_affected_frac"):
+            run(churn=quiet, max_affected_frac=1.5)
+        with pytest.raises(ConfigError, match="max_ratio"):
+            run(churn=quiet, max_ratio=0.5)
+
+
+class TestRunnerDelegation:
+    def test_runner_routes_churn_to_watch(self):
+        out = run_redistribution(
+            SPEC, TRAFFIC, "oggp", cache=None, churn=CHURN.process()
+        )
+        assert isinstance(out, ChurnOutcome)
+        assert out.complete
+
+    def test_bruteforce_churn_rejected(self):
+        with pytest.raises(ConfigError, match="churn"):
+            run_redistribution(
+                SPEC, TRAFFIC, "bruteforce", cache=None, churn=CHURN.process()
+            )
+
+
+class TestCheckpointResume:
+    def _interrupted(self, tmp_path):
+        """A checkpointed run that gives up partway (retry budget of 1)."""
+        faults = FaultSpec(seed=3, transfer_failure_rate=0.2).plan()
+        out = run(
+            faults=faults,
+            retry=RetryPolicy(max_attempts=1),
+            checkpoint=tmp_path / "ck",
+        )
+        return out, faults
+
+    def test_resume_matches_serial_run(self, tmp_path):
+        partial, faults = self._interrupted(tmp_path)
+        if partial.complete:  # faults never hit; nothing to resume
+            pytest.skip("fault draw completed the run")
+        resumed = resume_redistribution_churn(
+            SPEC,
+            tmp_path / "ck",
+            CHURN.process(),
+            faults=faults,
+            retry=RetryPolicy(max_attempts=50),
+            cache=None,
+        )
+        assert resumed.complete
+        serial = run(faults=faults, retry=RetryPolicy(max_attempts=50))
+        assert delivered_digest(
+            resumed.edges, resumed.delivered
+        ) == delivered_digest(serial.edges, serial.delivered)
+
+    def test_resume_rejects_wrong_engine(self, tmp_path):
+        run_redistribution(
+            SPEC, TRAFFIC, "oggp", cache=None, checkpoint=tmp_path / "ck"
+        )
+        with pytest.raises(ConfigError, match="engine"):
+            resume_redistribution_churn(
+                SPEC, tmp_path / "ck", CHURN.process(), cache=None
+            )
+
+    def test_plain_resume_rejects_churn_checkpoint(self, tmp_path):
+        from repro.netsim.runner import resume_redistribution
+
+        run(checkpoint=tmp_path / "ck")
+        with pytest.raises(ConfigError, match="engine"):
+            resume_redistribution(SPEC, tmp_path / "ck", cache=None)
+
+    def test_completed_resume_is_noop_with_same_digest(self, tmp_path):
+        out = run(checkpoint=tmp_path / "ck")
+        assert out.complete
+        resumed = resume_redistribution_churn(
+            SPEC, tmp_path / "ck", CHURN.process(), cache=None
+        )
+        assert resumed.complete
+        assert delivered_digest(
+            resumed.edges, resumed.delivered
+        ) == delivered_digest(out.edges, out.delivered)

@@ -1,0 +1,145 @@
+"""ChurnSpec / ChurnProcess: parsing, validation, deterministic draws."""
+
+import pytest
+
+from repro.core.repair import TrafficDelta, apply_traffic_delta
+from repro.resilience.churn import ChurnProcess, ChurnSpec
+from repro.util.errors import ConfigError
+
+EDGES = {0: (0, 0, 10.0), 1: (0, 1, 6.0), 2: (1, 0, 8.0), 3: (1, 1, 4.0)}
+BUSY = ChurnSpec(seed=7, inject_rate=2.0, remove_rate=1.0, resize_rate=1.5, events=4)
+
+
+class TestChurnSpecValidation:
+    def test_defaults_valid_and_inert(self):
+        spec = ChurnSpec()
+        assert not spec.any_churn()
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"inject_rate": -1.0}, "inject_rate"),
+            ({"remove_rate": -0.5}, "remove_rate"),
+            ({"resize_rate": -2.0}, "resize_rate"),
+            ({"events": -1}, "events"),
+            ({"min_amount": 0.0}, "min_amount"),
+            ({"min_amount": 5.0, "max_amount": 1.0}, "min_amount"),
+            ({"min_factor": 0.0}, "min_factor"),
+            ({"min_factor": 2.0, "max_factor": 1.0}, "min_factor"),
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs, match):
+        with pytest.raises(ConfigError, match=match):
+            ChurnSpec(**kwargs)
+
+    def test_any_churn_needs_rate_and_events(self):
+        assert not ChurnSpec(inject_rate=2.0, events=0).any_churn()
+        assert not ChurnSpec(events=5).any_churn()
+        assert ChurnSpec(resize_rate=0.5, events=1).any_churn()
+
+
+class TestChurnSpecParse:
+    def test_full_spec(self):
+        spec = ChurnSpec.parse(
+            "seed=7,inject=2,remove=1,resize=1.5,events=4,size=2:8,factor=0.8:1.2"
+        )
+        assert spec == ChurnSpec(
+            seed=7,
+            inject_rate=2.0,
+            remove_rate=1.0,
+            resize_rate=1.5,
+            events=4,
+            min_amount=2.0,
+            max_amount=8.0,
+            min_factor=0.8,
+            max_factor=1.2,
+        )
+
+    def test_single_value_range(self):
+        spec = ChurnSpec.parse("inject=1,events=1,size=5")
+        assert spec.min_amount == spec.max_amount == 5.0
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "bogus=1", "inject", "inject=abc", "size=a:b", "events=1.5"],
+    )
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ConfigError):
+            ChurnSpec.parse(text)
+
+
+class TestChurnProcess:
+    def test_deterministic_across_processes(self):
+        a = BUSY.process().delta_for_event(1, EDGES, {}, shape=(2, 2))
+        b = ChurnProcess(BUSY).delta_for_event(1, EDGES, {}, shape=(2, 2))
+        assert a == b
+
+    def test_events_draw_independently(self):
+        process = BUSY.process()
+        deltas = [
+            process.delta_for_event(e, EDGES, {}, shape=(2, 2)) for e in range(4)
+        ]
+        # At these rates four identical draws would mean a broken stream.
+        assert len(set(deltas)) > 1
+
+    def test_horizon_is_quiet(self):
+        process = BUSY.process()
+        assert not process.delta_for_event(BUSY.events, EDGES, {}, shape=(2, 2))
+        assert not process.delta_for_event(100, EDGES, {}, shape=(2, 2))
+
+    def test_zero_rates_are_quiet(self):
+        process = ChurnSpec(seed=7, events=4).process()
+        assert not process.delta_for_event(0, EDGES, {}, shape=(2, 2))
+
+    def test_negative_event_rejected(self):
+        with pytest.raises(ConfigError, match="event"):
+            BUSY.process().delta_for_event(-1, EDGES, {}, shape=(2, 2))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigError, match="shape"):
+            BUSY.process().delta_for_event(0, EDGES, {}, shape=(0, 2))
+
+    def test_targets_only_live_edges(self):
+        spec = ChurnSpec(seed=3, remove_rate=10.0, resize_rate=10.0, events=1)
+        delivered = {0: 10.0, 1: 6.0}  # edges 0 and 1 are done
+        delta = spec.process().delta_for_event(0, EDGES, delivered, shape=(2, 2))
+        assert set(delta.remove) <= {2, 3}
+        assert {eid for eid, _ in delta.resize} <= {2, 3}
+
+    def test_injected_ids_are_fresh_and_consecutive(self):
+        spec = ChurnSpec(seed=5, inject_rate=6.0, events=1)
+        delta = spec.process().delta_for_event(0, EDGES, {}, shape=(2, 2))
+        ids = [eid for eid, _, _, _ in delta.inject]
+        assert ids == list(range(max(EDGES) + 1, max(EDGES) + 1 + len(ids)))
+
+    def test_integer_amounts(self):
+        spec = ChurnSpec(seed=9, inject_rate=4.0, resize_rate=4.0, events=1)
+        delta = spec.process().delta_for_event(
+            0, EDGES, {}, shape=(2, 2), integer_amounts=True
+        )
+        for _, _, _, amount in delta.inject:
+            assert isinstance(amount, int) and amount >= 1
+        for _, total in delta.resize:
+            assert isinstance(total, int) and total >= 1
+
+    def test_delta_applies_cleanly(self):
+        """Every drawn delta is valid against the state it was drawn from."""
+        process = BUSY.process()
+        edges, delivered = dict(EDGES), {}
+        for event in range(BUSY.events):
+            delta = process.delta_for_event(event, edges, delivered, shape=(2, 2))
+            edges = apply_traffic_delta(edges, delivered, delta)
+            for eid, _, _, _ in delta.inject:
+                delivered.setdefault(eid, 0.0)
+            delivered = {e: a for e, a in delivered.items() if e in edges}
+
+    def test_resume_replay_matches_from_identical_state(self):
+        """Same (seed, event, state) => same delta — the journal invariant."""
+        process = BUSY.process()
+        delivered = {0: 4.0, 2: 1.0}
+        first = process.delta_for_event(2, EDGES, delivered, shape=(2, 2))
+        replay = BUSY.process().delta_for_event(
+            2, dict(EDGES), dict(delivered), shape=(2, 2)
+        )
+        assert first == replay
+        assert isinstance(first, TrafficDelta)

@@ -302,3 +302,126 @@ class TestSeqReplay:
             store.record_round({0: 10}, round_index=1)
             assert store.state.seq == 2
         assert load_checkpoint(tmp_path).delivered[0] == 20
+
+
+class TestExclusiveLock:
+    def test_second_opener_fails_fast(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 10}, round_index=0)
+            with pytest.raises(ConfigError, match="locked"):
+                CheckpointStore.resume(tmp_path)
+            with pytest.raises(ConfigError, match="locked"):
+                CheckpointStore(tmp_path).begin(make_meta())
+
+    def test_close_releases_the_lock(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 10}, round_index=0)
+        with CheckpointStore.resume(tmp_path) as store:
+            assert store.state.delivered[0] == 10
+
+
+class TestChurnRecords:
+    def test_churn_round_trips_through_journal(self, tmp_path):
+        from repro.core.repair import TrafficDelta
+
+        delta = TrafficDelta(
+            inject=((9, 1, 1, 30),), remove=(1,), resize=((0, 120),)
+        )
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_round({0: 40, 1: 50}, round_index=0)
+            store.record_churn(delta, round_index=1)
+            store.record_round({9: 30}, round_index=1)
+        state = load_checkpoint(tmp_path)
+        # edge 1 fully delivered before removal -> truncated, kept.
+        assert state.edges == {
+            0: (0, 0, 120), 1: (0, 1, 50), 2: (1, 0, 75), 9: (1, 1, 30),
+        }
+        assert state.delivered == {0: 40, 1: 50, 2: 0, 9: 30}
+        assert state.last_churn_round == 1
+        assert state.pending() == {0: (0, 0, 80), 2: (1, 0, 75)}
+
+    def test_empty_delta_writes_nothing(self, tmp_path):
+        from repro.core.repair import TrafficDelta
+
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            before = store.state.seq
+            store.record_churn(TrafficDelta(), round_index=0)
+            assert store.state.seq == before
+
+    def test_edge_clearing_delta_rejected(self, tmp_path):
+        from repro.core.repair import TrafficDelta
+
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            with pytest.raises(ConfigError, match="no edges"):
+                store.record_churn(
+                    TrafficDelta(remove=(0, 1, 2)), round_index=0
+                )
+
+    def test_churn_survives_compaction(self, tmp_path):
+        from repro.core.repair import TrafficDelta
+
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_churn(
+                TrafficDelta(inject=((9, 1, 1, 25),)), round_index=2
+            )
+            store.snapshot()
+        (tmp_path / JOURNAL_NAME).unlink()
+        state = load_checkpoint(tmp_path)
+        assert state.edges[9] == (1, 1, 25)
+        assert state.last_churn_round == 2
+
+
+class TestPlanRecords:
+    def plan_doc(self, *edge_ids):
+        """A minimal one-transfer-per-step schedule document."""
+        from repro.core.schedule import Schedule, Step, Transfer
+
+        steps = [
+            Step(transfers=(Transfer(left=0, right=0, amount=10.0, edge_id=e),))
+            for e in edge_ids
+        ]
+        return Schedule(tuple(steps), k=2, beta=1.0).to_dict()
+
+    def test_plan_round_trips(self, tmp_path):
+        doc = self.plan_doc(0, 1, 2)
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_plan(doc, pos=0, round_index=0, segment=2)
+        state = load_checkpoint(tmp_path)
+        assert state.plan == doc
+        assert (state.plan_pos, state.plan_round, state.plan_segment) == (0, 0, 2)
+
+    def test_deltas_advance_the_stored_position(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_plan(self.plan_doc(0, 1, 2), pos=0, round_index=0, segment=2)
+            store.record_round({0: 10}, round_index=0)
+            assert store.state.plan_pos == 2
+            store.record_round({1: 10}, round_index=1)
+            # Clamped at the plan's end, like the executor's tail segment.
+            assert store.state.plan_pos == 3
+        assert load_checkpoint(tmp_path).plan_pos == 3
+
+    def test_position_only_update_requires_a_plan(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            with pytest.raises(ConfigError, match="no plan"):
+                store.record_plan(None, pos=1, round_index=0, segment=1)
+
+    def test_plan_survives_compaction(self, tmp_path):
+        doc = self.plan_doc(0, 1)
+        with CheckpointStore(tmp_path) as store:
+            store.begin(make_meta())
+            store.record_plan(doc, pos=0, round_index=0, segment=1)
+            store.record_round({0: 10}, round_index=0)
+            store.snapshot()
+        (tmp_path / JOURNAL_NAME).unlink()
+        state = load_checkpoint(tmp_path)
+        assert state.plan == doc
+        assert state.plan_pos == 1

@@ -198,3 +198,96 @@ class TestCrossProcessDeterminism:
         assert [a.delay(n) for n in range(1, 5)] == [
             b.delay(n) for n in range(1, 5)
         ]
+
+
+class TestMaxElapsed:
+    """The total-time budget (``max_elapsed``) on top of attempt counting."""
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="max_elapsed"):
+            RetryPolicy(max_elapsed=0.0)
+        with pytest.raises(ConfigError, match="max_elapsed"):
+            RetryPolicy(max_elapsed=-1.0)
+
+    def test_planned_elapsed_is_cumulative_delay(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.1, jitter=0.3, seed=4)
+        assert policy.planned_elapsed(0) == 0.0
+        assert policy.planned_elapsed(3) == pytest.approx(
+            policy.delay(1) + policy.delay(2) + policy.delay(3)
+        )
+
+    def test_planned_elapsed_rejects_negative(self):
+        with pytest.raises(ConfigError, match="attempts"):
+            RetryPolicy().planned_elapsed(-1)
+
+    def test_budget_cuts_retries_short(self):
+        # Attempt budget alone would allow 9 retries; the time budget
+        # (charged against the deterministic planned delays) stops first.
+        policy = RetryPolicy(
+            max_attempts=10, backoff_base=1.0, backoff_multiplier=1.0,
+            jitter=0.0, max_elapsed=2.5,
+        )
+        allowed = [n for n in range(1, 10) if policy.allows_retry(n)]
+        assert allowed == [1, 2]  # planned_elapsed(3) = 3.0 >= 2.5
+
+    def test_measured_elapsed_overrides_planned(self):
+        policy = RetryPolicy(max_attempts=10, jitter=0.0, max_elapsed=5.0)
+        assert policy.allows_retry(1, elapsed=4.9)
+        assert not policy.allows_retry(1, elapsed=5.0)
+
+    def test_budget_is_seed_deterministic(self):
+        a = RetryPolicy(
+            max_attempts=20, backoff_base=0.5, jitter=0.5, seed=11,
+            max_elapsed=3.0,
+        )
+        b = RetryPolicy(
+            max_attempts=20, backoff_base=0.5, jitter=0.5, seed=11,
+            max_elapsed=3.0,
+        )
+        assert [a.allows_retry(n) for n in range(1, 20)] == [
+            b.allows_retry(n) for n in range(1, 20)
+        ]
+
+    def test_run_gives_up_on_budget(self):
+        policy = RetryPolicy(
+            max_attempts=50, backoff_base=1.0, backoff_multiplier=1.0,
+            jitter=0.0, max_elapsed=3.5,
+        )
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            policy.run(fn, sleep=lambda s: None)
+        # Pauses of 1s precede attempts 2..; the 4th pause would push
+        # elapsed to 4.0 >= 3.5, so exactly 4 attempts run.
+        assert calls == [1, 2, 3, 4]
+
+
+class TestParse:
+    def test_bare_integer_is_attempt_count(self):
+        assert RetryPolicy.parse("5") == RetryPolicy(max_attempts=5)
+
+    def test_key_value_spec(self):
+        policy = RetryPolicy.parse(
+            "attempts=6,max-elapsed=30,base=0.1,multiplier=3,"
+            "max-backoff=4,jitter=0.2,timeout=12,seed=42"
+        )
+        assert policy == RetryPolicy(
+            max_attempts=6, max_elapsed=30.0, backoff_base=0.1,
+            backoff_multiplier=3.0, max_backoff=4.0, jitter=0.2,
+            task_timeout=12.0, seed=42,
+        )
+
+    def test_underscore_aliases(self):
+        assert RetryPolicy.parse("max_elapsed=9").max_elapsed == 9.0
+        assert RetryPolicy.parse("max_backoff=7").max_backoff == 7.0
+
+    @pytest.mark.parametrize(
+        "text", ["", "bogus=1", "attempts", "attempts=x", "max-elapsed=0"]
+    )
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ConfigError):
+            RetryPolicy.parse(text)

@@ -283,50 +283,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-#: 1 Mbit/s in bytes/s — ``kpbs transfer`` rate flags are in Mbit/s to
-#: match the paper's testbed units; :class:`LocalCluster` wants bytes/s.
-_MBIT_BYTES = 1e6 / 8
-
-#: Name of the sidecar config ``kpbs transfer`` drops next to the
-#: journal so ``kpbs resume`` can rebuild the same cluster and payloads.
-_RUN_CONFIG = "run.json"
-
-
-def _transfer_case(seed: int, n1: int, n2: int, payload_bytes: int) -> tuple:
-    """Deterministic (graph, payloads, destinations) for ``kpbs transfer``.
-
-    A pure function of its arguments: ``kpbs resume`` regenerates the
-    exact same payload bytes from the seed recorded in ``run.json``
-    instead of persisting them in the journal.
-    """
-    from repro.graph.bipartite import BipartiteGraph
-
-    rng = np.random.default_rng(seed)
-    graph = BipartiteGraph()
-    payloads: dict[int, bytes] = {}
-    destinations: dict[int, tuple[int, int]] = {}
-    low = max(1, payload_bytes // 2)
-    for i in range(n1):
-        for j in range(n2):
-            length = int(rng.integers(low, max(low + 1, payload_bytes + 1)))
-            edge = graph.add_edge(i, j, length)
-            payloads[edge.id] = rng.integers(
-                0, 256, length, dtype=np.uint8
-            ).tobytes()
-            destinations[edge.id] = (i, j)
-    return graph, payloads, destinations
-
-
-def _delivered_digest(delivered) -> str:
-    """Order-independent SHA-256 over the delivered per-edge bytes."""
-    import hashlib
-
-    digest = hashlib.sha256()
-    for eid in sorted(delivered):
-        digest.update(f"{eid}:".encode())
-        digest.update(delivered[eid])
-        digest.update(b"\n")
-    return digest.hexdigest()
+# The seeded-transfer helpers moved to repro.runtime.seeded so the
+# serve daemon's run registry shares them; the CLI keeps its historical
+# local names.
+from repro.runtime.seeded import (  # noqa: E402
+    MBIT_BYTES as _MBIT_BYTES,
+    RUN_CONFIG_NAME as _RUN_CONFIG,
+    delivered_digest as _delivered_digest,
+    transfer_case as _transfer_case,
+    transfer_cluster as _transfer_cluster,
+)
 
 
 def _print_transfer_report(report) -> int:
@@ -340,18 +306,6 @@ def _print_transfer_report(report) -> int:
     for failure in report.errors:
         print(f"  unresolved: {failure}")
     return 0 if report.complete else 1
-
-
-def _transfer_cluster(config: dict):
-    from repro.runtime import LocalCluster
-
-    return LocalCluster(
-        config["n1"],
-        config["n2"],
-        nic_rate1=config["nic_mbit"] * _MBIT_BYTES,
-        nic_rate2=config["nic_mbit"] * _MBIT_BYTES,
-        backbone_rate=config["backbone_mbit"] * _MBIT_BYTES,
-    )
 
 
 def _cmd_transfer(args: argparse.Namespace) -> int:
@@ -946,6 +900,82 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_args(p)
     p.set_defaults(fn=_cmd_resume)
 
+    p = sub.add_parser(
+        "serve",
+        help="long-lived multi-tenant scheduling daemon (KPBR over a "
+        "loopback/unix socket)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (loopback by default; the daemon has no "
+        "authentication)",
+    )
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = pick a free port)",
+    )
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a unix socket instead of TCP",
+    )
+    p.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="journal transfer runs under DIR/runs/<run_id>; a killed "
+        "daemon restarted on the same DIR resumes them bit-identically "
+        "(transfer ops are disabled without it)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="schedule on N warm worker processes (0 = all CPUs, "
+        "1 = in-process)",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=64,
+        help="bounded admission queue; beyond it requests are shed "
+        "with RETRY_AFTER",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=16,
+        help="schedule requests micro-batched per dispatch",
+    )
+    p.add_argument(
+        "--max-transfers", type=int, default=2,
+        help="concurrent transfer executions",
+    )
+    p.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="REQ_PER_S",
+        help="per-tenant token-bucket quota (requests/second; "
+        "default: no quota)",
+    )
+    p.add_argument(
+        "--tenant-burst", type=float, default=None,
+        help="per-tenant burst allowance (default: 2x rate)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="default per-request deadline (requests may override "
+        "with deadline_s)",
+    )
+    p.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-read/write socket timeout (slow-loris guard)",
+    )
+    p.add_argument(
+        "--metrics-port", dest="serve_metrics_port", type=int, default=0,
+        metavar="PORT",
+        help="/metrics, /events.json and /healthz endpoint (default "
+        "0 = pick a free port; -1 disables)",
+    )
+    p.add_argument(
+        "--fsync", choices=("always", "round", "never"), default="round",
+        help="journal fsync policy for transfer runs",
+    )
+    p.add_argument(
+        "--snapshot-every", type=int, default=8, metavar="N",
+        help="compact transfer journals every N rounds",
+    )
+    p.set_defaults(fn=_cmd_serve)
+
     p = sub.add_parser("demo", help="the paper's Figure 2 worked example")
     _add_observability_args(p)
     p.set_defaults(fn=_cmd_demo)
@@ -993,6 +1023,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_top)
 
     return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scheduling daemon in the foreground until signalled."""
+    import asyncio
+    import contextlib
+    import signal as _signal
+
+    from repro.serve import ScheduleServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        state_dir=args.state_dir,
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_transfers=args.max_transfers,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        default_deadline=args.deadline,
+        idle_timeout=args.idle_timeout,
+        metrics_port=(
+            None if args.serve_metrics_port < 0 else args.serve_metrics_port
+        ),
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+    )
+
+    async def _run() -> int:
+        server = ScheduleServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, server.request_stop)
+        # Parseable address lines, same shape the --metrics-port runs
+        # print (scripts and the CI smoke job sed them out).
+        print(f"serving kpbr on {server.address}", flush=True)
+        if server.metrics_url:
+            print(f"serving metrics on {server.metrics_url}", flush=True)
+        await server.wait_ready()
+        print(
+            f"ready: {len(server.resumed_results)} run(s) resumed",
+            flush=True,
+        )
+        await server.wait_stopped()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
 
 
 def _cmd_top(args: argparse.Namespace) -> int:

@@ -204,9 +204,13 @@ def run_top(
 ) -> int:
     """Poll ``url`` and print a dashboard frame every ``interval`` seconds.
 
-    ``iterations=None`` runs until interrupted (or until the endpoint
-    goes away — a vanished server ends the loop cleanly, since the run
-    it was watching has finished).  Returns the process exit code.
+    ``iterations=None`` runs until interrupted.  An endpoint that
+    disappears mid-poll (daemon restarted or killed) does not kill the
+    dashboard: the frame becomes a one-line "endpoint unreachable"
+    status and polling continues — a restarted daemon is picked up on
+    its next poll.  Only a *first* poll that never reaches the
+    endpoint raises (a typo'd URL should fail loudly).  Returns the
+    process exit code.
     """
     if interval <= 0:
         raise ReproError(f"interval must be positive, got {interval}")
@@ -219,10 +223,17 @@ def run_top(
             snapshot = fetch_json(snapshot_url)
             document = fetch_json(f"{events_url}?n={max_events}")
         except ReproError as exc:
-            if frames:
-                print(f"endpoint gone ({exc}); exiting")
-                return 0
-            raise
+            if not frames:
+                raise
+            print(f"endpoint unreachable, retrying ({exc})", flush=True)
+            # Counter deltas across a daemon restart are meaningless;
+            # restart the rate baseline on the next good frame.
+            prev, prev_t = None, None
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            time.sleep(interval)
+            continue
         if not isinstance(snapshot, dict):
             raise ReproError(f"{snapshot_url} did not return a snapshot object")
         events = document.get("events", []) if isinstance(document, dict) else []

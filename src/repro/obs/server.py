@@ -11,7 +11,12 @@ observability state of the process:
   shape ``--profile`` files use, so ``kpbs stats`` can read it);
 - ``/events.json`` — the most recent structured run events
   (``?n=K`` limits the tail);
-- ``/healthz`` — liveness probe.
+- ``/healthz`` — liveness/readiness probe.  By default always
+  ``200 ok``; a ``health_fn`` returning ``{"live": ..., "ready": ...}``
+  (plus any extra fields) turns it into a real readiness gate — the
+  body is JSON and the status is 503 while ``ready`` is false (the
+  serve daemon reports ready=false while resuming journaled runs or
+  shedding load).
 
 Binding to port 0 picks an ephemeral port (read it back from
 ``server.port`` / ``server.url``).  The server runs on daemon threads
@@ -26,6 +31,7 @@ This is the live layer the ROADMAP's ``kpbs serve`` daemon builds on.
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -71,7 +77,13 @@ class _Handler(BaseHTTPRequestHandler):
                 body = json.dumps(owner.events_document(n)).encode()
                 self._send(200, "application/json", body)
             elif parsed.path == "/healthz":
-                self._send(200, "text/plain; charset=utf-8", b"ok\n")
+                health = owner.health()
+                if health is None:
+                    self._send(200, "text/plain; charset=utf-8", b"ok\n")
+                else:
+                    status = 200 if health.get("ready", True) else 503
+                    body = json.dumps(health, sort_keys=True).encode() + b"\n"
+                    self._send(status, "application/json", body)
             else:
                 self._send(404, "text/plain; charset=utf-8", b"not found\n")
         except Exception as exc:  # endpoint must never crash the run
@@ -91,8 +103,10 @@ class MetricsServer:
     ``snapshot_fn`` overrides where ``/metrics`` and ``/snapshot.json``
     get their data (default: the merged live snapshot — process
     registry + live sources).  ``events_fn`` overrides ``/events.json``
-    (default: the tail of ``obs.events()``).  Both are called per
-    request, so the payloads always reflect the current state.
+    (default: the tail of ``obs.events()``).  ``health_fn`` turns
+    ``/healthz`` into a readiness gate (see the module docstring).
+    All are called per request, so the payloads always reflect the
+    current state.
     """
 
     def __init__(
@@ -101,6 +115,7 @@ class MetricsServer:
         host: str = "127.0.0.1",
         snapshot_fn: Callable[[], Mapping[str, Mapping]] | None = None,
         events_fn: Callable[[int | None], list] | None = None,
+        health_fn: Callable[[], Mapping] | None = None,
     ) -> None:
         if port < 0:
             raise ConfigError(f"port must be >= 0 (0 = ephemeral), got {port}")
@@ -108,6 +123,7 @@ class MetricsServer:
         self._requested_port = int(port)
         self._snapshot_fn = snapshot_fn
         self._events_fn = events_fn
+        self._health_fn = health_fn
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -132,6 +148,11 @@ class MetricsServer:
             "events": [e.to_dict() for e in events],
         }
 
+    def health(self) -> dict | None:
+        if self._health_fn is None:
+            return None
+        return dict(self._health_fn())
+
     # -- lifecycle ------------------------------------------------------
 
     @property
@@ -154,7 +175,19 @@ class MetricsServer:
         """Bind and serve on a daemon thread; returns ``self``."""
         if self._httpd is not None:
             return self
-        httpd = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        try:
+            httpd = ThreadingHTTPServer(
+                (self._host, self._requested_port), _Handler
+            )
+        except OSError as exc:
+            if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+                raise ConfigError(
+                    f"cannot bind metrics server to "
+                    f"{self._host}:{self._requested_port}: port already in "
+                    f"use or not permitted ({exc}); pass --metrics-port 0 "
+                    "for an ephemeral port"
+                ) from exc
+            raise
         httpd.daemon_threads = True
         httpd.metrics_server = self  # type: ignore[attr-defined]
         self._httpd = httpd
@@ -176,6 +209,10 @@ class MetricsServer:
             httpd.server_close()
         if thread is not None:
             thread.join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        """Alias for :meth:`stop`; idempotent (second call is a no-op)."""
+        self.stop()
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

@@ -46,6 +46,7 @@ determinism guarantees.
 from repro.resilience.faults import (
     FaultPlan,
     FaultSpec,
+    VALID_FAULT_CATEGORIES,
     count_fault,
     planned_transfer_faults,
 )
@@ -68,6 +69,7 @@ from repro.resilience.journal import (
 __all__ = [
     "FaultSpec",
     "FaultPlan",
+    "VALID_FAULT_CATEGORIES",
     "RetryPolicy",
     "ChurnSpec",
     "ChurnProcess",

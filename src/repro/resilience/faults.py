@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "FaultSpec",
     "FaultPlan",
+    "VALID_FAULT_CATEGORIES",
     "planned_transfer_faults",
     "count_fault",
 ]
@@ -54,6 +55,11 @@ _PARSE_KEYS = {
     "degrade": "link_degradation_rate",
     "factor": "link_degradation_factor",
 }
+
+#: Valid ``--faults`` category names, for error messages and for
+#: callers validating specs up front (same pattern as
+#: :data:`repro.core.wrgp.VALID_ENGINES`).
+VALID_FAULT_CATEGORIES: tuple[str, ...] = tuple(sorted(set(_PARSE_KEYS)))
 
 
 def count_fault(kind: str, n: int = 1) -> None:
@@ -134,10 +140,10 @@ class FaultSpec:
             key, sep, value = part.partition("=")
             key = key.strip().lower()
             if not sep or key not in _PARSE_KEYS:
-                known = ", ".join(sorted(set(_PARSE_KEYS)))
+                known = ", ".join(VALID_FAULT_CATEGORIES)
                 raise ConfigError(
-                    f"bad --faults entry {part!r}; want key=value with "
-                    f"keys {known} (or a bare transfer-failure rate)"
+                    f"bad --faults entry {part!r}; valid categories: "
+                    f"{known} (key=value, or a bare transfer-failure rate)"
                 )
             field = _PARSE_KEYS[key]
             try:

@@ -29,8 +29,16 @@ from repro.runtime.executor import (
     RuntimeReport,
 )
 from repro.runtime.churn import ChurnRunReport, run_resilient_churn
+from repro.runtime.seeded import (
+    delivered_digest,
+    transfer_case,
+    transfer_cluster,
+)
 
 __all__ = [
+    "delivered_digest",
+    "transfer_case",
+    "transfer_cluster",
     "TokenBucket",
     "LocalCluster",
     "Endpoint",

@@ -1,0 +1,57 @@
+"""``repro.serve`` — the scheduler-as-a-service layer.
+
+A long-lived asyncio daemon (:mod:`repro.serve.daemon`) that accepts
+schedule/transfer requests over a loopback TCP or unix socket using the
+KPBR framing (:mod:`repro.serve.protocol`, layered on the KPBW v2 wire
+conventions), multiplexes many concurrent clients onto one shared warm
+:class:`~repro.parallel.pool.WorkerPool` +
+:class:`~repro.core.cache.ScheduleCache`, and journals every accepted
+transfer through :class:`~repro.resilience.journal.CheckpointStore` so
+a SIGKILL'd daemon resumes bit-identically on restart.
+
+Robustness machinery lives in :mod:`repro.serve.admission` (bounded
+fair queue, per-tenant token-bucket quotas, graceful-degradation
+ladder); the blocking client is :mod:`repro.serve.client`.
+"""
+
+from repro.serve.admission import (
+    DegradationLadder,
+    FairQueue,
+    LadderConfig,
+    TenantQuotas,
+)
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import BackgroundServer, ScheduleServer, ServeConfig
+from repro.serve.protocol import (
+    FRAME_ERROR,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    KPBR_MAGIC,
+    KPBR_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.runs import RunActiveError, RunRegistry
+
+__all__ = [
+    "BackgroundServer",
+    "DegradationLadder",
+    "FairQueue",
+    "FRAME_ERROR",
+    "FRAME_REQUEST",
+    "FRAME_RESPONSE",
+    "KPBR_MAGIC",
+    "KPBR_VERSION",
+    "LadderConfig",
+    "ProtocolError",
+    "RunActiveError",
+    "RunRegistry",
+    "ScheduleServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "TenantQuotas",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,251 @@
+"""Blocking KPBR client for the ``kpbs serve`` daemon.
+
+Thread-safe enough for the load generator's purposes: use one
+:class:`ServeClient` per thread (a client owns one socket and one
+request/response exchange at a time).  The client reconnects once per
+call when the daemon dropped the connection (daemon restart, idle
+timeout), honors ``RETRY_AFTER`` sheds with the server's backoff hint,
+and raises :class:`ServeError` — carrying the structured error code —
+for everything else.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import BinaryIO
+
+from repro.serve.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    FRAME_REQUEST,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.util.errors import ReproError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """A structured daemon error or an exhausted retry budget."""
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "ERROR",
+        retry_after: float | None = None,
+        doc: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+        self.doc = doc or {}
+
+
+def _parse_address(address: str) -> tuple[str, object]:
+    """``("unix", path)`` or ``("tcp", (host, port))``."""
+    if address.startswith("unix:"):
+        return "unix", address[len("unix:"):]
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        raise ServeError(
+            f"bad serve address {address!r}: want host:port or unix:<path>",
+            code="BAD_ADDRESS",
+        )
+    try:
+        return "tcp", (host or "127.0.0.1", int(port))
+    except ValueError as exc:
+        raise ServeError(
+            f"bad serve address {address!r}: {exc}", code="BAD_ADDRESS"
+        ) from exc
+
+
+class ServeClient:
+    """One connection to a daemon; lazily connected, reconnect-once."""
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 60.0,
+        tenant: str = "default",
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.tenant = tenant
+        self.max_payload = max_payload
+        self._kind, self._target = _parse_address(address)
+        self._sock: socket.socket | None = None
+        self._stream: BinaryIO | None = None
+        #: Times the reconnect-once path fired (daemon restarts seen).
+        self.reconnects = 0
+
+    # -- connection ------------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        if self._kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self._target)
+        except OSError as exc:
+            sock.close()
+            raise ServeError(
+                f"cannot connect to {self.address}: {exc}",
+                code="UNREACHABLE",
+            ) from exc
+        self._sock = sock
+        self._stream = sock.makefile("rwb")
+
+    def close(self) -> None:
+        stream, sock = self._stream, self._sock
+        self._stream, self._sock = None, None
+        for closer in (stream, sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ServeClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- raw request/response --------------------------------------------
+
+    def _exchange(self, doc: dict, blob: bytes) -> dict:
+        self.connect()
+        send_frame(self._stream, FRAME_REQUEST, doc, blob)
+        frame = recv_frame(self._stream, max_payload=self.max_payload)
+        if frame is None:
+            raise ConnectionError("daemon closed the connection")
+        _, response, _ = frame
+        return response
+
+    def request(self, doc: dict, blob: bytes = b"") -> dict:
+        """One exchange; reconnects once if the daemon hung up."""
+        doc = dict(doc)
+        doc.setdefault("tenant", self.tenant)
+        try:
+            return self._exchange(doc, blob)
+        except (ConnectionError, OSError, ProtocolError):
+            # Daemon restarted or dropped an idle connection: one fresh
+            # attempt on a new socket, then give up loudly.
+            self.reconnects += 1
+            self.close()
+            try:
+                return self._exchange(doc, blob)
+            except (ConnectionError, OSError) as exc:
+                self.close()
+                raise ServeError(
+                    f"lost connection to {self.address}: {exc}",
+                    code="UNREACHABLE",
+                ) from exc
+
+    # -- ops ----------------------------------------------------------------
+
+    def call(
+        self,
+        op: str,
+        blob: bytes = b"",
+        max_attempts: int = 8,
+        **fields: object,
+    ) -> dict:
+        """Send ``op``, honoring ``RETRY_AFTER`` sheds up to a budget.
+
+        The sleep before a re-attempt is the server's own backoff hint
+        (the daemon derives it from RetryPolicy/token-bucket state);
+        the ``attempt`` counter rides along so the server can escalate
+        its hint.  Raises :class:`ServeError` on a structured error or
+        once the retry budget is spent.
+        """
+        doc = {"op": op, **fields}
+        for attempt in range(1, max_attempts + 1):
+            doc["attempt"] = attempt
+            response = self.request(doc, blob)
+            status = response.get("status")
+            if status == "ok":
+                return response
+            if status == "retry" and attempt < max_attempts:
+                time.sleep(min(float(response.get("retry_after", 0.05)), 5.0))
+                continue
+            if status == "retry":
+                raise ServeError(
+                    f"{op} still shed after {max_attempts} attempts: "
+                    f"{response.get('reason', 'overloaded')}",
+                    code=str(response.get("code", "RETRY_AFTER")),
+                    retry_after=response.get("retry_after"),
+                    doc=response,
+                )
+            raise ServeError(
+                str(response.get("detail", response)),
+                code=str(response.get("code", "ERROR")),
+                doc=response,
+            )
+        raise ServeError(f"{op}: no attempts made", code="ERROR")
+
+    def ping(self) -> dict:
+        return self.call("ping", max_attempts=1)
+
+    def status(self) -> dict:
+        return self.call("status", max_attempts=1)
+
+    def schedule(
+        self,
+        matrix=None,
+        graph=None,
+        k: int = 1,
+        beta: float = 0.0,
+        algorithm: str = "oggp",
+        engine: str = "fast",
+        deadline_s: float | None = None,
+        max_attempts: int = 8,
+    ) -> dict:
+        """Schedule one instance; pass ``matrix`` (JSON) or ``graph``.
+
+        A ``graph`` (:class:`~repro.graph.bipartite.BipartiteGraph`)
+        travels as a KPBW blob, bypassing JSON entirely.
+        """
+        blob = b""
+        fields: dict[str, object] = {
+            "k": k, "beta": beta,
+            "algorithm": algorithm, "engine": engine,
+        }
+        if deadline_s is not None:
+            fields["deadline_s"] = deadline_s
+        if graph is not None:
+            from repro.parallel import encode_graph
+
+            blob = encode_graph(graph)
+        elif matrix is not None:
+            fields["matrix"] = [list(map(float, row)) for row in matrix]
+        else:
+            raise ServeError(
+                "schedule() needs a matrix or a graph", code="BAD_REQUEST"
+            )
+        return self.call(
+            "schedule", blob=blob, max_attempts=max_attempts, **fields
+        )
+
+    def transfer(
+        self,
+        run_id: str,
+        params: dict | None = None,
+        deadline_s: float | None = None,
+        max_attempts: int = 8,
+    ) -> dict:
+        fields: dict[str, object] = {"run_id": run_id, "params": params or {}}
+        if deadline_s is not None:
+            fields["deadline_s"] = deadline_s
+        return self.call("transfer", max_attempts=max_attempts, **fields)
+
+    def run_status(self, run_id: str) -> dict:
+        return self.call("run_status", run_id=run_id, max_attempts=1)

@@ -1,0 +1,87 @@
+"""Cross-process checkpoint locking: one writer per run directory.
+
+The in-process lock tests in test_journal.py cover the error message;
+these cover what flock actually buys us — a *second OS process* opening
+the same run directory fails fast, and the lock evaporates both on a
+clean close and when the holder is SIGKILLed (no stale-lockfile
+babysitting after a crash).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.resilience.journal import CheckpointStore, RunMeta
+from repro.util.errors import ConfigError
+
+#: Child holds a CheckpointStore open on argv[1] until stdin closes
+#: (clean path) or it is killed (crash path).
+HOLDER_SCRIPT = """
+import sys
+from repro.resilience.journal import CheckpointStore, RunMeta
+
+store = CheckpointStore(sys.argv[1])
+store.begin(RunMeta(edges={0: (0, 1, 10)}, k=1, beta=0.0, method="oggp"))
+print("LOCKED", flush=True)
+sys.stdin.read()  # park here until the parent hangs up
+store.close()
+print("CLOSED", flush=True)
+"""
+
+
+def meta() -> RunMeta:
+    return RunMeta(edges={0: (0, 1, 10)}, k=1, beta=0.0, method="oggp")
+
+
+@pytest.fixture()
+def holder(tmp_path):
+    """A child process holding the lock on ``tmp_path/run``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", HOLDER_SCRIPT, str(tmp_path / "run")],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    )
+    assert proc.stdout.readline().strip() == "LOCKED"
+    try:
+        yield proc
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=60)
+
+
+class TestCrossProcessLock:
+    def test_second_process_fails_fast(self, tmp_path, holder):
+        started = time.monotonic()
+        with pytest.raises(ConfigError, match="locked by another process"):
+            CheckpointStore.resume(tmp_path / "run")
+        # LOCK_NB: the refusal must not block behind the holder.
+        assert time.monotonic() - started < 2.0
+
+    def test_begin_also_refused_while_held(self, tmp_path, holder):
+        with pytest.raises(ConfigError, match="locked by another process"):
+            CheckpointStore(tmp_path / "run").begin(meta())
+
+    def test_lock_released_after_clean_close(self, tmp_path, holder):
+        holder.stdin.close()  # child unparks, closes the store, exits
+        assert holder.stdout.readline().strip() == "CLOSED"
+        assert holder.wait(timeout=60) == 0
+        with CheckpointStore.resume(tmp_path / "run") as store:
+            assert store.state.delivered == {0: 0}
+
+    def test_lock_released_after_sigkill(self, tmp_path, holder):
+        os.kill(holder.pid, signal.SIGKILL)
+        assert holder.wait(timeout=60) == -signal.SIGKILL
+        # The kernel dropped the flock with the process: resume works
+        # immediately, no stale lock file to clean up by hand.
+        with CheckpointStore.resume(tmp_path / "run") as store:
+            assert store.state.delivered == {0: 0}
+        assert (tmp_path / "run" / "journal.kpbj").stat().st_size > 0

@@ -1,0 +1,214 @@
+"""KPBR framing: round-trips, and every way a frame can be malformed."""
+
+import io
+import struct
+import zlib
+
+import pytest
+
+from repro.serve.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    FRAME_ERROR,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    KPBR_MAGIC,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    recv_frame,
+    retry_response,
+    send_frame,
+)
+
+
+class TestRoundTrip:
+    def test_doc_only(self):
+        frame = encode_frame(FRAME_REQUEST, {"op": "ping", "n": 3})
+        ftype, doc, blob = decode_frame(frame)
+        assert ftype == FRAME_REQUEST
+        assert doc == {"op": "ping", "n": 3}
+        assert blob == b""
+
+    def test_doc_and_blob(self):
+        payload = bytes(range(256)) * 11
+        frame = encode_frame(FRAME_RESPONSE, {"ok": True}, payload)
+        ftype, doc, blob = decode_frame(frame)
+        assert ftype == FRAME_RESPONSE
+        assert doc == {"ok": True}
+        assert blob == payload
+
+    def test_unicode_doc(self):
+        frame = encode_frame(FRAME_ERROR, {"detail": "héllo ✓"})
+        _, doc, _ = decode_frame(frame)
+        assert doc["detail"] == "héllo ✓"
+
+    def test_empty_doc(self):
+        _, doc, _ = decode_frame(encode_frame(FRAME_REQUEST, {}))
+        assert doc == {}
+
+    def test_sync_stream_round_trip(self):
+        stream = io.BytesIO()
+        send_frame(stream, FRAME_REQUEST, {"op": "a"}, b"xy")
+        send_frame(stream, FRAME_REQUEST, {"op": "b"})
+        stream.seek(0)
+        assert recv_frame(stream)[1]["op"] == "a"
+        assert recv_frame(stream)[1]["op"] == "b"
+        assert recv_frame(stream) is None  # clean EOF at a boundary
+
+    def test_bad_frame_type_rejected_at_encode(self):
+        with pytest.raises(ProtocolError, match="frame type"):
+            encode_frame(42, {})
+
+
+class TestMalformedFrames:
+    def frame(self) -> bytearray:
+        return bytearray(encode_frame(FRAME_REQUEST, {"op": "x"}, b"blob"))
+
+    def test_bad_magic(self):
+        frame = self.frame()
+        frame[:4] = b"NOPE"
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_bad_version(self):
+        frame = self.frame()
+        frame[4] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_bad_frame_type(self):
+        frame = self.frame()
+        frame[5] = 77
+        # Type is validated before the CRC so the error names the type.
+        with pytest.raises(ProtocolError, match="frame type"):
+            decode_frame(bytes(frame))
+
+    def test_flipped_payload_bit_fails_crc(self):
+        frame = self.frame()
+        frame[-1] ^= 0x01
+        with pytest.raises(ProtocolError, match="CRC"):
+            decode_frame(bytes(frame))
+
+    def test_flipped_header_bit_fails_crc(self):
+        frame = self.frame()
+        frame[12] ^= 0x01  # json length field: caught by length/CRC check
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_frame(self.frame()[:10])
+
+    def test_truncated_payload(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_frame(bytes(self.frame()[:-2]))
+
+    def test_oversized_payload_rejected_before_read(self):
+        # Craft a header promising more than the cap; the length check
+        # must fire without trusting (or allocating) the payload.
+        header = struct.Struct("<4sBBxxIII").pack(
+            KPBR_MAGIC, 1, FRAME_REQUEST, 0, DEFAULT_MAX_PAYLOAD, 1
+        )
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(header)
+
+    def test_invalid_json_payload(self):
+        bad = b"not json"
+        header = bytearray(
+            struct.Struct("<4sBBxxIII").pack(
+                KPBR_MAGIC, 1, FRAME_REQUEST, 0, len(bad), 0
+            )
+        )
+        crc = zlib.crc32(bytes(header) + bad) & 0xFFFFFFFF
+        struct.pack_into("<I", header, 8, crc)
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_frame(bytes(header) + bad)
+
+    def test_non_object_json_rejected(self):
+        doc_bytes = b"[1,2]"
+        header = bytearray(
+            struct.Struct("<4sBBxxIII").pack(
+                KPBR_MAGIC, 1, FRAME_REQUEST, 0, len(doc_bytes), 0
+            )
+        )
+        crc = zlib.crc32(bytes(header) + doc_bytes) & 0xFFFFFFFF
+        struct.pack_into("<I", header, 8, crc)
+        with pytest.raises(ProtocolError, match="object"):
+            decode_frame(bytes(header) + doc_bytes)
+
+    def test_sync_eof_mid_frame(self):
+        stream = io.BytesIO(bytes(self.frame()[:-3]))
+        with pytest.raises(ProtocolError, match="mid-payload"):
+            recv_frame(stream)
+
+
+class TestAsyncReader:
+    def test_clean_eof_returns_none(self):
+        import asyncio
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            from repro.serve.protocol import read_frame
+
+            return await read_frame(reader)
+
+        assert asyncio.run(run()) is None
+
+    def test_eof_mid_header_raises(self):
+        import asyncio
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"KPBR\x01")
+            reader.feed_eof()
+            from repro.serve.protocol import read_frame
+
+            return await read_frame(reader)
+
+        with pytest.raises(ProtocolError, match="mid-header"):
+            asyncio.run(run())
+
+    def test_slow_loris_read_times_out(self):
+        import asyncio
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"KPBR")  # trickle: header never completes
+            from repro.serve.protocol import read_frame
+
+            return await read_frame(reader, timeout=0.05)
+
+        with pytest.raises(ProtocolError, match="timed out"):
+            asyncio.run(run())
+
+    def test_frame_round_trip(self):
+        import asyncio
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(FRAME_RESPONSE, {"a": 1}, b"zz"))
+            from repro.serve.protocol import read_frame
+
+            return await read_frame(reader, timeout=1.0)
+
+        ftype, doc, blob = asyncio.run(run())
+        assert (ftype, doc, blob) == (FRAME_RESPONSE, {"a": 1}, b"zz")
+
+
+class TestResponseHelpers:
+    def test_ok(self):
+        assert ok_response(x=1) == {"status": "ok", "x": 1}
+
+    def test_error(self):
+        doc = error_response("BAD_REQUEST", "nope")
+        assert doc["status"] == "error"
+        assert doc["code"] == "BAD_REQUEST"
+
+    def test_retry_carries_backoff_hint(self):
+        doc = retry_response(0.25, "queue full")
+        assert doc["status"] == "retry"
+        assert doc["code"] == "RETRY_AFTER"
+        assert doc["retry_after"] == pytest.approx(0.25)
